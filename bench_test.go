@@ -1,0 +1,222 @@
+package ompsscluster_test
+
+// One benchmark per figure of the paper's evaluation (§7), plus the
+// headline numbers and the design-choice ablations. Each benchmark runs
+// the full experiment and reports the figure's key quantities as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table/figure of the paper at the benchmark scale.
+// Set LBSIM_BENCH_SCALE=default or =paper for larger (slower) runs; the
+// default is the quick scale, which preserves every comparison's shape.
+
+import (
+	"os"
+	"testing"
+
+	"ompsscluster/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	switch os.Getenv("LBSIM_BENCH_SCALE") {
+	case "default":
+		return experiments.DefaultScale()
+	case "paper":
+		return experiments.PaperScale()
+	}
+	return experiments.QuickScale()
+}
+
+// runFigure executes the experiment b.N times and reports series values
+// as metrics on the last result.
+func runFigure(b *testing.B, id string, metrics func(*testing.B, *experiments.Result)) {
+	b.Helper()
+	sc := benchScale()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ByID(id, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if metrics != nil {
+		metrics(b, res)
+	}
+	if verbose() {
+		b.Log("\n" + res.Table())
+	}
+}
+
+func verbose() bool { return os.Getenv("LBSIM_BENCH_VERBOSE") != "" }
+
+// BenchmarkFig5LocalVsGlobalTraces regenerates Figure 5: the local
+// policy balances but over-offloads in the balanced phase; the global
+// policy minimises offloading.
+func BenchmarkFig5LocalVsGlobalTraces(b *testing.B) {
+	runFigure(b, "fig5", nil)
+}
+
+// BenchmarkFig6aMicroPPOneApprank regenerates Figure 6(a): MicroPP weak
+// scaling with one apprank per node under the global policy.
+func BenchmarkFig6aMicroPPOneApprank(b *testing.B) {
+	runFigure(b, "fig6a", func(b *testing.B, r *experiments.Result) {
+		reportReduction(b, r, 4)
+	})
+}
+
+// BenchmarkFig6bMicroPPTwoAppranks regenerates Figure 6(b): two appranks
+// per node.
+func BenchmarkFig6bMicroPPTwoAppranks(b *testing.B) {
+	runFigure(b, "fig6b", func(b *testing.B, r *experiments.Result) {
+		reportReduction(b, r, 4)
+	})
+}
+
+// reportReduction reports degree-4's time reduction versus DLB at the
+// largest node count as a metric.
+func reportReduction(b *testing.B, r *experiments.Result, degree int) {
+	dlb := r.Get("dlb (degree 1)")
+	deg := r.Get("degree 4")
+	if dlb == nil || deg == nil || len(deg.Points) == 0 {
+		return
+	}
+	last := deg.Points[len(deg.Points)-1]
+	base := dlb.Y(last.X)
+	if base > 0 {
+		b.ReportMetric(100*(1-last.Y/base), "%reduction-vs-dlb")
+	}
+}
+
+// BenchmarkFig6cNbodySlowNode regenerates Figure 6(c): Barnes-Hut with
+// ORB on a machine with one slow node.
+func BenchmarkFig6cNbodySlowNode(b *testing.B) {
+	runFigure(b, "fig6c", func(b *testing.B, r *experiments.Result) {
+		base := r.Get("baseline")
+		deg3 := r.Get("degree 3")
+		if base == nil || deg3 == nil || len(deg3.Points) == 0 {
+			return
+		}
+		last := deg3.Points[len(deg3.Points)-1]
+		if y := base.Y(last.X); y > 0 {
+			b.ReportMetric(100*(1-last.Y/y), "%reduction-vs-baseline")
+		}
+	})
+}
+
+// BenchmarkFig7LocalPolicy regenerates Figure 7: the MicroPP sweeps under
+// the local allocation policy.
+func BenchmarkFig7LocalPolicy(b *testing.B) {
+	runFigure(b, "fig7", nil)
+}
+
+// BenchmarkFig8SyntheticSweep regenerates Figure 8: per-iteration time
+// versus imbalance on 4, 8 and 64 nodes.
+func BenchmarkFig8SyntheticSweep(b *testing.B) {
+	runFigure(b, "fig8", func(b *testing.B, r *experiments.Result) {
+		deg4 := r.Get("8n degree 4")
+		perfect := r.Get("8n perfect")
+		if deg4 == nil || perfect == nil {
+			deg4 = r.Get("4n degree 4")
+			perfect = r.Get("4n perfect")
+		}
+		if deg4 != nil && perfect != nil {
+			if d, p := deg4.Y(2.0), perfect.Y(2.0); d > 0 && p > 0 {
+				b.ReportMetric(100*(d/p-1), "%above-perfect@imb2")
+			}
+		}
+	})
+}
+
+// BenchmarkFig9LewiDromTraces regenerates Figure 9: MicroPP with and
+// without LeWI and DROM on four nodes with degree two.
+func BenchmarkFig9LewiDromTraces(b *testing.B) {
+	runFigure(b, "fig9", func(b *testing.B, r *experiments.Result) {
+		base := r.Get("baseline")
+		lewi := r.Get("lewi-only")
+		drom := r.Get("drom-only")
+		if base != nil && lewi != nil && drom != nil {
+			b.ReportMetric(100*lewi.Points[0].Y/base.Points[0].Y, "%lewi-of-baseline")
+			b.ReportMetric(100*drom.Points[0].Y/base.Points[0].Y, "%drom-of-baseline")
+		}
+	})
+}
+
+// BenchmarkFig10SlowNodeSweep regenerates Figure 10: the synthetic
+// benchmark with one node three times slower.
+func BenchmarkFig10SlowNodeSweep(b *testing.B) {
+	runFigure(b, "fig10", nil)
+}
+
+// BenchmarkFig11Convergence regenerates Figure 11: convergence of the
+// node-level imbalance under the policy combinations.
+func BenchmarkFig11Convergence(b *testing.B) {
+	runFigure(b, "fig11", nil)
+}
+
+// BenchmarkHeadlineNumbers reproduces the abstract's three claims.
+func BenchmarkHeadlineNumbers(b *testing.B) {
+	runFigure(b, "headline", func(b *testing.B, r *experiments.Result) {
+		if s := r.Get("micropp reduction vs dlb %"); s != nil {
+			b.ReportMetric(s.Points[0].Y, "%micropp-reduction")
+		}
+		if s := r.Get("synthetic above perfect %"); s != nil {
+			b.ReportMetric(s.Points[0].Y, "%synthetic-above-perfect")
+		}
+		if s := r.Get("nbody further reduction %"); s != nil {
+			b.ReportMetric(s.Points[0].Y, "%nbody-further-reduction")
+		}
+	})
+}
+
+// BenchmarkAblationTasksPerCore sweeps the scheduling threshold (§5.5).
+func BenchmarkAblationTasksPerCore(b *testing.B) {
+	runFigure(b, "ablation-taskspc", nil)
+}
+
+// BenchmarkAblationCountBorrowed toggles counting borrowed cores in the
+// scheduling threshold (§5.5's design decision).
+func BenchmarkAblationCountBorrowed(b *testing.B) {
+	runFigure(b, "ablation-borrowed", nil)
+}
+
+// BenchmarkAblationGraphShape compares expander, ring and full helper
+// graphs (§5.2's design decision).
+func BenchmarkAblationGraphShape(b *testing.B) {
+	runFigure(b, "ablation-graphshape", nil)
+}
+
+// BenchmarkAblationGlobalPeriod sweeps the global solver period (§5.4.2).
+func BenchmarkAblationGlobalPeriod(b *testing.B) {
+	runFigure(b, "ablation-period", nil)
+}
+
+// BenchmarkAblationIncentive toggles the own-node incentive (§5.4.2).
+func BenchmarkAblationIncentive(b *testing.B) {
+	runFigure(b, "ablation-incentive", nil)
+}
+
+// BenchmarkExtDynamicSpreading evaluates the paper's sketched dynamic
+// work spreading extension (§5.2) against static degrees.
+func BenchmarkExtDynamicSpreading(b *testing.B) {
+	runFigure(b, "ext-dynamic", nil)
+}
+
+// BenchmarkExtPartitionedSolver evaluates the partitioned global solver
+// (§5.4.2's prescription for >32 nodes) with modelled solve cost.
+func BenchmarkExtPartitionedSolver(b *testing.B) {
+	runFigure(b, "ext-partition", nil)
+}
+
+// BenchmarkAblationORBWeights runs the ORB-weighting counterfactual for
+// the n-body slow-node scenario.
+func BenchmarkAblationORBWeights(b *testing.B) {
+	runFigure(b, "ablation-orbweights", nil)
+}
+
+// BenchmarkExtDVFS throttles a node mid-run (the introduction's DVFS /
+// thermal motivation) and measures re-convergence.
+func BenchmarkExtDVFS(b *testing.B) {
+	runFigure(b, "ext-dvfs", nil)
+}

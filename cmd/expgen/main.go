@@ -1,0 +1,81 @@
+// Command expgen generates and inspects the bipartite biregular expander
+// graphs used to connect appranks to helper nodes (§5.2 of the paper).
+//
+// Usage:
+//
+//	expgen -appranks 32 -nodes 16 -degree 3 [-seed 1] [-shape expander|ring|full] [-store DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ompsscluster/internal/expander"
+)
+
+func main() {
+	var (
+		appranks = flag.Int("appranks", 16, "number of application ranks")
+		nodes    = flag.Int("nodes", 16, "number of nodes")
+		degree   = flag.Int("degree", 4, "offloading degree (edges per apprank)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		shape    = flag.String("shape", "expander", "graph family: expander, ring, or full")
+		store    = flag.String("store", "", "directory to cache graphs in (optional)")
+	)
+	flag.Parse()
+
+	var sh expander.Shape
+	switch *shape {
+	case "expander":
+		sh = expander.ShapeExpander
+	case "ring":
+		sh = expander.ShapeRing
+	case "full":
+		sh = expander.ShapeFull
+	default:
+		fatal(fmt.Errorf("unknown shape %q", *shape))
+	}
+	p := expander.Params{
+		Appranks: *appranks,
+		Nodes:    *nodes,
+		Degree:   *degree,
+		Seed:     *seed,
+		Shape:    sh,
+	}
+	var g *expander.Graph
+	var err error
+	if *store != "" {
+		g, err = expander.NewStore(*store).Get(p)
+	} else {
+		g, err = expander.Generate(p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d appranks x %d nodes, degree %d (%s)\n", g.Appranks, g.Nodes, g.Degree, *shape)
+	fmt.Printf("connected: %v\n", g.IsConnected())
+	fmt.Printf("spectral gap: %.4f (Ramanujan-optimal sigma2/sigma1: %.4f)\n",
+		g.SpectralGap(), g.RamanujanBound())
+	if g.Appranks <= 20 {
+		fmt.Printf("vertex isoperimetric number (exact): %.4f\n", g.IsoperimetricNumber())
+	} else {
+		fmt.Printf("vertex isoperimetric number (sampled upper bound): %.4f\n",
+			g.EstimateIsoperimetric(5000, *seed))
+	}
+	fmt.Println("adjacency (home node first):")
+	for a := 0; a < g.Appranks; a++ {
+		fmt.Printf("  apprank %3d -> %v\n", a, g.Neighbors(a))
+	}
+	for n := 0; n < g.Nodes; n++ {
+		fmt.Printf("node %3d hosts appranks %v\n", n, g.AppranksOn(n))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "expgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command lbsim runs the paper-reproduction experiments on the simulated
+// cluster and prints their tables or CSV.
+//
+// Usage:
+//
+//	lbsim -list
+//	lbsim -exp fig8 [-scale quick|default|paper] [-format table|csv|markdown]
+//	lbsim -all [-scale ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ompsscluster/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment ids")
+		scale  = flag.String("scale", "default", "scale: quick, default, or paper")
+		format = flag.String("format", "table", "output format: table, csv, or markdown")
+		talp   = flag.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
+		outDir = flag.String("out", "", "also write each result as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *talp {
+		sc, err := scaleByName(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.TALPReport(sc))
+		return
+	}
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	emit := func(r *experiments.Result) {
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		switch *format {
+		case "table":
+			fmt.Println(r.Table())
+		case "csv":
+			fmt.Print(r.CSV())
+		case "markdown", "md":
+			fmt.Println(r.Markdown())
+		default:
+			fatal(fmt.Errorf("unknown format %q (table, csv, markdown)", *format))
+		}
+	}
+	switch {
+	case *all:
+		for _, id := range experiments.IDs() {
+			r, err := experiments.ByID(id, sc)
+			if err != nil {
+				fatal(err)
+			}
+			emit(r)
+		}
+	case *exp != "":
+		r, err := experiments.ByID(*exp, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "quick":
+		return experiments.QuickScale(), nil
+	case "default":
+		return experiments.DefaultScale(), nil
+	case "paper":
+		return experiments.PaperScale(), nil
+	}
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q (quick, default, paper)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command traceview runs the trace-producing experiments (Figures 5 and
+// 9) and renders their busy-core timelines as ASCII, or dumps them as
+// CSV for plotting.
+//
+// Usage:
+//
+//	traceview -exp fig9 [-scale quick|default|paper] [-width 100] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ompsscluster/internal/experiments"
+	"ompsscluster/internal/trace"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "fig9", "which traces to produce: fig9")
+		scale = flag.String("scale", "quick", "scale: quick, default, or paper")
+		width = flag.Int("width", 100, "timeline width in characters")
+		csv   = flag.Bool("csv", false, "emit CSV instead of ASCII art")
+		prv   = flag.Bool("prv", false, "emit simplified Paraver (.prv) records")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	var recs []*trace.Recorder
+	var labels []string
+	switch *exp {
+	case "fig9":
+		recs, labels = experiments.Fig9Traces(sc)
+	case "fig5":
+		recs, labels = experiments.Fig5Traces(sc)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (try fig5 or fig9)", *exp))
+	}
+	for i, rec := range recs {
+		fmt.Printf("== %s ==\n", labels[i])
+		switch {
+		case *csv:
+			fmt.Print(rec.CSV())
+		case *prv:
+			fmt.Print(rec.Paraver())
+		default:
+			fmt.Print(rec.Render(*width, 0))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceview:", err)
+	os.Exit(1)
+}

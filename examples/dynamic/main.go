@@ -1,0 +1,68 @@
+// Dynamic work spreading example (the paper's §5.2 future-work
+// extension): start every apprank with no helpers (degree 1) and let the
+// runtime grow the helper graph where queue pressure demands it. Compare
+// against static degrees on an imbalanced workload.
+package main
+
+import (
+	"fmt"
+
+	"ompsscluster"
+)
+
+const (
+	nodes        = 8
+	coresPerNode = 12
+)
+
+func main() {
+	fmt.Println("dynamic work spreading vs static degrees, 8 nodes, imbalance ~3")
+	s1, _ := run(1, false)
+	s4, _ := run(4, false)
+	dyn, grown := run(1, true)
+	fmt.Printf("static degree 1:  %v\n", s1)
+	fmt.Printf("static degree 4:  %v\n", s4)
+	fmt.Printf("dynamic (from 1): %v  (%d helpers grown at runtime)\n", dyn, grown)
+}
+
+func run(degree int, dynamic bool) (ompsscluster.Duration, int) {
+	machine := ompsscluster.NewMachine(nodes, coresPerNode)
+	cfg := ompsscluster.Config{
+		Machine:      machine,
+		Degree:       degree,
+		LeWI:         true,
+		DROM:         ompsscluster.DROMGlobal,
+		GlobalPeriod: 100 * ompsscluster.Millisecond,
+	}
+	if dynamic {
+		cfg.Dynamic = ompsscluster.DynamicConfig{
+			Enabled:    true,
+			GrowPeriod: 50 * ompsscluster.Millisecond,
+		}
+	}
+	rt := ompsscluster.MustNew(cfg)
+	err := rt.Run(func(app *ompsscluster.App) {
+		// Rank 0 carries three times the average load.
+		tasks := 60
+		if app.Rank() == 0 {
+			tasks = 60 * 3 * nodes / (nodes + 2) // heaviest rank
+		}
+		for iter := 0; iter < 4; iter++ {
+			for i := 0; i < tasks; i++ {
+				buf := app.Alloc(16 << 10)
+				app.Submit(ompsscluster.TaskSpec{
+					Label:       "kernel",
+					Work:        20 * ompsscluster.Millisecond,
+					Accesses:    []ompsscluster.Access{{Region: buf, Mode: ompsscluster.InOut}},
+					Offloadable: true,
+				})
+			}
+			app.TaskWait()
+			app.Barrier()
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rt.Elapsed(), rt.HelpersGrown()
+}

@@ -1,0 +1,69 @@
+// MicroPP example: weak scaling of the micro-scale solid-mechanics
+// surrogate (mixed linear/non-linear finite elements, imbalance ~2.0)
+// with the global allocation policy — a single-machine rendition of
+// Figure 6(a).
+package main
+
+import (
+	"fmt"
+
+	"ompsscluster"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/workloads/micropp"
+)
+
+const coresPerNode = 16
+
+func main() {
+	fmt.Println("MicroPP surrogate weak scaling, 1 apprank/node, global policy")
+	fmt.Printf("%-8s %-10s %-10s %-10s %-10s\n", "nodes", "baseline", "dlb", "degree4", "perfect")
+	for _, nodes := range []int{2, 4, 8, 16} {
+		base := run(nodes, 1, false, core.DROMOff)
+		dlb := run(nodes, 1, true, core.DROMLocal)
+		deg4 := run(nodes, min(4, nodes), true, core.DROMGlobal)
+		opt := optimal(nodes)
+		fmt.Printf("%-8d %-10.3f %-10.3f %-10.3f %-10.3f\n", nodes, base, dlb, deg4, opt)
+	}
+}
+
+func problem(nodes int) *micropp.Problem {
+	return micropp.New(micropp.Config{
+		ChunksPerApprank: 5 * coresPerNode,
+		ElementsPerChunk: 64,
+		LinearCost:       50 * ompsscluster.Millisecond / (5 * 64),
+		NRIterations:     10,
+		Imbalance:        2.0,
+		Timesteps:        4,
+		Seed:             1,
+	}, nodes)
+}
+
+func run(nodes, degree int, lewi bool, drom core.DROMMode) float64 {
+	m := cluster.New(nodes, coresPerNode, cluster.DefaultNet())
+	p := problem(nodes)
+	rt := core.MustNew(core.Config{
+		Machine:      m,
+		Degree:       degree,
+		LeWI:         lewi,
+		DROM:         drom,
+		GlobalPeriod: 400 * ompsscluster.Millisecond,
+		Seed:         1,
+	})
+	if err := rt.Run(p.Main()); err != nil {
+		panic(err)
+	}
+	return rt.Elapsed().Seconds()
+}
+
+func optimal(nodes int) float64 {
+	m := cluster.New(nodes, coresPerNode, cluster.DefaultNet())
+	return problem(nodes).OptimalTime(m).Seconds()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,62 @@
+// n-body example: a real Barnes-Hut simulation with Orthogonal Recursive
+// Bisection on a Nord3-like machine whose node 0 runs at 1.8 GHz while
+// the rest run at 3.0 GHz. ORB balances interaction counts, not time, so
+// the slow node stays the bottleneck until tasks are offloaded — the
+// scenario of Figure 6(c).
+package main
+
+import (
+	"fmt"
+
+	"ompsscluster"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/nbody"
+)
+
+const (
+	nodes        = 8
+	coresPerNode = 16
+	rpn          = 2
+)
+
+func main() {
+	fmt.Println("Barnes-Hut n-body with ORB, 2 appranks/node, node 0 at 0.6x speed")
+	base := run(1, false, core.DROMOff)
+	dlb := run(1, true, core.DROMLocal)
+	deg3 := run(3, true, core.DROMGlobal)
+	fmt.Printf("baseline:             %.3f s/step\n", base)
+	fmt.Printf("single-node DLB:      %.3f s/step (%.1f%% reduction)\n", dlb, 100*(1-dlb/base))
+	fmt.Printf("offloading degree 3:  %.3f s/step (a further %.1f%% of baseline)\n",
+		deg3, 100*(dlb-deg3)/base)
+}
+
+func run(degree int, lewi bool, drom core.DROMMode) float64 {
+	m := cluster.New(nodes, coresPerNode, cluster.DefaultNet())
+	m.SetSpeed(0, 0.6)
+	cs := nbody.NewClusterSim(nbody.AdapterConfig{
+		Bodies:             192 * nodes * rpn,
+		Steps:              8,
+		ChunksPerRank:      8 * coresPerNode / rpn,
+		CostPerInteraction: 30 * ompsscluster.Microsecond,
+		TreeCostPerBody:    20 * ompsscluster.Nanosecond,
+		Theta:              0.5,
+		Seed:               1,
+	})
+	rt := core.MustNew(core.Config{
+		Machine:         m,
+		AppranksPerNode: rpn,
+		Degree:          degree,
+		LeWI:            lewi,
+		DROM:            drom,
+		GlobalPeriod:    200 * ompsscluster.Millisecond,
+		Seed:            1,
+	})
+	if err := rt.Run(cs.Main()); err != nil {
+		panic(err)
+	}
+	ends := cs.StepEnds()
+	// Average over the post-warm-up steps.
+	warm := 2
+	return (ends[len(ends)-1] - ends[warm-1]).Seconds() / float64(len(ends)-warm)
+}

@@ -1,0 +1,62 @@
+// Quickstart: the smallest MPI+OmpSs-2@Cluster program. Two appranks on
+// two nodes; apprank 0 is overloaded; LeWI plus the global DROM policy
+// spread its tasks onto node 1 transparently.
+package main
+
+import (
+	"fmt"
+
+	"ompsscluster"
+)
+
+func main() {
+	machine := ompsscluster.NewMachine(2, 8) // 2 nodes x 8 cores
+
+	// Baseline: no offloading, no DLB.
+	baseline := run(machine, ompsscluster.Config{
+		Machine: machine,
+		Degree:  1,
+	})
+
+	// Balanced: each apprank may execute tasks on both nodes (degree 2),
+	// LeWI lends idle cores, the global solver reassigns ownership.
+	machine2 := ompsscluster.NewMachine(2, 8)
+	balanced := run(machine2, ompsscluster.Config{
+		Machine:      machine2,
+		Degree:       2,
+		LeWI:         true,
+		DROM:         ompsscluster.DROMGlobal,
+		GlobalPeriod: 100 * ompsscluster.Millisecond,
+	})
+
+	fmt.Printf("baseline (no offloading): %v\n", baseline)
+	fmt.Printf("LeWI + global DROM:       %v\n", balanced)
+	fmt.Printf("speedup:                  %.2fx\n", float64(baseline)/float64(balanced))
+}
+
+// run executes the example workload and returns the time-to-solution.
+func run(machine *ompsscluster.Machine, cfg ompsscluster.Config) ompsscluster.Duration {
+	rt := ompsscluster.MustNew(cfg)
+	err := rt.Run(func(app *ompsscluster.App) {
+		// Apprank 0 has four times the work of apprank 1.
+		tasks := 40
+		if app.Rank() == 0 {
+			tasks = 160
+		}
+		for i := 0; i < tasks; i++ {
+			buf := app.Alloc(64 << 10)
+			app.Submit(ompsscluster.TaskSpec{
+				Label:       "kernel",
+				Work:        20 * ompsscluster.Millisecond,
+				Accesses:    []ompsscluster.Access{{Region: buf, Mode: ompsscluster.InOut}},
+				Offloadable: true,
+			})
+		}
+		app.TaskWait()
+		app.Barrier()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rt.Elapsed()
+}

@@ -1,0 +1,55 @@
+// Stencil example: a real 2-D Jacobi heat solver with MPI halo exchange
+// and per-block tasks. Rank 0's cells cost three times more (local
+// refinement); transparent offloading absorbs the hotspot.
+package main
+
+import (
+	"fmt"
+
+	"ompsscluster"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/workloads/stencil"
+)
+
+const (
+	ranks        = 8
+	coresPerNode = 8
+)
+
+func main() {
+	fmt.Println("2-D Jacobi with halo exchange, 8 ranks, hotspot on rank 0 (3x cost)")
+	cfg := stencil.Config{
+		RowsPerRank:   64,
+		Cols:          128,
+		BlockRows:     1,
+		CostPerCell:   20 * ompsscluster.Microsecond,
+		Iterations:    10,
+		HotspotRank:   0,
+		HotspotFactor: 3,
+		TopBoundary:   100,
+	}
+	base, bRes := run(cfg, 1, false, core.DROMOff)
+	bal, _ := run(cfg, 3, true, core.DROMGlobal)
+	fmt.Printf("baseline:            %v\n", base)
+	fmt.Printf("degree 3 + LeWI+DROM: %v  (%.1f%% faster)\n", bal, 100*(1-float64(bal)/float64(base)))
+	fmt.Printf("final residual:      %.6f (decreasing: physics unchanged by balancing)\n",
+		bRes[len(bRes)-1])
+}
+
+func run(cfg stencil.Config, degree int, lewi bool, drom core.DROMMode) (ompsscluster.Duration, []float64) {
+	m := cluster.New(ranks, coresPerNode, cluster.DefaultNet())
+	b := stencil.New(cfg, ranks)
+	rt := core.MustNew(core.Config{
+		Machine:      m,
+		Degree:       degree,
+		LeWI:         lewi,
+		DROM:         drom,
+		GlobalPeriod: 20 * ompsscluster.Millisecond,
+		Seed:         1,
+	})
+	if err := rt.Run(b.Main()); err != nil {
+		panic(err)
+	}
+	return rt.Elapsed(), b.Residuals()
+}

@@ -1,0 +1,69 @@
+// Synthetic-benchmark example (§6.2 of the paper): sweep the application
+// imbalance on 8 nodes and print the per-iteration time for the baseline
+// and for offloading degrees 2-4, against the perfect-balance bound —
+// a single-machine rendition of Figure 8(b).
+package main
+
+import (
+	"fmt"
+
+	"ompsscluster"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/workloads/synthetic"
+)
+
+const (
+	nodes        = 8
+	coresPerNode = 16
+)
+
+func main() {
+	fmt.Println("synthetic benchmark, 8 nodes, 1 apprank/node, LeWI + global DROM")
+	fmt.Printf("%-10s %-10s %-10s %-10s %-10s %-10s\n",
+		"imbalance", "baseline", "degree2", "degree3", "degree4", "perfect")
+	for _, imb := range []float64{1.0, 1.5, 2.0, 2.5, 3.0, 4.0} {
+		base := run(imb, 1, core.DROMLocal)
+		d2 := run(imb, 2, core.DROMGlobal)
+		d3 := run(imb, 3, core.DROMGlobal)
+		d4 := run(imb, 4, core.DROMGlobal)
+		opt := optimal(imb)
+		fmt.Printf("%-10.1f %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f\n",
+			imb, base, d2, d3, d4, opt)
+	}
+}
+
+func benchConfig(imb float64) synthetic.Config {
+	return synthetic.Config{
+		Imbalance:    imb,
+		TasksPerCore: 30,
+		MeanTask:     50 * ompsscluster.Millisecond,
+		Iterations:   4,
+		Jitter:       0.1,
+		Seed:         1,
+	}
+}
+
+// run returns the steady per-iteration time in seconds.
+func run(imb float64, degree int, drom core.DROMMode) float64 {
+	m := cluster.New(nodes, coresPerNode, cluster.DefaultNet())
+	b := synthetic.New(benchConfig(imb), nodes, coresPerNode)
+	rt := core.MustNew(core.Config{
+		Machine:      m,
+		Degree:       degree,
+		LeWI:         true,
+		DROM:         drom,
+		GlobalPeriod: 400 * ompsscluster.Millisecond,
+		Seed:         1,
+	})
+	if err := rt.Run(b.Main()); err != nil {
+		panic(err)
+	}
+	return b.SteadyIterTime(1).Seconds()
+}
+
+func optimal(imb float64) float64 {
+	m := cluster.New(nodes, coresPerNode, cluster.DefaultNet())
+	b := synthetic.New(benchConfig(imb), nodes, coresPerNode)
+	return (b.OptimalTime(m) / 4).Seconds()
+}

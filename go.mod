@@ -1,0 +1,3 @@
+module ompsscluster
+
+go 1.22

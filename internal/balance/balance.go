@@ -1,0 +1,267 @@
+// Package balance implements the paper's two DROM core-allocation
+// policies (§5.4).
+//
+// The local convergence policy adjusts each node independently: core
+// ownership is set proportional to each worker's windowed average busy
+// cores, with a floor of one core per worker.
+//
+// The global solver policy minimises max_a (work_a / cores_a) over all
+// appranks subject to: every worker owns at least one core, the cores
+// owned on each node sum to the node's core count, and an apprank may own
+// cores only on nodes adjacent to it in the expander graph. The paper
+// solves a linear program with CVXOPT; here the quasiconvex program is
+// solved exactly by bisection on the objective value t, with each
+// feasibility subproblem reduced to a max-flow, and the own-node
+// incentive (offloaded work weighted 1+1e-6, §5.4.2) expressed as a
+// min-cost flow at the optimal t. A simplex-based solver over the same
+// formulation (internal/lp) cross-validates the flow solution.
+package balance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WorkerKey identifies apprank Apprank's worker on node Node.
+type WorkerKey struct {
+	Apprank, Node int
+}
+
+func (k WorkerKey) String() string { return fmt.Sprintf("a%d@n%d", k.Apprank, k.Node) }
+
+// WorkerLoad is the policy-facing view of one worker.
+type WorkerLoad struct {
+	Key WorkerKey
+	// Busy is the windowed average number of busy cores (§5.4).
+	Busy float64
+	// Home marks the apprank's main worker (its own node).
+	Home bool
+}
+
+// NodeInfo describes one node's capacity.
+type NodeInfo struct {
+	ID    int
+	Cores int
+}
+
+// Problem is the input to an allocation policy.
+type Problem struct {
+	Nodes   []NodeInfo
+	Workers []WorkerLoad
+}
+
+// Allocation maps each worker to its new core ownership.
+type Allocation map[WorkerKey]int
+
+// Validate checks structural soundness of a problem: known nodes, at most
+// one home worker per apprank, and at least as many cores as workers per
+// node (every worker must be able to own one core).
+func (p *Problem) Validate() error {
+	nodeIdx := make(map[int]int, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n.Cores <= 0 {
+			return fmt.Errorf("balance: node %d has %d cores", n.ID, n.Cores)
+		}
+		nodeIdx[n.ID] = i
+	}
+	workersPerNode := make(map[int]int)
+	homes := make(map[int]int)
+	for _, w := range p.Workers {
+		if _, ok := nodeIdx[w.Key.Node]; !ok {
+			return fmt.Errorf("balance: worker %v on unknown node", w.Key)
+		}
+		if w.Busy < 0 {
+			return fmt.Errorf("balance: worker %v has negative busy %v", w.Key, w.Busy)
+		}
+		workersPerNode[w.Key.Node]++
+		if w.Home {
+			homes[w.Key.Apprank]++
+		}
+	}
+	for a, n := range homes {
+		if n > 1 {
+			return fmt.Errorf("balance: apprank %d has %d home workers", a, n)
+		}
+	}
+	for id, n := range workersPerNode {
+		if n > p.Nodes[nodeIdx[id]].Cores {
+			return fmt.Errorf("balance: node %d hosts %d workers but only %d cores", id, n, p.Nodes[nodeIdx[id]].Cores)
+		}
+	}
+	return nil
+}
+
+// checkAllocation verifies an allocation against the problem: >= 1 core
+// per worker and exact per-node sums.
+func (p *Problem) checkAllocation(alloc Allocation) error {
+	perNode := make(map[int]int)
+	for _, w := range p.Workers {
+		c, ok := alloc[w.Key]
+		if !ok {
+			return fmt.Errorf("balance: worker %v missing from allocation", w.Key)
+		}
+		if c < 1 {
+			return fmt.Errorf("balance: worker %v owns %d cores", w.Key, c)
+		}
+		perNode[w.Key.Node] += c
+	}
+	for _, n := range p.Nodes {
+		if perNode[n.ID] != n.Cores {
+			return fmt.Errorf("balance: node %d ownership sums to %d, want %d", n.ID, perNode[n.ID], n.Cores)
+		}
+	}
+	return nil
+}
+
+// largestRemainder rounds shares proportional to raw to integers summing
+// to total, with a floor of one per entry. Proportionality is preserved
+// for entries above the floor: entries whose proportional share falls
+// below one core are clamped to one and the rest re-apportioned.
+func largestRemainder(raw []float64, total int) []int {
+	n := len(raw)
+	if total < n {
+		panic(fmt.Sprintf("balance: cannot give %d entries a floor of 1 with %d units", n, total))
+	}
+	out := make([]int, n)
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	budget := total
+	// Iteratively clamp entries whose proportional share is below one.
+	for {
+		sum := 0.0
+		for _, i := range active {
+			sum += raw[i]
+		}
+		clamped := false
+		next := active[:0]
+		for _, i := range active {
+			share := float64(budget) / float64(len(active))
+			if sum > 0 {
+				share = float64(budget) * raw[i] / sum
+			}
+			if share < 1 {
+				out[i] = 1
+				budget--
+				clamped = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		active = next
+		if !clamped || len(active) == 0 {
+			break
+		}
+	}
+	if len(active) == 0 {
+		// Everything clamped; hand any leftovers out round-robin.
+		for i := 0; budget > 0; i, budget = (i+1)%n, budget-1 {
+			out[i]++
+		}
+		return out
+	}
+	// Largest-remainder rounding of the surviving proportional shares.
+	sum := 0.0
+	for _, i := range active {
+		sum += raw[i]
+	}
+	frac := make(map[int]float64, len(active))
+	used := 0
+	for _, i := range active {
+		share := float64(budget) / float64(len(active))
+		if sum > 0 {
+			share = float64(budget) * raw[i] / sum
+		}
+		fl := math.Floor(share + 1e-12)
+		out[i] = int(fl)
+		frac[i] = share - fl
+		used += int(fl)
+	}
+	order := append([]int(nil), active...)
+	sort.SliceStable(order, func(x, y int) bool { return frac[order[x]] > frac[order[y]] })
+	for k := 0; k < budget-used; k++ {
+		out[order[k%len(order)]]++
+	}
+	return out
+}
+
+// apportion rounds raw shares to integers summing exactly to total
+// (largest-remainder, no floor). raw values must be non-negative; a zero
+// raw vector splits total evenly.
+func apportion(raw []float64, total int) []int {
+	n := len(raw)
+	out := make([]int, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	sum := 0.0
+	for _, r := range raw {
+		sum += r
+	}
+	frac := make([]float64, n)
+	used := 0
+	for i, r := range raw {
+		share := float64(total) / float64(n)
+		if sum > 0 {
+			share = float64(total) * r / sum
+		}
+		fl := math.Floor(share + 1e-12)
+		out[i] = int(fl)
+		frac[i] = share - fl
+		used += int(fl)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return frac[order[x]] > frac[order[y]] })
+	for i := 0; i < total-used; i++ {
+		out[order[i%n]]++
+	}
+	return out
+}
+
+// LocalPolicy is the local convergence approach (§5.4.1): each node sets
+// ownership proportional to its workers' busy averages, floor one core.
+type LocalPolicy struct{}
+
+// Allocate computes the new ownership for every worker, node by node.
+func (LocalPolicy) Allocate(p *Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	alloc := make(Allocation, len(p.Workers))
+	for _, n := range p.Nodes {
+		var keys []WorkerKey
+		var raw []float64
+		totalBusy := 0.0
+		for _, w := range p.Workers {
+			if w.Key.Node != n.ID {
+				continue
+			}
+			keys = append(keys, w.Key)
+			b := w.Busy
+			if w.Home {
+				// An idle node gives its cores to home workers rather
+				// than helpers; the epsilon only matters when every
+				// worker on the node is idle.
+				b += 1e-6
+			}
+			raw = append(raw, b)
+			totalBusy += b
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		shares := largestRemainder(raw, n.Cores)
+		for i, k := range keys {
+			alloc[k] = shares[i]
+		}
+	}
+	if err := p.checkAllocation(alloc); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}

@@ -1,0 +1,63 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a 64-node, degree-4 allocation problem.
+func benchProblem(seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	const nodes = 64
+	p := &Problem{}
+	for n := 0; n < nodes; n++ {
+		p.Nodes = append(p.Nodes, NodeInfo{ID: n, Cores: 48})
+	}
+	for a := 0; a < nodes; a++ {
+		p.Workers = append(p.Workers, WorkerLoad{
+			Key: WorkerKey{a, a}, Busy: rng.Float64() * 96, Home: true,
+		})
+		for k := 1; k < 4; k++ {
+			p.Workers = append(p.Workers, WorkerLoad{
+				Key: WorkerKey{a, (a + k*7) % nodes}, Busy: rng.Float64(),
+			})
+		}
+	}
+	return p
+}
+
+// BenchmarkGlobalFlow measures the bisection + min-cost-flow solver at
+// the paper's largest configuration (the paper's CVXOPT solve: ~57ms).
+func BenchmarkGlobalFlow(b *testing.B) {
+	p := benchProblem(1)
+	pol := GlobalPolicy{Incentive: 1e-6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Allocate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGlobalSimplex measures the same solve through the simplex.
+func BenchmarkGlobalSimplex(b *testing.B) {
+	p := benchProblem(1)
+	pol := GlobalPolicy{Incentive: 1e-6, UseSimplex: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pol.Allocate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalPolicy measures the per-node proportional allocation.
+func BenchmarkLocalPolicy(b *testing.B) {
+	p := benchProblem(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (LocalPolicy{}).Allocate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

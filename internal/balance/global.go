@@ -1,0 +1,370 @@
+package balance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ompsscluster/internal/flow"
+	"ompsscluster/internal/lp"
+)
+
+// GlobalPolicy is the global solver approach (§5.4.2). It gathers the
+// total work per apprank (busy-core averages summed over the apprank's
+// workers, offloaded work weighted by 1+Incentive) and minimises
+// max_a work_a/cores_a subject to the expander-graph adjacency, one core
+// per worker, and per-node capacity.
+type GlobalPolicy struct {
+	// Incentive is the own-node preference: offloaded busy cores are
+	// counted as (1+Incentive) of work, so the solver avoids offloading
+	// whenever it is free to. The paper uses 1e-6.
+	Incentive float64
+	// UseSimplex solves the subproblems with the simplex solver instead
+	// of min-cost flow. Results are equivalent; the flow solver is the
+	// default and the simplex path exists for cross-validation.
+	UseSimplex bool
+}
+
+// problemView is the indexed form of a Problem used by the solvers.
+type problemView struct {
+	p        *Problem
+	nodeIdx  map[int]int // node id -> index in p.Nodes
+	appranks []int       // sorted apprank ids
+	appIdx   map[int]int
+	workers  [][]int // apprank index -> worker indices (into p.Workers)
+	onNode   [][]int // node index -> worker indices
+	work     []float64
+}
+
+func buildView(p *Problem, incentive float64) *problemView {
+	v := &problemView{p: p, nodeIdx: map[int]int{}, appIdx: map[int]int{}}
+	for i, n := range p.Nodes {
+		v.nodeIdx[n.ID] = i
+	}
+	seen := map[int]bool{}
+	for _, w := range p.Workers {
+		if !seen[w.Key.Apprank] {
+			seen[w.Key.Apprank] = true
+			v.appranks = append(v.appranks, w.Key.Apprank)
+		}
+	}
+	sort.Ints(v.appranks)
+	for i, a := range v.appranks {
+		v.appIdx[a] = i
+	}
+	v.workers = make([][]int, len(v.appranks))
+	v.onNode = make([][]int, len(p.Nodes))
+	v.work = make([]float64, len(v.appranks))
+	for wi, w := range p.Workers {
+		ai := v.appIdx[w.Key.Apprank]
+		v.workers[ai] = append(v.workers[ai], wi)
+		ni := v.nodeIdx[w.Key.Node]
+		v.onNode[ni] = append(v.onNode[ni], wi)
+		if w.Home {
+			v.work[ai] += w.Busy
+		} else {
+			v.work[ai] += w.Busy * (1 + incentive)
+		}
+	}
+	return v
+}
+
+// demands returns each apprank's core demand beyond the one-per-worker
+// floor at objective value t.
+func (v *problemView) demands(t float64) []float64 {
+	d := make([]float64, len(v.appranks))
+	for ai := range v.appranks {
+		base := float64(len(v.workers[ai]))
+		need := v.work[ai]/t - base
+		if need > 0 {
+			d[ai] = need
+		}
+	}
+	return d
+}
+
+// residualCap returns each node's capacity beyond the one-per-worker
+// floor.
+func (v *problemView) residualCap() []float64 {
+	caps := make([]float64, len(v.p.Nodes))
+	for ni, n := range v.p.Nodes {
+		caps[ni] = float64(n.Cores - len(v.onNode[ni]))
+	}
+	return caps
+}
+
+// feasibleFlow reports whether the demands at t can be met, using max
+// flow: source -> apprank (demand), apprank -> node (adjacency), node ->
+// sink (residual capacity).
+func (v *problemView) feasibleFlow(t float64) bool {
+	demands := v.demands(t)
+	total := 0.0
+	for _, d := range demands {
+		total += d
+	}
+	if total == 0 {
+		return true
+	}
+	g, src, sink, _ := v.buildFlowGraph(demands, false)
+	return g.MaxFlow(src, sink) >= total-1e-7
+}
+
+// buildFlowGraph assembles the allocation network. When costed is true,
+// helper edges cost 1 and home edges cost 0. It returns the per-worker
+// edge ids.
+func (v *problemView) buildFlowGraph(demands []float64, costed bool) (g *flow.Graph, src, sink int, workerEdge []int) {
+	nApp, nNode := len(v.appranks), len(v.p.Nodes)
+	g = flow.NewGraph(nApp + nNode + 2)
+	src = nApp + nNode
+	sink = src + 1
+	caps := v.residualCap()
+	for ai, d := range demands {
+		if d > 0 {
+			g.AddEdge(src, ai, d, 0)
+		}
+	}
+	workerEdge = make([]int, len(v.p.Workers))
+	for i := range workerEdge {
+		workerEdge[i] = -1
+	}
+	for ai := range v.appranks {
+		for _, wi := range v.workers[ai] {
+			w := v.p.Workers[wi]
+			ni := v.nodeIdx[w.Key.Node]
+			cost := 0.0
+			if costed && !w.Home {
+				cost = 1.0
+			}
+			workerEdge[wi] = g.AddEdge(ai, nApp+ni, caps[ni], cost)
+		}
+	}
+	for ni := range v.p.Nodes {
+		g.AddEdge(nApp+ni, sink, caps[ni], 0)
+	}
+	return g, src, sink, workerEdge
+}
+
+// feasibleSimplex is the LP cross-validation of feasibleFlow.
+func (v *problemView) feasibleSimplex(t float64) bool {
+	nw := len(v.p.Workers)
+	prob := lp.NewProblem(nw)
+	// Node capacities: sum of C_w on node <= cores (C here excludes the
+	// floor of 1, so capacity is the residual).
+	caps := v.residualCap()
+	for ni := range v.p.Nodes {
+		coef := make([]float64, nw)
+		for _, wi := range v.onNode[ni] {
+			coef[wi] = 1
+		}
+		prob.AddConstraint(coef, lp.LE, caps[ni])
+	}
+	for ai, d := range v.demands(t) {
+		if d <= 0 {
+			continue
+		}
+		coef := make([]float64, nw)
+		for _, wi := range v.workers[ai] {
+			coef[wi] = 1
+		}
+		prob.AddConstraint(coef, lp.GE, d)
+	}
+	sol, err := prob.Solve()
+	return err == nil && sol.Status == lp.Optimal
+}
+
+// minOffloadSimplex solves the allocation at t with the simplex solver,
+// minimising offloaded cores. It returns per-worker extra cores (above
+// the floor of one).
+func (v *problemView) minOffloadSimplex(t float64) ([]float64, error) {
+	nw := len(v.p.Workers)
+	prob := lp.NewProblem(nw)
+	obj := make([]float64, nw)
+	for wi, w := range v.p.Workers {
+		if !w.Home {
+			obj[wi] = 1
+		}
+	}
+	prob.SetObjective(obj)
+	caps := v.residualCap()
+	for ni := range v.p.Nodes {
+		coef := make([]float64, nw)
+		for _, wi := range v.onNode[ni] {
+			coef[wi] = 1
+		}
+		prob.AddConstraint(coef, lp.LE, caps[ni])
+	}
+	for ai, d := range v.demands(t) {
+		if d <= 0 {
+			continue
+		}
+		coef := make([]float64, nw)
+		for _, wi := range v.workers[ai] {
+			coef[wi] = 1
+		}
+		prob.AddConstraint(coef, lp.GE, d)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return sol.X, nil
+}
+
+// minOffloadFlow solves the allocation at t with min-cost max flow.
+func (v *problemView) minOffloadFlow(t float64) []float64 {
+	demands := v.demands(t)
+	g, src, sink, workerEdge := v.buildFlowGraph(demands, true)
+	g.MinCostMaxFlow(src, sink)
+	x := make([]float64, len(v.p.Workers))
+	for wi, eid := range workerEdge {
+		if eid >= 0 {
+			x[wi] = g.Flow(eid)
+		}
+	}
+	return x
+}
+
+// Allocate runs the global policy.
+func (g GlobalPolicy) Allocate(p *Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	v := buildView(p, g.Incentive)
+	tStar := v.solveT(g.UseSimplex)
+	var extra []float64
+	if g.UseSimplex {
+		x, err := v.minOffloadSimplex(tStar)
+		if err != nil {
+			return nil, fmt.Errorf("balance: simplex allocation at t*=%v: %w", tStar, err)
+		}
+		extra = x
+	} else {
+		extra = v.minOffloadFlow(tStar)
+	}
+	alloc := v.roundAndFill(extra)
+	if err := p.checkAllocation(alloc); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// SolveObjective exposes the optimal max work/cores value (for tests and
+// the convergence analysis).
+func (g GlobalPolicy) SolveObjective(p *Problem) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	v := buildView(p, g.Incentive)
+	return v.solveT(g.UseSimplex), nil
+}
+
+// solveT finds the minimal feasible t by bisection.
+func (v *problemView) solveT(useSimplex bool) float64 {
+	totalWork := 0.0
+	for _, w := range v.work {
+		totalWork += w
+	}
+	if totalWork <= 1e-12 {
+		return 1 // any t; no demands
+	}
+	feasible := func(t float64) bool {
+		if useSimplex {
+			return v.feasibleSimplex(t)
+		}
+		return v.feasibleFlow(t)
+	}
+	// Upper bound: demands vanish when every apprank's work fits its
+	// one-core-per-worker floor.
+	hi := 1e-9
+	for ai := range v.appranks {
+		if t := v.work[ai] / float64(len(v.workers[ai])); t > hi {
+			hi = t
+		}
+	}
+	// Lower bound: total capacity, and each apprank's reachable capacity.
+	totalCores := 0.0
+	for _, n := range v.p.Nodes {
+		totalCores += float64(n.Cores)
+	}
+	lo := totalWork / totalCores
+	for ai := range v.appranks {
+		reach := 0.0
+		seen := map[int]bool{}
+		for _, wi := range v.workers[ai] {
+			id := v.p.Workers[wi].Key.Node
+			if !seen[id] {
+				seen[id] = true
+				reach += float64(v.p.Nodes[v.nodeIdx[id]].Cores)
+			}
+		}
+		if t := v.work[ai] / reach; t > lo {
+			lo = t
+		}
+	}
+	if lo > hi {
+		lo = hi
+	}
+	if feasible(lo) {
+		return lo
+	}
+	for iter := 0; iter < 60 && hi-lo > 1e-9*hi; iter++ {
+		mid := 0.5 * (lo + hi)
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// roundAndFill converts fractional extra cores to an integer allocation.
+// Per node: every worker gets its floor of one core; the solved extras
+// are rounded with largest remainder; any remaining spare cores go to the
+// node's home workers, so a balanced load converges to home-owned nodes
+// with helpers at exactly one core (no spurious offloading, Figure 5(b)).
+func (v *problemView) roundAndFill(extra []float64) Allocation {
+	alloc := make(Allocation, len(v.p.Workers))
+	for ni, n := range v.p.Nodes {
+		wis := v.onNode[ni]
+		if len(wis) == 0 {
+			continue
+		}
+		residual := n.Cores - len(wis)
+		raw := make([]float64, len(wis))
+		sumExtra := 0.0
+		for i, wi := range wis {
+			raw[i] = extra[wi]
+			sumExtra += extra[wi]
+		}
+		m := int(math.Round(sumExtra))
+		if m > residual {
+			m = residual
+		}
+		shares := apportion(raw, m)
+		spare := residual - m
+		// Spares go to home workers (evenly), falling back to every
+		// worker when the node hosts only helpers.
+		var homeRaw []float64
+		var homeIdx []int
+		for i, wi := range wis {
+			if v.p.Workers[wi].Home {
+				homeRaw = append(homeRaw, 1)
+				homeIdx = append(homeIdx, i)
+			}
+		}
+		if len(homeIdx) == 0 {
+			for i := range wis {
+				homeRaw = append(homeRaw, 1)
+				homeIdx = append(homeIdx, i)
+			}
+		}
+		for j, s := range apportion(homeRaw, spare) {
+			shares[homeIdx[j]] += s
+		}
+		for i, wi := range wis {
+			alloc[v.p.Workers[wi].Key] = 1 + shares[i]
+		}
+	}
+	return alloc
+}

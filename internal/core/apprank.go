@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+
+	"ompsscluster/internal/expander"
+	"ompsscluster/internal/nanos"
+)
+
+// Apprank is one application rank: a home worker plus helper workers on
+// the nodes adjacent in its application's expander graph, a task
+// dependency graph, and a central ready queue for tasks that no worker
+// can accept yet.
+type Apprank struct {
+	rt           *ClusterRuntime
+	id           int // global id across all co-scheduled applications
+	localRank    int // rank within the owning application
+	appIdx       int // owning application index
+	home         int
+	workers      []*Worker // workers[0] is the home worker
+	graph        *nanos.TaskGraph
+	queue        []*nanos.Task // centrally held ready tasks (§5.5)
+	allocNext    uint64        // bump allocator for the apprank's address space
+	offloaded    int64         // tasks started away from home
+	pendingWaits []pendingWait // taskwait-on sentinels
+}
+
+func newApprank(rt *ClusterRuntime, id, localRank, appIdx int, g *expander.Graph) *Apprank {
+	a := &Apprank{
+		rt:        rt,
+		id:        id,
+		localRank: localRank,
+		appIdx:    appIdx,
+		home:      g.Home(localRank),
+		allocNext: 1 << 12,
+	}
+	for _, n := range g.Neighbors(localRank) {
+		ns := rt.nodes[n]
+		w := &Worker{app: a, ns: ns, wid: ns.arb.AddWorker()}
+		ns.workers = append(ns.workers, w)
+		a.workers = append(a.workers, w)
+	}
+	a.graph = nanos.NewTaskGraph(a.onReady)
+	return a
+}
+
+// workerOn returns the apprank's worker on the given node, or nil.
+func (a *Apprank) workerOn(node int) *Worker {
+	for _, w := range a.workers {
+		if w.ns.id == node {
+			return w
+		}
+	}
+	return nil
+}
+
+// onReady implements the tentative scheduling decision of §5.5: schedule
+// to the locality-best worker if it holds fewer than TasksPerCore tasks
+// per owned core; otherwise to the emptiest alternative under the
+// threshold; otherwise hold centrally (tasks are then stolen as others
+// complete).
+func (a *Apprank) onReady(t *nanos.Task) {
+	if len(a.pendingWaits) > 0 && a.resolveWait(t) {
+		return
+	}
+	if !t.Offloadable {
+		// Non-offloadable tasks bind to the home worker immediately;
+		// they must never sit in the central queue, which any worker
+		// (including helpers) may steal from.
+		a.assign(a.workers[0], t)
+		return
+	}
+	best := a.localityBest(t)
+	if best.underThreshold() {
+		a.assign(best, t)
+		return
+	}
+	var alt *Worker
+	bestRatio := math.Inf(1)
+	for _, w := range a.workers {
+		if w == best || !w.underThreshold() {
+			continue
+		}
+		cap := w.capacity()
+		if cap == 0 {
+			continue
+		}
+		if r := float64(w.load()) / float64(cap); r < bestRatio {
+			bestRatio, alt = r, w
+		}
+	}
+	if alt != nil {
+		a.assign(alt, t)
+		return
+	}
+	a.queue = append(a.queue, t)
+}
+
+// localityBest picks the adjacent worker holding the most input bytes of
+// the task; data of unknown location counts as home-resident.
+func (a *Apprank) localityBest(t *nanos.Task) *Worker {
+	loc := a.graph.DataLocation(t.Accesses)
+	if unknown, ok := loc[-1]; ok {
+		loc[a.home] += unknown
+		delete(loc, -1)
+	}
+	best := a.workers[0]
+	bestBytes := loc[a.home]
+	for _, w := range a.workers[1:] {
+		if b := loc[w.ns.id]; b > bestBytes {
+			best, bestBytes = w, b
+		}
+	}
+	return best
+}
+
+// transferDelay estimates the time to stage the task's input data on the
+// target node: parallel transfers from each holding node, so the maximum
+// single-source transfer time. It also accounts the moved bytes.
+func (a *Apprank) transferDelay(t *nanos.Task, target int) (delay int64) {
+	loc := a.graph.DataLocation(t.Accesses)
+	if unknown, ok := loc[-1]; ok {
+		loc[a.home] += unknown
+		delete(loc, -1)
+	}
+	maxD := int64(0)
+	moved := int64(0)
+	for node, bytes := range loc {
+		if node == target || bytes == 0 {
+			continue
+		}
+		moved += bytes
+		if d := int64(a.rt.cfg.Machine.Net.TransferTime(node, target, bytes)); d > maxD {
+			maxD = d
+		}
+	}
+	if moved > 0 {
+		a.rt.stats.BytesTransferred += moved
+		a.rt.stats.Transfers++
+	}
+	return maxD
+}
+
+// assign hands a ready task to a worker. Offloading (and pulling remote
+// input data) costs a control message plus the data transfer; the task
+// becomes runnable at the worker when everything has arrived. Offload is
+// final: the task will execute on that worker's node (§5.5).
+func (a *Apprank) assign(w *Worker, t *nanos.Task) {
+	rt := a.rt
+	dataDelay := a.transferDelay(t, w.ns.id)
+	if w.ns.id == a.home && dataDelay == 0 {
+		w.enqueue(t)
+		return
+	}
+	ctl := int64(rt.cfg.Machine.Net.TransferTime(a.home, w.ns.id, rt.cfg.CtlMsgBytes))
+	w.inflight++
+	rt.env.Schedule(simtimeDuration(ctl+dataDelay), func() {
+		w.inflight--
+		w.enqueue(t)
+	})
+}
+
+// refillAll pulls centrally queued tasks into any worker below the
+// threshold (after a DROM ownership change raises capacities).
+func (a *Apprank) refillAll() {
+	for _, w := range a.workers {
+		a.refill(w)
+	}
+}
+
+// refill lets worker w steal centrally queued tasks while it is under the
+// scheduling threshold ("will be stolen as tasks complete", §5.5).
+func (a *Apprank) refill(w *Worker) {
+	for len(a.queue) > 0 && w.underThreshold() {
+		t := a.queue[0]
+		a.queue = a.queue[1:]
+		a.assign(w, t)
+	}
+}
+
+// borrowRefill lets a worker pull centrally queued tasks beyond the
+// owned-core threshold when LeWI could run them on borrowed (currently
+// idle) cores. The pull target counts the cores the worker is already
+// using plus the node's idle cores, so it is aggressive enough to keep a
+// stream of work on lent cores but bounded by what could start now —
+// mirroring the paper's observation that borrowed-core usage stays under
+// 100% because borrowed cores must not be taken for granted (§5.5).
+func (a *Apprank) borrowRefill(w *Worker) {
+	if len(a.queue) == 0 || !w.ns.arb.LeWIEnabled() {
+		return
+	}
+	target := w.running + w.ns.arb.IdleCores()
+	if c := w.capacity(); c > target {
+		target = c
+	}
+	for len(a.queue) > 0 && w.load() < target {
+		t := a.queue[0]
+		a.queue = a.queue[1:]
+		a.assign(w, t)
+	}
+}
+
+// finishTask runs at the apprank's home when a task completion becomes
+// visible there, releasing successors in the dependency graph.
+func (a *Apprank) finishTask(t *nanos.Task) {
+	a.graph.Complete(t)
+}
+
+// waitOn submits a zero-work sentinel task whose readiness means every
+// earlier task overlapping its accesses has completed; fn runs then. The
+// sentinel never occupies a core: it completes the moment it becomes
+// ready.
+func (a *Apprank) waitOn(sentinel *nanos.Task, fn func()) {
+	a.pendingWaits = append(a.pendingWaits, pendingWait{sentinel, fn})
+	a.graph.Submit(sentinel)
+}
+
+// pendingWait pairs a sentinel task with its continuation.
+type pendingWait struct {
+	task *nanos.Task
+	fn   func()
+}
+
+// resolveWait completes a ready sentinel immediately and runs its
+// continuation; it reports whether t was a sentinel.
+func (a *Apprank) resolveWait(t *nanos.Task) bool {
+	for i, pw := range a.pendingWaits {
+		if pw.task == t {
+			a.pendingWaits = append(a.pendingWaits[:i], a.pendingWaits[i+1:]...)
+			a.graph.MarkRunning(t, a.home)
+			a.graph.Complete(t)
+			pw.fn()
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"ompsscluster/internal/cluster"
+)
+
+// BenchmarkEndToEndTasks measures whole-stack task throughput (create,
+// schedule, execute, complete) with the full mechanism enabled.
+func BenchmarkEndToEndTasks(b *testing.B) {
+	rt := MustNew(Config{
+		Machine:      cluster.New(8, 8, cluster.DefaultNet()),
+		Degree:       4,
+		LeWI:         true,
+		DROM:         DROMGlobal,
+		GlobalPeriod: 100 * ms,
+	})
+	n := b.N
+	b.ResetTimer()
+	err := rt.Run(func(app *App) {
+		per := n / rt.NumAppranks()
+		if app.Rank() == 0 {
+			per += n % rt.NumAppranks()
+		}
+		submitBatch(app, per, ms)
+		app.TaskWait()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

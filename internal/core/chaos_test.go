@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simtime"
+)
+
+// TestQuickChaos runs randomized configurations and workloads (random
+// degrees, policies, dependency patterns, task sizes, slow nodes, dynamic
+// spreading) and checks the system-wide invariants: the run terminates,
+// every task completes exactly once, nothing deadlocks, non-offloadable
+// tasks stay home, and the arbiters stay consistent.
+func TestQuickChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(4)
+		cores := 2 + rng.Intn(6)
+		rpn := 1 + rng.Intn(2)
+		degree := 1 + rng.Intn(nodes)
+		for degree*rpn > cores {
+			degree--
+		}
+		cfg := Config{
+			Machine:         cluster.New(nodes, cores, cluster.DefaultNet()),
+			AppranksPerNode: rpn,
+			Degree:          degree,
+			LeWI:            rng.Intn(2) == 0,
+			DROM:            DROMMode(rng.Intn(3)),
+			GlobalPeriod:    simtime.Duration(10+rng.Intn(50)) * simtime.Millisecond,
+			LocalPeriod:     simtime.Duration(5+rng.Intn(30)) * simtime.Millisecond,
+			TasksPerCore:    1 + rng.Intn(3),
+			CountBorrowed:   rng.Intn(4) == 0,
+			Seed:            seed,
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Dynamic = DynamicConfig{
+				Enabled:    true,
+				GrowPeriod: simtime.Duration(5+rng.Intn(20)) * simtime.Millisecond,
+			}
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Machine.SetSpeed(rng.Intn(nodes), 0.3+rng.Float64()*0.7)
+		}
+		rt, err := New(cfg)
+		if err != nil {
+			t.Logf("seed %d: config rejected: %v", seed, err)
+			return false
+		}
+		var wantTasks int64
+		appranks := nodes * rpn
+		perRank := make([]int, appranks)
+		for a := range perRank {
+			perRank[a] = rng.Intn(40)
+			wantTasks += int64(perRank[a])
+		}
+		iterations := 1 + rng.Intn(3)
+		wantTasks *= int64(iterations)
+		seedBase := seed
+		err = rt.Run(func(app *App) {
+			r := rand.New(rand.NewSource(seedBase + int64(app.Rank())))
+			regions := make([]nanos.Region, 8)
+			for i := range regions {
+				regions[i] = app.Alloc(1 << 10)
+			}
+			for it := 0; it < iterations; it++ {
+				for i := 0; i < perRank[app.Rank()]; i++ {
+					var acc []nanos.Access
+					for k := 0; k < 1+r.Intn(2); k++ {
+						acc = append(acc, nanos.Access{
+							Region: regions[r.Intn(len(regions))],
+							Mode:   nanos.AccessMode(r.Intn(4)),
+						})
+					}
+					app.Submit(TaskSpec{
+						Label:       "chaos",
+						Work:        simtime.Duration(r.Intn(10)+1) * simtime.Millisecond,
+						Accesses:    acc,
+						Offloadable: r.Intn(4) != 0,
+					})
+				}
+				app.TaskWait()
+				app.Barrier()
+			}
+		})
+		if err != nil {
+			t.Logf("seed %d: run failed: %v", seed, err)
+			return false
+		}
+		if got := rt.TotalTasks(); got != wantTasks {
+			t.Logf("seed %d: completed %d tasks, want %d", seed, got, wantTasks)
+			return false
+		}
+		if cfg.Degree == 1 && !cfg.Dynamic.Enabled && rt.TotalOffloadedTasks() != 0 {
+			t.Logf("seed %d: offloaded with degree 1", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminismAcrossConfigs: identical config and workload seeds
+// give bit-identical elapsed times and event counts.
+func TestQuickDeterminismAcrossConfigs(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() (simtime.Duration, uint64) {
+			rng := rand.New(rand.NewSource(seed))
+			nodes := 2 + rng.Intn(3)
+			rt := MustNew(Config{
+				Machine:      cluster.New(nodes, 4, cluster.DefaultNet()),
+				Degree:       1 + rng.Intn(nodes),
+				LeWI:         true,
+				DROM:         DROMGlobal,
+				GlobalPeriod: 20 * ms,
+				Seed:         seed,
+			})
+			if err := rt.Run(func(app *App) {
+				submitBatch(app, 10+app.Rank()*7, 3*ms)
+				app.TaskWait()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return rt.Elapsed(), rt.Env().Steps()
+		}
+		e1, s1 := run()
+		e2, s2 := run()
+		return e1 == e2 && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core implements the paper's contribution: transparent load
+// balancing of MPI + OmpSs-2 programs by combining OmpSs-2@Cluster task
+// offloading with DLB core arbitration.
+//
+// A ClusterRuntime lays appranks out on a simulated machine, gives each
+// apprank helper workers on the nodes adjacent to it in a bipartite
+// expander graph (§5.2), schedules ready tasks with the two-tasks-per-
+// owned-core rule (§5.5), reacts to fine-grained imbalance with LeWI
+// (§5.3), and reassigns core ownership with the local or global DROM
+// policy (§5.4). Applications use the App type: an SPMD main per apprank,
+// an MPI communicator (nanos6_app_communicator), task submission with
+// region accesses, and taskwait.
+package core
+
+import (
+	"fmt"
+
+	"ompsscluster/internal/balance"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/expander"
+	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/trace"
+)
+
+// DROMMode selects the coarse-grained (ownership) policy.
+type DROMMode int
+
+// DROM policy modes.
+const (
+	// DROMOff keeps the initial static ownership.
+	DROMOff DROMMode = iota
+	// DROMLocal runs the local convergence policy (§5.4.1).
+	DROMLocal
+	// DROMGlobal runs the global solver policy (§5.4.2).
+	DROMGlobal
+)
+
+func (m DROMMode) String() string {
+	switch m {
+	case DROMOff:
+		return "off"
+	case DROMLocal:
+		return "local"
+	case DROMGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("DROMMode(%d)", int(m))
+}
+
+// Config describes a runtime instance.
+type Config struct {
+	// Machine is the hardware model. Required.
+	Machine *cluster.Machine
+	// AppranksPerNode is the number of application ranks homed on each
+	// node (1 or 2 in the paper). Default 1.
+	AppranksPerNode int
+	// Degree is the offloading degree: the number of nodes (including
+	// the home node) each apprank may execute tasks on. Degree 1
+	// disables offloading. Default 1.
+	Degree int
+	// Shape selects the helper graph family (expander by default).
+	Shape expander.Shape
+	// LeWI enables fine-grained lending/borrowing of idle cores.
+	LeWI bool
+	// DROM selects the ownership policy.
+	DROM DROMMode
+	// Seed drives graph generation and any randomized choices.
+	Seed int64
+
+	// TasksPerCore is the scheduler's assignment threshold: a worker
+	// accepts immediate scheduling while it holds fewer than
+	// TasksPerCore tasks per owned core (§5.5). Default 2.
+	TasksPerCore int
+	// CountBorrowed makes the scheduler count borrowed cores in the
+	// threshold (an ablation; the paper deliberately does not, §5.5).
+	CountBorrowed bool
+	// Incentive is the own-node work weighting of the global policy.
+	// Zero means the paper's default of 1e-6; a negative value disables
+	// the incentive entirely (for the ablation).
+	Incentive float64
+	// GlobalUseSimplex switches the global policy to the simplex solver.
+	GlobalUseSimplex bool
+	// GlobalPeriod is the global solver invocation period. Default 2s.
+	GlobalPeriod simtime.Duration
+	// GlobalPartition caps the number of nodes per solver group. The
+	// paper: the solve time grows roughly quadratically with the graph,
+	// so "larger graphs than 32 nodes should be partitioned and solved
+	// in parts". 0 solves the whole machine at once.
+	GlobalPartition int
+	// GlobalSolveCost is the delay between measuring the load and
+	// applying the allocation, modelling the external solver's solve
+	// time (the paper reports ~57ms for 32 nodes, growing roughly
+	// quadratically). Zero uses that model scaled to the group size; a
+	// negative value disables the delay entirely.
+	GlobalSolveCost simtime.Duration
+	// LocalPeriod is the local policy adjustment period. Default 100ms.
+	LocalPeriod simtime.Duration
+	// BusyEMA is the exponential smoothing weight applied to each new
+	// busy-core window measurement before it reaches the allocation
+	// policies (1 = use the raw window). Smoothing plays the role of
+	// the paper's long (2-second) measurement horizon when the policy
+	// period is scaled down, preventing ownership thrash when the
+	// window aliases with iteration phases. Default 0.4.
+	BusyEMA float64
+
+	// OverheadFixed and OverheadFrac model non-idle runtime time per
+	// task: execution occupies the core for
+	// work/speed + OverheadFixed + OverheadFrac*work.
+	// Defaults 20us and 0.5%.
+	OverheadFixed simtime.Duration
+	OverheadFrac  float64
+	// CtlMsgBytes is the size of offload control messages. Default 256.
+	CtlMsgBytes int64
+
+	// Recorder, when non-nil, captures busy/owned timelines and the
+	// node-imbalance series (SamplePeriod, default 50ms).
+	Recorder     *trace.Recorder
+	SamplePeriod simtime.Duration
+
+	// Dynamic enables dynamic work spreading: the helper graph grows at
+	// runtime under queue pressure instead of being fixed by Degree
+	// (§5.2's sketched extension). Typically used with Degree 1.
+	Dynamic DynamicConfig
+
+	// CustomPolicy, when non-nil, replaces the built-in DROM policies
+	// with a user-provided core allocator, invoked every LocalPeriod
+	// with the smoothed busy measurements (DROM is ignored). This is the
+	// extension point for researching new allocation policies on top of
+	// the runtime.
+	CustomPolicy Allocator
+}
+
+// Allocator is the pluggable core-allocation policy interface: it
+// receives the measured per-worker busy loads and returns the new
+// per-worker core ownership (>= 1 core per worker, per-node sums equal
+// to the node's cores). balance.LocalPolicy and balance.GlobalPolicy
+// implement it.
+type Allocator interface {
+	Allocate(p *balance.Problem) (balance.Allocation, error)
+}
+
+// withDefaults fills zero values and validates the configuration.
+func (c Config) withDefaults() (Config, error) {
+	if c.Machine == nil {
+		return c, fmt.Errorf("core: Config.Machine is required")
+	}
+	if c.AppranksPerNode == 0 {
+		c.AppranksPerNode = 1
+	}
+	if c.AppranksPerNode < 0 {
+		return c, fmt.Errorf("core: negative AppranksPerNode")
+	}
+	if c.Degree == 0 {
+		c.Degree = 1
+	}
+	if c.Degree < 1 || c.Degree > c.Machine.NumNodes() {
+		return c, fmt.Errorf("core: degree %d out of range [1, %d]", c.Degree, c.Machine.NumNodes())
+	}
+	if c.TasksPerCore == 0 {
+		c.TasksPerCore = 2
+	}
+	if c.Incentive == 0 {
+		c.Incentive = 1e-6
+	} else if c.Incentive < 0 {
+		c.Incentive = 0
+	}
+	if c.GlobalPeriod == 0 {
+		c.GlobalPeriod = 2 * simtime.Second
+	}
+	if c.LocalPeriod == 0 {
+		c.LocalPeriod = 100 * simtime.Millisecond
+	}
+	if c.BusyEMA == 0 {
+		c.BusyEMA = 0.4
+	}
+	if c.BusyEMA < 0 || c.BusyEMA > 1 {
+		return c, fmt.Errorf("core: BusyEMA %v outside (0, 1]", c.BusyEMA)
+	}
+	if c.OverheadFixed == 0 {
+		c.OverheadFixed = 20 * simtime.Microsecond
+	}
+	if c.OverheadFrac == 0 {
+		c.OverheadFrac = 0.005
+	}
+	if c.CtlMsgBytes == 0 {
+		c.CtlMsgBytes = 256
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 50 * simtime.Millisecond
+	}
+	// Every worker must be able to own one core: workers per node =
+	// AppranksPerNode * Degree.
+	workersPerNode := c.AppranksPerNode * c.Degree
+	for _, n := range c.Machine.Nodes {
+		if workersPerNode > n.Cores {
+			return c, fmt.Errorf("core: node %d has %d cores but %d workers (appranks/node %d x degree %d)",
+				n.ID, n.Cores, workersPerNode, c.AppranksPerNode, c.Degree)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,508 @@
+package core
+
+import (
+	"testing"
+
+	"ompsscluster/internal/balance"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simmpi"
+	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/trace"
+)
+
+const ms = simtime.Millisecond
+
+// submitBatch submits n independent offloadable tasks of the given work,
+// each writing its own region.
+func submitBatch(app *App, n int, work simtime.Duration) {
+	for i := 0; i < n; i++ {
+		r := app.Alloc(1 << 10)
+		app.Submit(TaskSpec{
+			Label:       "batch",
+			Work:        work,
+			Accesses:    []nanos.Access{{Region: r, Mode: nanos.InOut}},
+			Offloadable: true,
+		})
+	}
+}
+
+func TestSingleNodeThroughput(t *testing.T) {
+	rt := MustNew(Config{
+		Machine: cluster.New(1, 4, cluster.DefaultNet()),
+	})
+	err := rt.Run(func(app *App) {
+		submitBatch(app, 40, 10*ms)
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := rt.Elapsed()
+	// 40 tasks x ~10.07ms on 4 cores = ~100.7ms.
+	if elapsed < 100*ms || elapsed > 115*ms {
+		t.Fatalf("elapsed = %v, want ~101ms", elapsed)
+	}
+	if rt.TotalTasks() != 40 {
+		t.Fatalf("completed %d tasks, want 40", rt.TotalTasks())
+	}
+	if rt.TotalOffloadedTasks() != 0 {
+		t.Fatal("single node cannot offload")
+	}
+}
+
+func TestDependenciesRespectVirtualTime(t *testing.T) {
+	rt := MustNew(Config{Machine: cluster.New(1, 4, cluster.DefaultNet())})
+	err := rt.Run(func(app *App) {
+		r := app.Alloc(64)
+		// A chain of 5 dependent tasks cannot use more than one core.
+		for i := 0; i < 5; i++ {
+			app.Submit(TaskSpec{Label: "chain", Work: 10 * ms,
+				Accesses: []nanos.Access{{Region: r, Mode: nanos.InOut}}})
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Elapsed() < 50*ms {
+		t.Fatalf("chain of 5x10ms finished in %v (dependencies ignored?)", rt.Elapsed())
+	}
+}
+
+func TestLeWIBalancesTwoApprnksOneNode(t *testing.T) {
+	run := func(lewi bool) simtime.Duration {
+		rt := MustNew(Config{
+			Machine:         cluster.New(1, 8, cluster.DefaultNet()),
+			AppranksPerNode: 2,
+			LeWI:            lewi,
+		})
+		err := rt.Run(func(app *App) {
+			if app.Rank() == 0 {
+				submitBatch(app, 80, 10*ms) // heavy
+			}
+			app.TaskWait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed()
+	}
+	without := run(false)
+	with := run(true)
+	// Without LeWI apprank 0 has 4 cores: 80*10/4 = 200ms. With LeWI it
+	// borrows the idle 4: ~100ms.
+	if without < 195*ms {
+		t.Fatalf("baseline = %v, want >= ~200ms", without)
+	}
+	if with > 120*ms {
+		t.Fatalf("LeWI run = %v, want ~100ms", with)
+	}
+}
+
+func TestOffloadingSpreadsAcrossNodes(t *testing.T) {
+	run := func(degree int, drom DROMMode, lewi bool) simtime.Duration {
+		rt := MustNew(Config{
+			Machine: cluster.New(2, 4, cluster.DefaultNet()),
+			Degree:  degree,
+			LeWI:    lewi,
+			DROM:    drom,
+		})
+		err := rt.Run(func(app *App) {
+			if app.Rank() == 0 {
+				submitBatch(app, 80, 10*ms)
+			}
+			app.TaskWait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed()
+	}
+	baseline := run(1, DROMOff, false)
+	balanced := run(2, DROMGlobal, true)
+	// Baseline: 80 tasks on 4 cores = ~200ms. Offloading: ~100ms plus
+	// policy latency (first global tick is early in the run relative to
+	// 100ms? the global period is 2s — LeWI does the work here).
+	if baseline < 195*ms {
+		t.Fatalf("baseline = %v, want ~200ms", baseline)
+	}
+	if balanced > 150*ms {
+		t.Fatalf("offloaded run = %v, want well under baseline", balanced)
+	}
+}
+
+func TestNonOffloadableStaysHome(t *testing.T) {
+	rt := MustNew(Config{
+		Machine: cluster.New(2, 2, cluster.DefaultNet()),
+		Degree:  2,
+		LeWI:    true,
+	})
+	err := rt.Run(func(app *App) {
+		if app.Rank() == 0 {
+			for i := 0; i < 20; i++ {
+				r := app.Alloc(64)
+				app.Submit(TaskSpec{Label: "pinned", Work: 5 * ms,
+					Accesses:    []nanos.Access{{Region: r, Mode: nanos.InOut}},
+					Offloadable: false})
+			}
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TotalOffloadedTasks() != 0 {
+		t.Fatalf("%d non-offloadable tasks ran remotely", rt.TotalOffloadedTasks())
+	}
+}
+
+func TestDegreeOneNeverOffloads(t *testing.T) {
+	rt := MustNew(Config{
+		Machine: cluster.New(4, 2, cluster.DefaultNet()),
+		Degree:  1,
+		LeWI:    true,
+		DROM:    DROMLocal,
+	})
+	err := rt.Run(func(app *App) {
+		submitBatch(app, 10, ms)
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TotalOffloadedTasks() != 0 {
+		t.Fatal("degree 1 offloaded tasks")
+	}
+	if rt.TotalTasks() != 40 {
+		t.Fatalf("tasks = %d, want 40", rt.TotalTasks())
+	}
+}
+
+func TestMPIInterop(t *testing.T) {
+	rt := MustNew(Config{
+		Machine:         cluster.New(2, 2, cluster.DefaultNet()),
+		AppranksPerNode: 1,
+		Degree:          2,
+		LeWI:            true,
+	})
+	sums := make([]float64, 2)
+	err := rt.Run(func(app *App) {
+		for iter := 0; iter < 3; iter++ {
+			submitBatch(app, 4, ms)
+			app.TaskWait()
+			sums[app.Rank()] = app.AllreduceFloat(float64(app.Rank()+1), simmpi.Sum)
+			app.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != 3 || sums[1] != 3 {
+		t.Fatalf("allreduce sums = %v, want [3 3]", sums)
+	}
+}
+
+func TestGlobalPolicyShiftsOwnership(t *testing.T) {
+	rec := trace.NewRecorder()
+	rt := MustNew(Config{
+		Machine:      cluster.New(2, 4, cluster.DefaultNet()),
+		Degree:       2,
+		LeWI:         true,
+		DROM:         DROMGlobal,
+		GlobalPeriod: 50 * ms,
+		Recorder:     rec,
+	})
+	err := rt.Run(func(app *App) {
+		if app.Rank() == 0 {
+			submitBatch(app, 400, 10*ms) // ~1s of imbalance on 4 cores
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the policy has run, apprank 0's helper on node 1 must own
+	// more than its initial single core at some point.
+	maxOwned := rec.Owned(1, 0).Max()
+	if maxOwned < 2 {
+		t.Fatalf("helper ownership never grew (max %v)", maxOwned)
+	}
+	if rt.TotalOffloadedTasks() == 0 {
+		t.Fatal("no tasks offloaded despite imbalance")
+	}
+}
+
+func TestLocalPolicyBalances(t *testing.T) {
+	rt := MustNew(Config{
+		Machine:     cluster.New(2, 4, cluster.DefaultNet()),
+		Degree:      2,
+		LeWI:        true,
+		DROM:        DROMLocal,
+		LocalPeriod: 20 * ms,
+	})
+	err := rt.Run(func(app *App) {
+		if app.Rank() == 0 {
+			submitBatch(app, 160, 10*ms)
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 160 x 10ms on 8 cores = 200ms ideal; 4 cores = 400ms unbalanced.
+	if rt.Elapsed() > 300*ms {
+		t.Fatalf("local policy run = %v, want well under 400ms", rt.Elapsed())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (simtime.Duration, uint64, int64) {
+		rt := MustNew(Config{
+			Machine:         cluster.New(2, 4, cluster.DefaultNet()),
+			AppranksPerNode: 2,
+			Degree:          2,
+			LeWI:            true,
+			DROM:            DROMGlobal,
+			GlobalPeriod:    30 * ms,
+			Seed:            7,
+		})
+		err := rt.Run(func(app *App) {
+			submitBatch(app, 20*(app.Rank()+1), 5*ms)
+			app.TaskWait()
+			app.Barrier()
+			submitBatch(app, 10, 5*ms)
+			app.TaskWait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed(), rt.Env().Steps(), rt.TotalOffloadedTasks()
+	}
+	e1, s1, o1 := run()
+	e2, s2, o2 := run()
+	if e1 != e2 || s1 != s2 || o1 != o2 {
+		t.Fatalf("nondeterministic: (%v,%d,%d) vs (%v,%d,%d)", e1, s1, o1, e2, s2, o2)
+	}
+}
+
+func TestIsolatedAddressSpaces(t *testing.T) {
+	// Both appranks allocate the same virtual region; their tasks must
+	// not interfere (no cross-apprank dependencies).
+	rt := MustNew(Config{
+		Machine:         cluster.New(1, 4, cluster.DefaultNet()),
+		AppranksPerNode: 2,
+		LeWI:            true,
+	})
+	err := rt.Run(func(app *App) {
+		r := app.Alloc(128) // same numeric region on both appranks
+		for i := 0; i < 3; i++ {
+			app.Submit(TaskSpec{Label: "iso", Work: ms,
+				Accesses: []nanos.Access{{Region: r, Mode: nanos.InOut}}})
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TotalTasks() != 6 {
+		t.Fatalf("tasks = %d, want 6", rt.TotalTasks())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing machine accepted")
+	}
+	if _, err := New(Config{Machine: cluster.New(2, 2, cluster.DefaultNet()), Degree: 3}); err == nil {
+		t.Fatal("degree > nodes accepted")
+	}
+	// 2 appranks x degree 2 = 4 workers on a 2-core node: impossible.
+	if _, err := New(Config{Machine: cluster.New(2, 2, cluster.DefaultNet()),
+		AppranksPerNode: 2, Degree: 2}); err == nil {
+		t.Fatal("more workers than cores accepted")
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	rt := MustNew(Config{Machine: cluster.New(1, 1, cluster.DefaultNet())})
+	if err := rt.Run(func(app *App) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(app *App) {}); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestTALPAccounting(t *testing.T) {
+	rt := MustNew(Config{Machine: cluster.New(1, 2, cluster.DefaultNet())})
+	err := rt.Run(func(app *App) {
+		submitBatch(app, 8, 10*ms)
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rt.TALP().Snapshot(rt.Env().Now(), map[int]float64{0: 2})
+	if len(rep.Appranks) != 1 {
+		t.Fatal("TALP lost the apprank")
+	}
+	// 8 x ~10ms on 2 cores over ~40ms: efficiency should be near 1.
+	if eff := rep.Appranks[0].Efficiency; eff < 0.9 || eff > 1.05 {
+		t.Fatalf("efficiency = %v, want ~1.0", eff)
+	}
+}
+
+func TestRunStatsCounters(t *testing.T) {
+	rt := MustNew(Config{
+		Machine:      cluster.New(2, 4, cluster.DefaultNet()),
+		Degree:       2,
+		LeWI:         true,
+		DROM:         DROMGlobal,
+		GlobalPeriod: 30 * ms,
+	})
+	err := rt.Run(func(app *App) {
+		if app.Rank() == 0 {
+			submitBatch(app, 120, 10*ms)
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.CtlMessages == 0 {
+		t.Error("no control messages despite offloading")
+	}
+	if st.BytesTransferred == 0 || st.Transfers == 0 {
+		t.Errorf("no data transfers counted: %+v", st)
+	}
+	if st.PolicyRuns == 0 {
+		t.Error("global policy never ran")
+	}
+	if st.OwnershipChanges == 0 {
+		t.Error("ownership never changed under imbalance")
+	}
+}
+
+// equalSharesPolicy is a trivial Allocator for the extension-point test:
+// every worker on a node gets an equal share.
+type equalSharesPolicy struct{}
+
+func (equalSharesPolicy) Allocate(p *balance.Problem) (balance.Allocation, error) {
+	perNode := map[int][]balance.WorkerKey{}
+	for _, w := range p.Workers {
+		perNode[w.Key.Node] = append(perNode[w.Key.Node], w.Key)
+	}
+	alloc := balance.Allocation{}
+	for _, n := range p.Nodes {
+		ws := perNode[n.ID]
+		for i, k := range ws {
+			share := n.Cores / len(ws)
+			if i < n.Cores%len(ws) {
+				share++
+			}
+			alloc[k] = share
+		}
+	}
+	return alloc, nil
+}
+
+func TestCustomPolicyHook(t *testing.T) {
+	rt := MustNew(Config{
+		Machine:      cluster.New(2, 4, cluster.DefaultNet()),
+		Degree:       2,
+		LeWI:         true,
+		CustomPolicy: equalSharesPolicy{},
+		LocalPeriod:  20 * ms,
+	})
+	err := rt.Run(func(app *App) {
+		submitBatch(app, 40, 5*ms)
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().PolicyRuns == 0 {
+		t.Fatal("custom policy never ran")
+	}
+	// Equal shares on a 4-core node with 2 workers: everyone owns 2.
+	// The run must still complete all tasks.
+	if rt.TotalTasks() != 80 {
+		t.Fatalf("tasks = %d, want 80", rt.TotalTasks())
+	}
+}
+
+func TestTaskWaitOn(t *testing.T) {
+	rt := MustNew(Config{Machine: cluster.New(1, 2, cluster.DefaultNet())})
+	var waitedAt, allDoneAt simtime.Time
+	err := rt.Run(func(app *App) {
+		fast := app.Alloc(64)
+		slow := app.Alloc(64)
+		app.Submit(TaskSpec{Label: "fast", Work: 5 * ms,
+			Accesses: []nanos.Access{{Region: fast, Mode: nanos.Out}}})
+		app.Submit(TaskSpec{Label: "slow", Work: 50 * ms,
+			Accesses: []nanos.Access{{Region: slow, Mode: nanos.Out}}})
+		// Wait only on the fast region: must return at ~5ms, while the
+		// slow task is still running.
+		app.TaskWaitOn([]nanos.Access{{Region: fast, Mode: nanos.In}})
+		waitedAt = app.Now()
+		app.TaskWait()
+		allDoneAt = app.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitedAt >= simtime.Time(40*ms) {
+		t.Fatalf("TaskWaitOn returned at %v, should not wait for the slow task", waitedAt)
+	}
+	if allDoneAt < simtime.Time(50*ms) {
+		t.Fatalf("TaskWait returned at %v, before the slow task finished", allDoneAt)
+	}
+}
+
+func TestTaskWaitOnUnwrittenRegion(t *testing.T) {
+	rt := MustNew(Config{Machine: cluster.New(1, 1, cluster.DefaultNet())})
+	err := rt.Run(func(app *App) {
+		r := app.Alloc(64)
+		// Nothing ever wrote r: the wait must return immediately.
+		app.TaskWaitOn([]nanos.Access{{Region: r, Mode: nanos.In}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Elapsed() != 0 {
+		t.Fatalf("TaskWaitOn on untouched region took %v", rt.Elapsed())
+	}
+}
+
+// TestSimplexPolicyMatchesFlowPolicy runs the same workload under the
+// flow-based and simplex-based global solvers: the elapsed times must be
+// close (the allocators find equally good optima in vivo).
+func TestSimplexPolicyMatchesFlowPolicy(t *testing.T) {
+	run := func(simplex bool) simtime.Duration {
+		rt := MustNew(Config{
+			Machine:          cluster.New(4, 8, cluster.DefaultNet()),
+			Degree:           3,
+			LeWI:             true,
+			DROM:             DROMGlobal,
+			GlobalPeriod:     30 * ms,
+			GlobalUseSimplex: simplex,
+			Seed:             5,
+		})
+		err := rt.Run(func(app *App) {
+			submitBatch(app, 30*(app.Rank()+1), 5*ms)
+			app.TaskWait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed()
+	}
+	flowT := run(false)
+	simplexT := run(true)
+	ratio := float64(simplexT) / float64(flowT)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("solver paths diverge: flow %v vs simplex %v", flowT, simplexT)
+	}
+}

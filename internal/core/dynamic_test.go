@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/simtime"
+)
+
+func TestDynamicSpreadingGrowsUnderImbalance(t *testing.T) {
+	rt := MustNew(Config{
+		Machine:      cluster.New(4, 8, cluster.DefaultNet()),
+		Degree:       1,
+		LeWI:         true,
+		DROM:         DROMGlobal,
+		GlobalPeriod: 40 * ms,
+		Dynamic: DynamicConfig{
+			Enabled:    true,
+			GrowPeriod: 20 * ms,
+		},
+	})
+	err := rt.Run(func(app *App) {
+		if app.Rank() == 0 {
+			submitBatch(app, 400, 10*ms) // heavy, sustained pressure
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.HelpersGrown() == 0 {
+		t.Fatal("no helpers grown despite sustained imbalance")
+	}
+	if rt.DegreeOf(0) < 2 {
+		t.Fatalf("apprank 0 degree = %d, want >= 2", rt.DegreeOf(0))
+	}
+	if rt.TotalOffloadedTasks() == 0 {
+		t.Fatal("grown helpers executed nothing")
+	}
+}
+
+func TestDynamicSpreadingIdleWhenBalanced(t *testing.T) {
+	rt := MustNew(Config{
+		Machine:      cluster.New(4, 8, cluster.DefaultNet()),
+		Degree:       1,
+		LeWI:         true,
+		DROM:         DROMGlobal,
+		GlobalPeriod: 40 * ms,
+		Dynamic: DynamicConfig{
+			Enabled:    true,
+			GrowPeriod: 20 * ms,
+		},
+	})
+	err := rt.Run(func(app *App) {
+		// Balanced: modest load that fits each node.
+		submitBatch(app, 40, 10*ms)
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queues exceed capacity (40 tasks vs 16 slots) but the workers are
+	// saturated only while work remains everywhere; the grower may add
+	// the odd helper under transient pressure, but must not approach
+	// full connectivity.
+	if rt.HelpersGrown() > 4 {
+		t.Fatalf("grew %d helpers on a balanced load", rt.HelpersGrown())
+	}
+}
+
+func TestDynamicSpreadingRespectsMaxDegree(t *testing.T) {
+	rt := MustNew(Config{
+		Machine:      cluster.New(8, 4, cluster.DefaultNet()),
+		Degree:       1,
+		LeWI:         true,
+		DROM:         DROMGlobal,
+		GlobalPeriod: 30 * ms,
+		Dynamic: DynamicConfig{
+			Enabled:      true,
+			GrowPeriod:   10 * ms,
+			MaxDegree:    2,
+			GrowPressure: 0.1,
+		},
+	})
+	err := rt.Run(func(app *App) {
+		if app.Rank() == 0 {
+			submitBatch(app, 600, 10*ms)
+		}
+		app.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < rt.NumAppranks(); a++ {
+		if d := rt.DegreeOf(a); d > 2 {
+			t.Fatalf("apprank %d degree %d exceeds MaxDegree 2", a, d)
+		}
+	}
+}
+
+func TestDynamicComparableToStaticDegree(t *testing.T) {
+	run := func(dynamic bool, degree int) simtime.Duration {
+		cfg := Config{
+			Machine:      cluster.New(4, 8, cluster.DefaultNet()),
+			Degree:       degree,
+			LeWI:         true,
+			DROM:         DROMGlobal,
+			GlobalPeriod: 40 * ms,
+		}
+		if dynamic {
+			cfg.Dynamic = DynamicConfig{Enabled: true, GrowPeriod: 20 * ms}
+		}
+		rt := MustNew(cfg)
+		err := rt.Run(func(app *App) {
+			n := 40
+			if app.Rank() == 0 {
+				n = 280 // imbalance ~2.8 across 4 ranks
+			}
+			submitBatch(app, n, 10*ms)
+			app.TaskWait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed()
+	}
+	static1 := run(false, 1)
+	static3 := run(false, 3)
+	dynamic := run(true, 1)
+	if dynamic >= static1 {
+		t.Fatalf("dynamic (%v) no better than degree 1 (%v)", dynamic, static1)
+	}
+	// Dynamic spreading should recover most of the static degree-3
+	// benefit without the parameter.
+	if float64(dynamic) > 1.5*float64(static3) {
+		t.Fatalf("dynamic (%v) far behind static degree 3 (%v)", dynamic, static3)
+	}
+}
+
+func TestPartitionedGlobalSolver(t *testing.T) {
+	run := func(partition int) simtime.Duration {
+		rt := MustNew(Config{
+			Machine:         cluster.New(8, 4, cluster.DefaultNet()),
+			Degree:          4,
+			LeWI:            true,
+			DROM:            DROMGlobal,
+			GlobalPeriod:    40 * ms,
+			GlobalPartition: partition,
+			GlobalSolveCost: -1, // isolate partitioning from solve cost
+			Seed:            3,
+		})
+		err := rt.Run(func(app *App) {
+			if app.Rank()%4 == 0 {
+				submitBatch(app, 160, 10*ms)
+			} else {
+				submitBatch(app, 20, 10*ms)
+			}
+			app.TaskWait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed()
+	}
+	whole := run(0)
+	halves := run(4)
+	// Each 4-node group contains one heavy rank (ranks 0 and 4), so the
+	// partitioned solve balances almost as well as the whole-machine
+	// solve.
+	if float64(halves) > 1.3*float64(whole) {
+		t.Fatalf("partitioned solver (%v) much worse than whole-machine (%v)", halves, whole)
+	}
+}
+
+func TestGlobalSolveCostDelaysConvergence(t *testing.T) {
+	run := func(cost simtime.Duration) simtime.Duration {
+		rt := MustNew(Config{
+			Machine:         cluster.New(2, 8, cluster.DefaultNet()),
+			Degree:          2,
+			LeWI:            false, // make DROM the only mechanism
+			DROM:            DROMGlobal,
+			GlobalPeriod:    40 * ms,
+			GlobalSolveCost: cost,
+		})
+		err := rt.Run(func(app *App) {
+			if app.Rank() == 0 {
+				submitBatch(app, 160, 10*ms)
+			}
+			app.TaskWait()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed()
+	}
+	fast := run(-1)
+	slow := run(100 * ms)
+	if slow < fast {
+		t.Fatalf("a 100ms solve delay should not speed things up: %v < %v", slow, fast)
+	}
+}
+
+func TestSolveCostModel(t *testing.T) {
+	rt := MustNew(Config{Machine: cluster.New(2, 2, cluster.DefaultNet())})
+	if got := rt.solveCost(32); got != 57*ms {
+		t.Fatalf("solveCost(32) = %v, want 57ms", got)
+	}
+	if got := rt.solveCost(64); got != 228*ms {
+		t.Fatalf("solveCost(64) = %v, want 228ms (quadratic)", got)
+	}
+	if rt.solveCost(8) >= rt.solveCost(16) {
+		t.Fatal("solve cost not increasing")
+	}
+}
+
+func TestSolverGroups(t *testing.T) {
+	rt := MustNew(Config{Machine: cluster.New(10, 2, cluster.DefaultNet()), GlobalPartition: 4})
+	groups := rt.solverGroups()
+	if len(groups) != 3 || len(groups[0]) != 4 || len(groups[2]) != 2 {
+		t.Fatalf("groups = %d (%d,%d,%d)", len(groups), len(groups[0]), len(groups[1]), len(groups[2]))
+	}
+	rt2 := MustNew(Config{Machine: cluster.New(10, 2, cluster.DefaultNet())})
+	if len(rt2.solverGroups()) != 1 {
+		t.Fatal("unpartitioned runtime should have one group")
+	}
+}

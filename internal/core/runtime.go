@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+
+	"ompsscluster/internal/balance"
+	"ompsscluster/internal/dlb"
+	"ompsscluster/internal/expander"
+	"ompsscluster/internal/metrics"
+	"ompsscluster/internal/simmpi"
+	"ompsscluster/internal/simtime"
+)
+
+// ClusterRuntime is one simulated execution of one or more
+// MPI+OmpSs-2@Cluster applications with DLB load balancing.
+type ClusterRuntime struct {
+	cfg      Config
+	env      *simtime.Env
+	apps     []*appState
+	appranks []*Apprank // all applications' ranks, by global id
+	nodes    []*nodeState
+	talp     *dlb.TALP
+
+	activeApps int
+	started    bool
+	finishedAt simtime.Time
+	dyn        *dynamicState
+	stats      RunStats
+}
+
+// RunStats aggregates runtime activity counters over a run.
+type RunStats struct {
+	// CtlMessages counts runtime control messages (offload commands and
+	// completion notifications).
+	CtlMessages int64
+	// BytesTransferred counts task input bytes staged across nodes.
+	BytesTransferred int64
+	// Transfers counts cross-node data stagings.
+	Transfers int64
+	// PolicyRuns counts DROM policy invocations (per solver group).
+	PolicyRuns int64
+	// OwnershipChanges counts workers whose core ownership changed in a
+	// policy application.
+	OwnershipChanges int64
+}
+
+// nodeState groups the per-node runtime structures.
+type nodeState struct {
+	rt      *ClusterRuntime
+	id      int
+	arb     *dlb.NodeArbiter
+	workers []*Worker
+	rr      int // round-robin start index for fairness in dispatch
+	queued  bool
+}
+
+// New builds a single-application runtime from the configuration. The
+// expander graph, worker layout, arbiters, and initial core ownership are
+// all established here, as in the paper all Nanos6 instances are
+// initialized at start-up.
+func New(cfg Config) (*ClusterRuntime, error) {
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.addApp(AppSpec{
+		Name:         "app0",
+		RanksPerNode: rt.cfg.AppranksPerNode,
+		Degree:       rt.cfg.Degree,
+	}); err != nil {
+		return nil, err
+	}
+	rt.finishConstruction()
+	return rt, nil
+}
+
+// newRuntime builds the shared substrate: environment, nodes, arbiters.
+func newRuntime(cfg Config) (*ClusterRuntime, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rt := &ClusterRuntime{
+		cfg:  cfg,
+		env:  simtime.NewEnv(),
+		talp: dlb.NewTALP(),
+	}
+	for n := 0; n < cfg.Machine.NumNodes(); n++ {
+		rt.nodes = append(rt.nodes, &nodeState{
+			rt:  rt,
+			id:  n,
+			arb: dlb.NewNodeArbiter(n, cfg.Machine.Node(n).Cores, cfg.LeWI),
+		})
+	}
+	return rt, nil
+}
+
+// finishConstruction installs ownership, policies, and (when enabled)
+// dynamic spreading, once every application's workers are registered.
+func (rt *ClusterRuntime) finishConstruction() {
+	rt.installInitialOwnership()
+	rt.installPolicies()
+	if rt.cfg.Dynamic.Enabled {
+		rt.installDynamicSpreading()
+	}
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *ClusterRuntime {
+	rt, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Env returns the simulation environment.
+func (rt *ClusterRuntime) Env() *simtime.Env { return rt.env }
+
+// Graph returns the first application's expander graph.
+func (rt *ClusterRuntime) Graph() *expander.Graph { return rt.apps[0].graph }
+
+// TALP returns the efficiency accounting module.
+func (rt *ClusterRuntime) TALP() *dlb.TALP { return rt.talp }
+
+// NumAppranks returns the number of application ranks.
+func (rt *ClusterRuntime) NumAppranks() int { return len(rt.appranks) }
+
+// installInitialOwnership assigns each helper one core and splits the
+// remaining cores of each node evenly among the appranks homed on it
+// (§5.4: "each helper rank owns one core ... ownership of the remaining
+// cores is divided equally among the appranks on the node").
+func (rt *ClusterRuntime) installInitialOwnership() {
+	for _, ns := range rt.nodes {
+		owned := make([]int, len(ns.workers))
+		var homes []int
+		for i, w := range ns.workers {
+			if w.isHome() {
+				homes = append(homes, i)
+			} else {
+				owned[i] = 1
+			}
+		}
+		rest := ns.arb.Cores() - (len(ns.workers) - len(homes))
+		for k, i := range homes {
+			share := rest / len(homes)
+			if k < rest%len(homes) {
+				share++
+			}
+			owned[i] = share
+		}
+		ns.arb.SetOwned(owned)
+		ns.recordOwned()
+	}
+}
+
+// installPolicies arms the periodic DROM policy and the trace sampler.
+func (rt *ClusterRuntime) installPolicies() {
+	cfg := rt.cfg
+	if cfg.CustomPolicy != nil {
+		rt.env.Periodic(cfg.LocalPeriod, cfg.LocalPeriod, func() bool {
+			rt.runPolicy(cfg.CustomPolicy)
+			return rt.activeApps > 0 || !rt.started
+		})
+		if cfg.Recorder != nil {
+			rt.env.Periodic(cfg.SamplePeriod, cfg.SamplePeriod, func() bool {
+				rt.sampleImbalance()
+				return rt.activeApps > 0 || !rt.started
+			})
+		}
+		return
+	}
+	switch cfg.DROM {
+	case DROMLocal:
+		rt.env.Periodic(cfg.LocalPeriod, cfg.LocalPeriod, func() bool {
+			rt.runPolicy(balance.LocalPolicy{})
+			return rt.activeApps > 0 || !rt.started
+		})
+	case DROMGlobal:
+		pol := balance.GlobalPolicy{Incentive: cfg.Incentive, UseSimplex: cfg.GlobalUseSimplex}
+		rt.env.Periodic(cfg.GlobalPeriod, cfg.GlobalPeriod, func() bool {
+			rt.runGlobalPartitioned(pol)
+			return rt.activeApps > 0 || !rt.started
+		})
+	}
+	if cfg.Recorder != nil {
+		rt.env.Periodic(cfg.SamplePeriod, cfg.SamplePeriod, func() bool {
+			rt.sampleImbalance()
+			return rt.activeApps > 0 || !rt.started
+		})
+	}
+}
+
+// runPolicy gathers busy averages (exponentially smoothed, standing in
+// for the paper's long measurement horizon), solves the allocation, and
+// applies it via DROM on every node.
+func (rt *ClusterRuntime) runPolicy(pol Allocator) {
+	now := rt.env.Now()
+	alpha := rt.cfg.BusyEMA
+	prob := &balance.Problem{}
+	for _, ns := range rt.nodes {
+		prob.Nodes = append(prob.Nodes, balance.NodeInfo{ID: ns.id, Cores: ns.arb.Cores()})
+		for _, w := range ns.workers {
+			sample := ns.arb.TakeBusyAverage(w.wid, now)
+			w.busySmooth = alpha*sample + (1-alpha)*w.busySmooth
+			prob.Workers = append(prob.Workers, balance.WorkerLoad{
+				Key:  balance.WorkerKey{Apprank: w.app.id, Node: ns.id},
+				Busy: w.busySmooth,
+				Home: w.isHome(),
+			})
+		}
+	}
+	rt.stats.PolicyRuns++
+	alloc, err := pol.Allocate(prob)
+	if err != nil {
+		panic(fmt.Sprintf("core: policy failed at %v: %v", now, err))
+	}
+	for _, ns := range rt.nodes {
+		owned := make([]int, len(ns.workers))
+		for i, w := range ns.workers {
+			owned[i] = alloc[balance.WorkerKey{Apprank: w.app.id, Node: ns.id}]
+			if owned[i] != ns.arb.Owned(w.wid) {
+				rt.stats.OwnershipChanges++
+			}
+		}
+		ns.arb.SetOwned(owned)
+		ns.recordOwned()
+	}
+	// Capacity changed: pull queued work and dispatch everywhere.
+	for _, a := range rt.appranks {
+		a.refillAll()
+	}
+	for _, ns := range rt.nodes {
+		ns.scheduleDispatch()
+	}
+}
+
+// solverGroups partitions the nodes into contiguous groups of at most
+// GlobalPartition nodes (§5.4.2: graphs beyond ~32 nodes are solved in
+// parts). With GlobalPartition 0 there is a single group.
+func (rt *ClusterRuntime) solverGroups() [][]*nodeState {
+	size := rt.cfg.GlobalPartition
+	if size <= 0 || size >= len(rt.nodes) {
+		return [][]*nodeState{rt.nodes}
+	}
+	var groups [][]*nodeState
+	for i := 0; i < len(rt.nodes); i += size {
+		end := i + size
+		if end > len(rt.nodes) {
+			end = len(rt.nodes)
+		}
+		groups = append(groups, rt.nodes[i:end])
+	}
+	return groups
+}
+
+// solveCost models the external solver's run time for a group of n
+// nodes: ~57ms at 32 nodes, growing quadratically (§5.4.2).
+func (rt *ClusterRuntime) solveCost(n int) simtime.Duration {
+	if rt.cfg.GlobalSolveCost < 0 {
+		return 0
+	}
+	if rt.cfg.GlobalSolveCost > 0 {
+		return rt.cfg.GlobalSolveCost
+	}
+	f := float64(n) / 32.0
+	return simtime.Duration(57 * float64(simtime.Millisecond) * f * f)
+}
+
+// runGlobalPartitioned measures each solver group now and applies its
+// allocation after the modelled solve delay. Groups solve independently
+// (in parallel, on separate nodes, as the paper suggests), so each pays
+// only its own group's solve time.
+func (rt *ClusterRuntime) runGlobalPartitioned(pol balance.GlobalPolicy) {
+	now := rt.env.Now()
+	alpha := rt.cfg.BusyEMA
+	for _, grp := range rt.solverGroups() {
+		grp := grp
+		prob := &balance.Problem{}
+		for _, ns := range grp {
+			prob.Nodes = append(prob.Nodes, balance.NodeInfo{ID: ns.id, Cores: ns.arb.Cores()})
+			for _, w := range ns.workers {
+				sample := ns.arb.TakeBusyAverage(w.wid, now)
+				w.busySmooth = alpha*sample + (1-alpha)*w.busySmooth
+				prob.Workers = append(prob.Workers, balance.WorkerLoad{
+					Key:  balance.WorkerKey{Apprank: w.app.id, Node: ns.id},
+					Busy: w.busySmooth,
+					Home: w.isHome(),
+				})
+			}
+		}
+		apply := func() {
+			rt.stats.PolicyRuns++
+			alloc, err := pol.Allocate(prob)
+			if err != nil {
+				panic(fmt.Sprintf("core: global policy failed at %v: %v", rt.env.Now(), err))
+			}
+			for _, ns := range grp {
+				owned := make([]int, len(ns.workers))
+				for i, w := range ns.workers {
+					owned[i] = alloc[balance.WorkerKey{Apprank: w.app.id, Node: ns.id}]
+					if owned[i] != ns.arb.Owned(w.wid) {
+						rt.stats.OwnershipChanges++
+					}
+				}
+				ns.arb.SetOwned(owned)
+				ns.recordOwned()
+			}
+			for _, a := range rt.appranks {
+				a.refillAll()
+			}
+			for _, ns := range grp {
+				ns.scheduleDispatch()
+			}
+		}
+		if cost := rt.solveCost(len(grp)); cost > 0 {
+			rt.env.Schedule(cost, apply)
+		} else {
+			apply()
+		}
+	}
+}
+
+// sampleImbalance records the node-level imbalance (Figure 11's metric):
+// max over nodes of windowed busy load divided by the average.
+func (rt *ClusterRuntime) sampleImbalance() {
+	now := rt.env.Now()
+	w := rt.cfg.SamplePeriod
+	t0 := now - simtime.Time(w)
+	if t0 < 0 {
+		t0 = 0
+	}
+	loads := make([]float64, len(rt.nodes))
+	for i, ns := range rt.nodes {
+		total := 0.0
+		for _, a := range rt.appranks {
+			total += rt.cfg.Recorder.Busy(ns.id, a.id).Average(t0, now)
+		}
+		loads[i] = total
+	}
+	rt.cfg.Recorder.RecordCustom("node_imbalance", now, metrics.Imbalance(loads))
+}
+
+// recordOwned mirrors the node's ownership vector into the trace.
+func (ns *nodeState) recordOwned() {
+	if ns.rt.cfg.Recorder == nil {
+		return
+	}
+	now := ns.rt.env.Now()
+	for i, w := range ns.workers {
+		ns.rt.cfg.Recorder.RecordOwned(now, ns.id, w.app.id, float64(ns.arb.OwnedAll()[i]))
+	}
+}
+
+// sendCtl models a runtime control message from one node to another,
+// invoking fn on arrival.
+func (rt *ClusterRuntime) sendCtl(from, to int, bytes int64, fn func()) {
+	rt.stats.CtlMessages++
+	d := rt.cfg.Machine.Net.TransferTime(from, to, bytes)
+	rt.env.Schedule(d, fn)
+}
+
+// Stats returns the run's activity counters.
+func (rt *ClusterRuntime) Stats() RunStats { return rt.stats }
+
+// Run spawns the SPMD main on every apprank of the (single) application
+// and executes the simulation to completion. It returns an error if a
+// rank program panicked, blocked forever, or left tasks unfinished.
+// Multi-application runtimes built with NewMulti use RunAll instead.
+func (rt *ClusterRuntime) Run(main func(app *App)) error {
+	if rt.started {
+		return fmt.Errorf("core: runtime already ran")
+	}
+	if len(rt.apps) != 1 {
+		return fmt.Errorf("core: Run on a %d-application runtime; use RunAll", len(rt.apps))
+	}
+	rt.started = true
+	st := rt.apps[0]
+	rt.activeApps = len(st.ranks)
+	for _, a := range st.ranks {
+		a := a
+		st.world.Spawn(a.localRank, func(c *simmpi.Comm) {
+			app := &App{rt: rt, apprank: a, comm: c}
+			rt.talp.StartApp(a.id, rt.env.Now())
+			main(app)
+			// Implicit taskwait at the end of main, as in OmpSs-2.
+			app.TaskWait()
+			rt.activeApps--
+			if rt.activeApps == 0 {
+				rt.finishedAt = rt.env.Now()
+			}
+		})
+	}
+	return rt.finishRun()
+}
+
+// finishRun executes the simulation and checks the end-of-run invariants.
+func (rt *ClusterRuntime) finishRun() error {
+	if err := rt.env.Run(); err != nil {
+		return err
+	}
+	if live := rt.env.LiveProcs(); len(live) > 0 {
+		return fmt.Errorf("core: deadlock, processes still blocked: %v", live)
+	}
+	for _, a := range rt.appranks {
+		if _, _, out := a.graph.Stats(); out != 0 {
+			return fmt.Errorf("core: apprank %d finished with %d tasks outstanding", a.id, out)
+		}
+	}
+	for _, ns := range rt.nodes {
+		if err := ns.arb.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Elapsed returns the virtual time at which the last apprank's main
+// function completed (excluding any trailing policy ticks).
+func (rt *ClusterRuntime) Elapsed() simtime.Duration {
+	return simtime.Duration(rt.finishedAt)
+}
+
+// TotalOffloadedTasks counts tasks that executed away from their
+// apprank's home node.
+func (rt *ClusterRuntime) TotalOffloadedTasks() int64 {
+	n := int64(0)
+	for _, a := range rt.appranks {
+		n += a.offloaded
+	}
+	return n
+}
+
+// TotalTasks counts completed tasks across all appranks.
+func (rt *ClusterRuntime) TotalTasks() int64 {
+	n := int64(0)
+	for _, a := range rt.appranks {
+		_, c, _ := a.graph.Stats()
+		n += c
+	}
+	return n
+}

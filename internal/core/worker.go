@@ -1,0 +1,150 @@
+package core
+
+import (
+	"ompsscluster/internal/dlb"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simtime"
+)
+
+// simtimeDuration converts an int64 nanosecond count (used for arithmetic
+// convenience) back to a Duration.
+func simtimeDuration(ns int64) simtime.Duration { return simtime.Duration(ns) }
+
+// Worker is one apprank's executor on one node: the home worker or a
+// helper. It holds tasks assigned to it (runnable or with data still in
+// flight) and executes them on cores granted by the node's DLB arbiter.
+type Worker struct {
+	app        *Apprank
+	ns         *nodeState
+	wid        dlb.WorkerID
+	queued     []*nanos.Task // runnable, waiting for a core
+	inflight   int           // assigned, input data still in transit
+	running    int
+	busySmooth float64 // exponentially smoothed busy-core average
+}
+
+// isHome reports whether this is the apprank's main worker.
+func (w *Worker) isHome() bool { return w.ns.id == w.app.home }
+
+// owned returns the worker's DROM core ownership.
+func (w *Worker) owned() int { return w.ns.arb.Owned(w.wid) }
+
+// capacity is the §5.5 assignment threshold: TasksPerCore per owned core.
+// Owned counts DROM ownership only — never LeWI-borrowed cores — unless
+// the CountBorrowed ablation is enabled.
+func (w *Worker) capacity() int {
+	o := w.owned()
+	if w.app.rt.cfg.CountBorrowed {
+		if b := w.running - o; b > 0 {
+			o += b
+		}
+	}
+	return w.app.rt.cfg.TasksPerCore * o
+}
+
+// load counts tasks bound to this worker in any pre-completion stage.
+func (w *Worker) load() int { return len(w.queued) + w.inflight + w.running }
+
+// underThreshold reports whether the scheduler may assign another task.
+func (w *Worker) underThreshold() bool { return w.load() < w.capacity() }
+
+// enqueue makes a task runnable at this worker and pokes the dispatcher.
+func (w *Worker) enqueue(t *nanos.Task) {
+	w.queued = append(w.queued, t)
+	w.ns.scheduleDispatch()
+}
+
+// start executes the head task on a core the dispatcher secured.
+func (w *Worker) start() {
+	rt := w.app.rt
+	now := rt.env.Now()
+	t := w.queued[0]
+	w.queued = w.queued[1:]
+	w.ns.arb.Start(w.wid, now)
+	w.running++
+	w.app.graph.MarkRunning(t, w.ns.id)
+	if !w.isHome() {
+		w.app.offloaded++
+	}
+	w.recordBusy()
+	// Occupied time: compute plus runtime overhead, both scaled by node
+	// speed, plus a fixed overhead.
+	work := t.Work + simtime.Duration(rt.cfg.OverheadFrac*float64(t.Work))
+	exec := rt.cfg.Machine.ExecTime(w.ns.id, work) + rt.cfg.OverheadFixed
+	rt.talp.AddUseful(w.app.id, float64(exec))
+	rt.env.Schedule(exec, func() { w.complete(t) })
+}
+
+// complete handles a task finishing on this worker.
+func (w *Worker) complete(t *nanos.Task) {
+	rt := w.app.rt
+	now := rt.env.Now()
+	w.ns.arb.Finish(w.wid, now)
+	w.running--
+	w.recordBusy()
+	a := w.app
+	if w.isHome() {
+		a.finishTask(t)
+	} else {
+		// The completion notification travels back to the apprank's home
+		// node before successors are released there.
+		rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, func() { a.finishTask(t) })
+	}
+	// Steal centrally held tasks now that this worker has room ("will be
+	// stolen as tasks complete", §5.5).
+	a.refill(w)
+	w.ns.scheduleDispatch()
+}
+
+// recordBusy mirrors the worker's running count into the trace.
+func (w *Worker) recordBusy() {
+	if rec := w.app.rt.cfg.Recorder; rec != nil {
+		rec.RecordBusy(w.app.rt.env.Now(), w.ns.id, w.app.id, float64(w.running))
+	}
+}
+
+// scheduleDispatch arranges a dispatch pass for the node at the current
+// time (deduplicated, so event storms cost one pass).
+func (ns *nodeState) scheduleDispatch() {
+	if ns.queued {
+		return
+	}
+	ns.queued = true
+	ns.rt.env.At(ns.rt.env.Now(), func() {
+		ns.queued = false
+		ns.dispatch()
+	})
+}
+
+// dispatch greedily starts runnable tasks on the node: owners use their
+// own cores first (including DROM reclaims at task boundaries); with LeWI
+// enabled, remaining idle cores are lent to any worker with runnable
+// tasks. Round-robin rotation keeps the borrow pass fair.
+func (ns *nodeState) dispatch() {
+	n := len(ns.workers)
+	if n == 0 {
+		return
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := 0; k < n; k++ {
+			w := ns.workers[(ns.rr+k)%n]
+			for len(w.queued) > 0 && ns.arb.CanStartOwned(w.wid) {
+				w.start()
+				changed = true
+			}
+		}
+		for k := 0; k < n; k++ {
+			w := ns.workers[(ns.rr+k)%n]
+			// An idle lent core polls the apprank's central queue
+			// directly: this is how LeWI-borrowed cores keep receiving
+			// work beyond the owned-core threshold.
+			w.app.borrowRefill(w)
+			if len(w.queued) > 0 && ns.arb.CanBorrow(w.wid) {
+				w.start()
+				changed = true
+			}
+		}
+	}
+	ns.rr = (ns.rr + 1) % n
+}

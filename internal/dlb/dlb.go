@@ -1,0 +1,244 @@
+// Package dlb models the Dynamic Load Balancing library: per-node
+// arbitration of CPU cores among the worker processes running on that
+// node.
+//
+// Every core on a node is owned by exactly one worker (an apprank's main
+// worker or a helper worker of a remote apprank). The arbiter enforces the
+// paper's two mechanisms:
+//
+//   - LeWI (Lend When Idle, §5.3): a worker whose owned cores would
+//     otherwise sit idle implicitly lends them; another worker with
+//     runnable tasks may borrow any idle core. The owner reclaims at the
+//     next task boundary — tasks are non-preemptive, so a reclaim takes
+//     effect when the borrower's task finishes.
+//
+//   - DROM (Dynamic Resource Ownership Management, §5.4): ownership of
+//     cores is reassigned at runtime via SetOwned; the running set adapts
+//     at task boundaries.
+//
+// The arbiter also integrates per-worker busy-core time, which is the load
+// measurement both allocation policies consume, and offers a TALP-style
+// efficiency report.
+//
+// The arbiter holds no clock and schedules nothing; the distributed
+// runtime (internal/core) calls it at task boundaries with the current
+// virtual time.
+package dlb
+
+import (
+	"fmt"
+
+	"ompsscluster/internal/simtime"
+)
+
+// WorkerID identifies a worker registered with a NodeArbiter.
+type WorkerID int
+
+// workerState is the arbiter's view of one worker process.
+type workerState struct {
+	owned   int
+	running int
+	// busyIntegral accumulates running x elapsed in core-nanoseconds.
+	busyIntegral float64
+	lastUpdate   simtime.Time
+	// markIntegral / markTime snapshot the integral for windowed
+	// averages taken by the allocation policies.
+	markIntegral float64
+	markTime     simtime.Time
+}
+
+// NodeArbiter arbitrates the cores of one node among its workers.
+type NodeArbiter struct {
+	node         int
+	cores        int
+	lewi         bool
+	workers      []workerState
+	totalRunning int
+}
+
+// NewNodeArbiter creates an arbiter for a node with the given core count.
+// lewi enables borrowing of idle cores.
+func NewNodeArbiter(node, cores int, lewi bool) *NodeArbiter {
+	if cores <= 0 {
+		panic(fmt.Sprintf("dlb: node %d with %d cores", node, cores))
+	}
+	return &NodeArbiter{node: node, cores: cores, lewi: lewi}
+}
+
+// Node returns the node id.
+func (a *NodeArbiter) Node() int { return a.node }
+
+// Cores returns the number of physical cores on the node.
+func (a *NodeArbiter) Cores() int { return a.cores }
+
+// LeWIEnabled reports whether borrowing is enabled.
+func (a *NodeArbiter) LeWIEnabled() bool { return a.lewi }
+
+// NumWorkers returns the number of registered workers.
+func (a *NodeArbiter) NumWorkers() int { return len(a.workers) }
+
+// AddWorker registers a worker with zero initial ownership; call SetOwned
+// once all workers are registered.
+func (a *NodeArbiter) AddWorker() WorkerID {
+	a.workers = append(a.workers, workerState{})
+	return WorkerID(len(a.workers) - 1)
+}
+
+// SetOwned installs a DROM ownership assignment. The values must be
+// non-negative and sum to the node's core count; every worker should own
+// at least one core under the paper's policies, but the arbiter does not
+// enforce that (the policies do).
+func (a *NodeArbiter) SetOwned(owned []int) {
+	if len(owned) != len(a.workers) {
+		panic(fmt.Sprintf("dlb: SetOwned with %d entries for %d workers", len(owned), len(a.workers)))
+	}
+	sum := 0
+	for _, o := range owned {
+		if o < 0 {
+			panic(fmt.Sprintf("dlb: negative ownership %d", o))
+		}
+		sum += o
+	}
+	if sum != a.cores {
+		panic(fmt.Sprintf("dlb: ownership sums to %d, node has %d cores", sum, a.cores))
+	}
+	for i := range a.workers {
+		a.workers[i].owned = owned[i]
+	}
+}
+
+// Owned returns the cores currently owned by w.
+func (a *NodeArbiter) Owned(w WorkerID) int { return a.workers[w].owned }
+
+// OwnedAll returns a copy of the ownership vector.
+func (a *NodeArbiter) OwnedAll() []int {
+	out := make([]int, len(a.workers))
+	for i := range a.workers {
+		out[i] = a.workers[i].owned
+	}
+	return out
+}
+
+// Running returns the cores currently executing tasks of w.
+func (a *NodeArbiter) Running(w WorkerID) int { return a.workers[w].running }
+
+// TotalRunning returns the number of busy cores on the node.
+func (a *NodeArbiter) TotalRunning() int { return a.totalRunning }
+
+// IdleCores returns the number of idle cores on the node.
+func (a *NodeArbiter) IdleCores() int { return a.cores - a.totalRunning }
+
+// CanStartOwned reports whether w may start a task on a core it owns: it
+// is below its ownership and a physical core is free. (If it is below its
+// ownership but all cores are busy, some other worker is over-borrowing;
+// the reclaim happens at that worker's next task boundary.)
+func (a *NodeArbiter) CanStartOwned(w WorkerID) bool {
+	return a.workers[w].running < a.workers[w].owned && a.totalRunning < a.cores
+}
+
+// CanBorrow reports whether w may start a task on a borrowed core under
+// LeWI: borrowing is enabled and a physical core is idle. An idle core's
+// owner by definition has nothing to run, which is exactly the LeWI
+// lending condition.
+func (a *NodeArbiter) CanBorrow(w WorkerID) bool {
+	return a.lewi && a.totalRunning < a.cores
+}
+
+// Start accounts a task start for w at virtual time now. The caller must
+// have checked CanStartOwned or CanBorrow.
+func (a *NodeArbiter) Start(w WorkerID, now simtime.Time) {
+	if a.totalRunning >= a.cores {
+		panic(fmt.Sprintf("dlb: node %d oversubscribed", a.node))
+	}
+	a.accumulate(w, now)
+	a.workers[w].running++
+	a.totalRunning++
+}
+
+// Finish accounts a task completion for w at virtual time now.
+func (a *NodeArbiter) Finish(w WorkerID, now simtime.Time) {
+	if a.workers[w].running <= 0 {
+		panic(fmt.Sprintf("dlb: node %d worker %d finish with nothing running", a.node, w))
+	}
+	a.accumulate(w, now)
+	a.workers[w].running--
+	a.totalRunning--
+}
+
+// accumulate folds the busy integral forward to now.
+func (a *NodeArbiter) accumulate(w WorkerID, now simtime.Time) {
+	ws := &a.workers[w]
+	if now > ws.lastUpdate {
+		ws.busyIntegral += float64(ws.running) * float64(now-ws.lastUpdate)
+		ws.lastUpdate = now
+	}
+}
+
+// BusyIntegral returns w's accumulated busy time in core-nanoseconds up
+// to now.
+func (a *NodeArbiter) BusyIntegral(w WorkerID, now simtime.Time) float64 {
+	a.accumulate(w, now)
+	return a.workers[w].busyIntegral
+}
+
+// TakeBusyAverage returns the average number of busy cores of w since the
+// previous call (or since the start), and restarts the window. This is
+// the "average number of busy cores" measurement of §5.4.
+func (a *NodeArbiter) TakeBusyAverage(w WorkerID, now simtime.Time) float64 {
+	a.accumulate(w, now)
+	ws := &a.workers[w]
+	dt := now - ws.markTime
+	if dt <= 0 {
+		return float64(ws.running)
+	}
+	avg := (ws.busyIntegral - ws.markIntegral) / float64(dt)
+	ws.markIntegral = ws.busyIntegral
+	ws.markTime = now
+	return avg
+}
+
+// PeekBusyAverage returns the average busy cores of w since the last
+// TakeBusyAverage without restarting the window.
+func (a *NodeArbiter) PeekBusyAverage(w WorkerID, now simtime.Time) float64 {
+	a.accumulate(w, now)
+	ws := &a.workers[w]
+	dt := now - ws.markTime
+	if dt <= 0 {
+		return float64(ws.running)
+	}
+	return (ws.busyIntegral - ws.markIntegral) / float64(dt)
+}
+
+// NodeBusyAverage returns the node-wide average busy cores since each
+// worker's current window start (the windows are aligned when one policy
+// ticks them together).
+func (a *NodeArbiter) NodeBusyAverage(now simtime.Time) float64 {
+	total := 0.0
+	for i := range a.workers {
+		total += a.PeekBusyAverage(WorkerID(i), now)
+	}
+	return total
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// event storms.
+func (a *NodeArbiter) CheckInvariants() error {
+	sumOwned, sumRunning := 0, 0
+	for i, ws := range a.workers {
+		if ws.running < 0 {
+			return fmt.Errorf("dlb: worker %d negative running", i)
+		}
+		sumOwned += ws.owned
+		sumRunning += ws.running
+	}
+	if sumRunning != a.totalRunning {
+		return fmt.Errorf("dlb: running sum %d != total %d", sumRunning, a.totalRunning)
+	}
+	if a.totalRunning > a.cores {
+		return fmt.Errorf("dlb: node %d oversubscribed: %d running on %d cores", a.node, a.totalRunning, a.cores)
+	}
+	if sumOwned != a.cores && sumOwned != 0 {
+		return fmt.Errorf("dlb: ownership sum %d != %d cores", sumOwned, a.cores)
+	}
+	return nil
+}

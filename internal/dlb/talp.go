@@ -1,0 +1,110 @@
+package dlb
+
+import (
+	"fmt"
+	"sort"
+
+	"ompsscluster/internal/simtime"
+)
+
+// TALP (Tracking Application Live Performance) measures parallel
+// efficiency per apprank: the fraction of the compute time owned by the
+// apprank's workers that was spent executing useful work (tasks), the
+// remainder being idle or runtime overhead time. The paper's TALP module
+// intercepts MPI calls; here the same accounting is fed by the runtime at
+// task boundaries and MPI-operation boundaries.
+type TALP struct {
+	apps map[int]*talpApp
+}
+
+type talpApp struct {
+	useful  float64 // core-nanoseconds executing tasks
+	mpi     float64 // nanoseconds the main process spent inside MPI calls
+	started simtime.Time
+}
+
+// NewTALP creates an empty TALP accounting module.
+func NewTALP() *TALP {
+	return &TALP{apps: make(map[int]*talpApp)}
+}
+
+func (t *TALP) app(apprank int) *talpApp {
+	a, ok := t.apps[apprank]
+	if !ok {
+		a = &talpApp{}
+		t.apps[apprank] = a
+	}
+	return a
+}
+
+// StartApp records the start time of an apprank's main function.
+func (t *TALP) StartApp(apprank int, now simtime.Time) {
+	t.app(apprank).started = now
+}
+
+// AddUseful accumulates core-nanoseconds of task execution for apprank.
+func (t *TALP) AddUseful(apprank int, coreNanos float64) {
+	t.app(apprank).useful += coreNanos
+}
+
+// AddMPI accumulates nanoseconds spent in MPI calls by apprank's main.
+func (t *TALP) AddMPI(apprank int, nanos float64) {
+	t.app(apprank).mpi += nanos
+}
+
+// Report summarises efficiency: one line per apprank, mirroring DLB's
+// end-of-run TALP report.
+type Report struct {
+	Appranks []AppReport
+}
+
+// AppReport is the TALP summary for one apprank.
+type AppReport struct {
+	Apprank    int
+	Elapsed    simtime.Duration
+	UsefulTime simtime.Duration // core-time executing tasks
+	MPITime    simtime.Duration // main-process time inside MPI
+	Efficiency float64          // useful / (elapsed * avgCores)
+}
+
+// Snapshot builds the report at time now. avgCores maps apprank to its
+// average owned cores over the run (the caller knows this from the
+// arbiters); missing entries default to 1.
+func (t *TALP) Snapshot(now simtime.Time, avgCores map[int]float64) Report {
+	var r Report
+	ids := make([]int, 0, len(t.apps))
+	for id := range t.apps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a := t.apps[id]
+		elapsed := now - a.started
+		cores := avgCores[id]
+		if cores <= 0 {
+			cores = 1
+		}
+		eff := 0.0
+		if elapsed > 0 {
+			eff = a.useful / (float64(elapsed) * cores)
+		}
+		r.Appranks = append(r.Appranks, AppReport{
+			Apprank:    id,
+			Elapsed:    simtime.Duration(elapsed),
+			UsefulTime: simtime.Duration(a.useful),
+			MPITime:    simtime.Duration(a.mpi),
+			Efficiency: eff,
+		})
+	}
+	return r
+}
+
+// String renders the report as a table.
+func (r Report) String() string {
+	s := "TALP report\napprank  elapsed      useful(core-s)  mpi(s)     efficiency\n"
+	for _, a := range r.Appranks {
+		s += fmt.Sprintf("%7d  %-11v  %-14.3f  %-9.3f  %5.1f%%\n",
+			a.Apprank, a.Elapsed, a.UsefulTime.Seconds(), a.MPITime.Seconds(), a.Efficiency*100)
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package expander
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpectralGapCompleteBipartite(t *testing.T) {
+	g := MustGenerate(Params{Appranks: 6, Nodes: 6, Shape: ShapeFull})
+	if gap := g.SpectralGap(); gap < 0.999 {
+		t.Fatalf("K_{6,6} spectral gap = %v, want ~1", gap)
+	}
+}
+
+func TestSpectralGapDegreeOne(t *testing.T) {
+	// Home-only graph: A Aᵀ = identity-ish, sigma2 = sigma1 = 1, gap 0.
+	g := MustGenerate(Params{Appranks: 8, Nodes: 8, Degree: 1})
+	if gap := g.SpectralGap(); gap > 1e-6 {
+		t.Fatalf("degree-1 graph gap = %v, want 0 (disconnected)", gap)
+	}
+}
+
+func TestSpectralGapRingVsExpander(t *testing.T) {
+	// On large graphs at equal degree, a random expander has a larger
+	// spectral gap than a ring (whose mixing is poor).
+	n := 64
+	ring := MustGenerate(Params{Appranks: n, Nodes: n, Degree: 3, Shape: ShapeRing})
+	exp := MustGenerate(Params{Appranks: n, Nodes: n, Degree: 3, Seed: 5})
+	rg, eg := ring.SpectralGap(), exp.SpectralGap()
+	if eg <= 3*rg {
+		t.Fatalf("expander gap %v not clearly larger than ring gap %v", eg, rg)
+	}
+	// A random degree-3 biregular graph should get close to the
+	// Ramanujan optimum (gap ~0.057 at this degree).
+	if optimum := 1 - exp.RamanujanBound(); eg < 0.5*optimum {
+		t.Fatalf("random degree-3 expander gap = %v, far below the optimum %v", eg, optimum)
+	}
+}
+
+func TestSpectralGapNearRamanujan(t *testing.T) {
+	// Random biregular graphs concentrate near the Ramanujan bound: the
+	// measured sigma2/sigma1 should be within a modest factor of it.
+	g := MustGenerate(Params{Appranks: 128, Nodes: 64, Degree: 4, Seed: 9})
+	gap := g.SpectralGap()
+	bound := g.RamanujanBound() // normalised sigma2 at optimum
+	sigma2Ratio := 1 - gap
+	if sigma2Ratio > 1.5*bound {
+		t.Fatalf("sigma2/sigma1 = %v, more than 1.5x the Ramanujan bound %v", sigma2Ratio, bound)
+	}
+}
+
+func TestRamanujanBoundRange(t *testing.T) {
+	g := MustGenerate(Params{Appranks: 16, Nodes: 16, Degree: 4, Seed: 2})
+	b := g.RamanujanBound()
+	if b <= 0 || b >= 1 {
+		t.Fatalf("bound = %v, want in (0, 1)", b)
+	}
+}
+
+// Property: the spectral gap is within [0, 1] for any generated graph.
+func TestQuickSpectralGapBounds(t *testing.T) {
+	f := func(dRaw uint8, seed int64) bool {
+		deg := int(dRaw%4) + 1
+		g, err := Generate(Params{Appranks: 12, Nodes: 12, Degree: deg, Seed: seed})
+		if err != nil {
+			return false
+		}
+		gap := g.SpectralGap()
+		return gap >= 0 && gap <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package expander
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store caches generated graphs, in memory and optionally on disk, so that
+// each configuration is generated only once (as the paper does: "each
+// graph is stored for future executions").
+type Store struct {
+	dir string // empty means memory-only
+	mem map[string]*Graph
+}
+
+// NewStore returns a store backed by dir. If dir is empty the store is
+// memory-only.
+func NewStore(dir string) *Store {
+	return &Store{dir: dir, mem: make(map[string]*Graph)}
+}
+
+func key(p Params) string {
+	return fmt.Sprintf("a%d_n%d_d%d_s%d_%s", p.Appranks, p.Nodes, p.Degree, p.Seed, p.Shape)
+}
+
+// Get returns the graph for p, generating and caching it on first use.
+func (s *Store) Get(p Params) (*Graph, error) {
+	k := key(p)
+	if g, ok := s.mem[k]; ok {
+		return g, nil
+	}
+	if s.dir != "" {
+		if g, err := s.load(k); err == nil {
+			if err := g.Validate(); err == nil {
+				s.mem[k] = g
+				return g, nil
+			}
+		}
+	}
+	g, err := Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	s.mem[k] = g
+	if s.dir != "" {
+		if err := s.save(k, g); err != nil {
+			return nil, fmt.Errorf("expander: saving graph: %w", err)
+		}
+	}
+	return g, nil
+}
+
+func (s *Store) path(k string) string {
+	return filepath.Join(s.dir, k+".json")
+}
+
+func (s *Store) load(k string) (*Graph, error) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return nil, err
+	}
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+func (s *Store) save(k string, g *Graph) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.path(k), data, 0o644)
+}

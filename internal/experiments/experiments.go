@@ -1,0 +1,310 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§7, Figures 5-11). Each experiment builds the paper's scenario on the
+// simulated cluster, runs it across the same configurations (offloading
+// degrees, LeWI/DROM combinations, allocation policies), and returns
+// labelled series shaped like the published plots.
+//
+// Absolute times differ from the paper (the substrate is a simulator and
+// the workloads are scaled), but the comparisons the paper makes — who
+// wins, by what factor, where the crossovers fall — are reproduced and
+// asserted in the package tests. EXPERIMENTS.md records paper-vs-measured
+// values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ompsscluster/internal/simtime"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Y returns the series value at x (exact match), or NaN-like -1.
+func (s Series) Y(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return -1
+}
+
+// Result is one reproduced figure.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Get returns the series with the given label.
+func (r *Result) Get(label string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the result as an aligned text table, series as columns.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", r.ID, r.Title)
+	xs := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	fmt.Fprintf(&b, "%-12s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  %16s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-12.3g", x)
+		for _, s := range r.Series {
+			y := s.Y(x)
+			if y < 0 {
+				fmt.Fprintf(&b, "  %16s", "-")
+			} else {
+				fmt.Fprintf(&b, "  %16.4f", y)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a GitHub-flavoured markdown table with
+// the notes as a trailing list (for pasting into EXPERIMENTS.md-style
+// records).
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	xs := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	fmt.Fprintf(&b, "| %s |", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %s |", s.Label)
+	}
+	b.WriteString("\n|---|")
+	for range r.Series {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "| %g |", x)
+		for _, s := range r.Series {
+			if y := s.Y(x); y < 0 {
+				b.WriteString(" – |")
+			} else {
+				fmt.Fprintf(&b, " %.4f |", y)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n- %s", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV renders the result in long format: series,x,y.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s\n", strings.ReplaceAll(r.XLabel, " ", "_"), strings.ReplaceAll(r.YLabel, " ", "_"))
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g\n", s.Label, p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// Scale controls the cost of the reproduction. The paper's runs use
+// 48-core nodes and hundreds of 50ms tasks per core; the default scale
+// shrinks per-node core counts and task counts so full sweeps run in
+// seconds while preserving every ratio the paper reports.
+type Scale struct {
+	// CoresPerNode is the simulated node width.
+	CoresPerNode int
+	// TasksPerCore is the synthetic benchmark's per-iteration task count
+	// per core (paper: 100).
+	TasksPerCore int
+	// MeanTask is the synthetic benchmark's mean task duration (paper:
+	// 50ms).
+	MeanTask simtime.Duration
+	// Iterations is the number of outer iterations / timesteps.
+	Iterations int
+	// MaxNodes caps the node counts of the weak-scaling sweeps.
+	MaxNodes int
+	// GlobalPeriod and LocalPeriod are the DROM policy periods. The
+	// paper uses 2s for the global solver; scaled runs shorten it in
+	// proportion to the shortened iterations.
+	GlobalPeriod simtime.Duration
+	LocalPeriod  simtime.Duration
+	// SamplePeriod is the trace/imbalance sampling period (default 50ms).
+	SamplePeriod simtime.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// SamplePeriodOrDefault returns the sampling period as a Time step.
+func (sc Scale) SamplePeriodOrDefault() simtime.Time {
+	if sc.SamplePeriod > 0 {
+		return simtime.Time(sc.SamplePeriod)
+	}
+	return simtime.Time(50 * simtime.Millisecond)
+}
+
+// DefaultScale runs every figure in minutes on a laptop. Nodes are 24
+// cores wide so the one-core-per-helper floor stays small relative to the
+// node (as on the paper's 48-core nodes).
+func DefaultScale() Scale {
+	return Scale{
+		CoresPerNode: 24,
+		TasksPerCore: 30,
+		MeanTask:     50 * simtime.Millisecond,
+		Iterations:   4,
+		MaxNodes:     64,
+		GlobalPeriod: 400 * simtime.Millisecond,
+		LocalPeriod:  100 * simtime.Millisecond,
+		Seed:         1,
+	}
+}
+
+// QuickScale is a reduced scale for unit tests.
+func QuickScale() Scale {
+	s := DefaultScale()
+	s.CoresPerNode = 12
+	s.TasksPerCore = 10
+	s.MeanTask = 20 * simtime.Millisecond
+	s.Iterations = 3
+	s.MaxNodes = 8
+	s.GlobalPeriod = 100 * simtime.Millisecond
+	s.LocalPeriod = 40 * simtime.Millisecond
+	return s
+}
+
+// PaperScale approximates the paper's parameters (48-core MareNostrum 4
+// nodes, 100 tasks per core, 2-second solver period). Full sweeps take
+// minutes of wall time.
+func PaperScale() Scale {
+	return Scale{
+		CoresPerNode: 48,
+		TasksPerCore: 100,
+		MeanTask:     50 * simtime.Millisecond,
+		Iterations:   6,
+		MaxNodes:     64,
+		GlobalPeriod: 2 * simtime.Second,
+		LocalPeriod:  100 * simtime.Millisecond,
+		Seed:         1,
+	}
+}
+
+// nodeSweep returns the paper's node counts for weak scaling, capped by
+// the scale.
+func nodeSweep(sc Scale, counts ...int) []int {
+	var out []int
+	for _, c := range counts {
+		if c <= sc.MaxNodes {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// All runs every figure at the given scale and returns the results in
+// paper order.
+func All(sc Scale) []*Result {
+	return []*Result{
+		Fig5(sc),
+		Fig6a(sc),
+		Fig6b(sc),
+		Fig6c(sc),
+		Fig7(sc),
+		Fig8(sc),
+		Fig10(sc),
+		Fig11(sc),
+		Fig9(sc),
+		Headline(sc),
+	}
+}
+
+// ByID runs the experiment with the given id ("fig5" ... "fig11",
+// "headline", "ablation-*").
+func ByID(id string, sc Scale) (*Result, error) {
+	fns := map[string]func(Scale) *Result{
+		"fig5":                Fig5,
+		"fig6a":               Fig6a,
+		"fig6b":               Fig6b,
+		"fig6c":               Fig6c,
+		"fig7":                Fig7,
+		"fig8":                Fig8,
+		"fig9":                Fig9,
+		"fig10":               Fig10,
+		"fig11":               Fig11,
+		"headline":            Headline,
+		"ablation-taskspc":    AblationTasksPerCore,
+		"ablation-borrowed":   AblationCountBorrowed,
+		"ablation-graphshape": AblationGraphShape,
+		"ablation-period":     AblationGlobalPeriod,
+		"ablation-incentive":  AblationIncentive,
+		"ablation-orbweights": AblationORBWeights,
+		"ext-dynamic":         ExtDynamicSpreading,
+		"ext-partition":       ExtPartitionedSolver,
+		"ext-dvfs":            ExtDVFS,
+	}
+	fn, ok := fns[id]
+	if !ok {
+		var ids []string
+		for k := range fns {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+	}
+	return fn(sc), nil
+}
+
+// IDs lists the available experiment ids.
+func IDs() []string {
+	return []string{"fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "headline",
+		"ablation-taskspc", "ablation-borrowed", "ablation-graphshape",
+		"ablation-period", "ablation-incentive", "ablation-orbweights",
+		"ext-dynamic", "ext-partition", "ext-dvfs"}
+}

@@ -1,0 +1,42 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildAllocationNetwork builds the balance package's network shape for
+// 64 nodes with degree 4.
+func buildAllocationNetwork(seed int64) (*Graph, int, int) {
+	rng := rand.New(rand.NewSource(seed))
+	const nodes = 64
+	g := NewGraph(2*nodes + 2)
+	src, sink := 2*nodes, 2*nodes+1
+	for a := 0; a < nodes; a++ {
+		g.AddEdge(src, a, rng.Float64()*40, 0)
+		g.AddEdge(a, nodes+a, 44, 0)
+		for k := 1; k < 4; k++ {
+			g.AddEdge(a, nodes+(a+k*7)%nodes, 44, 1)
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		g.AddEdge(nodes+n, sink, 44, 0)
+	}
+	return g, src, sink
+}
+
+// BenchmarkMaxFlowAllocation measures Dinic on the allocation network.
+func BenchmarkMaxFlowAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, s, t := buildAllocationNetwork(int64(i))
+		g.MaxFlow(s, t)
+	}
+}
+
+// BenchmarkMinCostAllocation measures SPFA min-cost max-flow on the same.
+func BenchmarkMinCostAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, s, t := buildAllocationNetwork(int64(i))
+		g.MinCostMaxFlow(s, t)
+	}
+}

@@ -1,0 +1,223 @@
+// Package flow implements maximum flow (Dinic's algorithm) and minimum-cost
+// maximum flow (successive shortest paths with SPFA) on small directed
+// graphs with floating-point capacities.
+//
+// The balance package formulates the paper's global core-allocation
+// problem (§5.4.2) as a bisection over a feasibility flow problem:
+// appranks demand cores, nodes supply them, and edges exist only where the
+// expander graph permits. The min-cost variant expresses the own-node
+// incentive (offloaded cores cost 1, local cores cost 0).
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+const eps = 1e-9
+
+// edge is half of an arc pair; rev indexes its reverse within the adjacency
+// of to.
+type edge struct {
+	to   int
+	cap  float64
+	cost float64
+	flow float64
+}
+
+// Graph is a flow network under construction. Node ids are 0..n-1.
+type Graph struct {
+	n     int
+	edges []edge // pairs: edge 2k is forward, 2k+1 its reverse
+	adj   [][]int
+}
+
+// NewGraph creates a flow network with n nodes.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("flow: non-positive node count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge with the given capacity and per-unit cost,
+// returning an id usable with Flow after solving.
+func (g *Graph) AddEdge(from, to int, capacity, cost float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("flow: edge %d->%d out of range", from, to))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %v", capacity))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: from, cap: 0, cost: -cost})
+	g.adj[from] = append(g.adj[from], id)
+	g.adj[to] = append(g.adj[to], id+1)
+	return id
+}
+
+// Flow returns the flow currently carried by the edge with the given id.
+func (g *Graph) Flow(id int) float64 { return g.edges[id].flow }
+
+// Reset zeroes all flows so the network can be solved again.
+func (g *Graph) Reset() {
+	for i := range g.edges {
+		g.edges[i].flow = 0
+	}
+}
+
+// residual returns the remaining capacity of edge id.
+func (g *Graph) residual(id int) float64 { return g.edges[id].cap - g.edges[id].flow }
+
+// push sends f along edge id, updating the reverse edge.
+func (g *Graph) push(id int, f float64) {
+	g.edges[id].flow += f
+	g.edges[id^1].flow -= f
+}
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm and leaves
+// the per-edge flows readable via Flow.
+func (g *Graph) MaxFlow(s, t int) float64 {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	total := 0.0
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	for g.bfs(s, t, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, math.Inf(1), level, iter)
+			if f < eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// bfs builds the level graph; reports whether t is reachable.
+func (g *Graph) bfs(s, t int, level []int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.adj[v] {
+			e := &g.edges[id]
+			if g.residual(id) > eps && level[e.to] < 0 {
+				level[e.to] = level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return level[t] >= 0
+}
+
+// dfs finds one augmenting path in the level graph.
+func (g *Graph) dfs(v, t int, f float64, level, iter []int) float64 {
+	if v == t {
+		return f
+	}
+	for ; iter[v] < len(g.adj[v]); iter[v]++ {
+		id := g.adj[v][iter[v]]
+		e := &g.edges[id]
+		if g.residual(id) > eps && level[e.to] == level[v]+1 {
+			d := g.dfs(e.to, t, math.Min(f, g.residual(id)), level, iter)
+			if d > eps {
+				g.push(id, d)
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// MinCostMaxFlow computes a maximum s-t flow of minimum total cost using
+// successive shortest paths (SPFA / Bellman-Ford queue variant; costs may
+// not form negative cycles). It returns the flow value and its cost.
+func (g *Graph) MinCostMaxFlow(s, t int) (flowVal, cost float64) {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int, g.n)
+	for {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			inQueue[v] = false
+			for _, id := range g.adj[v] {
+				e := &g.edges[id]
+				if g.residual(id) > eps && dist[v]+e.cost < dist[e.to]-eps {
+					dist[e.to] = dist[v] + e.cost
+					prevEdge[e.to] = id
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return flowVal, cost
+		}
+		// Bottleneck along the path.
+		f := math.Inf(1)
+		for v := t; v != s; {
+			id := prevEdge[v]
+			f = math.Min(f, g.residual(id))
+			v = g.edges[id^1].to
+		}
+		for v := t; v != s; {
+			id := prevEdge[v]
+			g.push(id, f)
+			cost += f * g.edges[id].cost
+			v = g.edges[id^1].to
+		}
+		flowVal += f
+	}
+}
+
+// CheckConservation verifies flow conservation at every node except s and
+// t, and capacity constraints on every edge. It returns a descriptive
+// error on the first violation. Intended for tests and invariant checks.
+func (g *Graph) CheckConservation(s, t int) error {
+	net := make([]float64, g.n)
+	for id := 0; id < len(g.edges); id += 2 {
+		e := g.edges[id]
+		if e.flow < -eps || e.flow > e.cap+eps {
+			return fmt.Errorf("flow: edge %d flow %v outside [0, %v]", id, e.flow, e.cap)
+		}
+		from := g.edges[id^1].to
+		net[from] -= e.flow
+		net[e.to] += e.flow
+	}
+	for v := 0; v < g.n; v++ {
+		if v == s || v == t {
+			continue
+		}
+		if math.Abs(net[v]) > 1e-6 {
+			return fmt.Errorf("flow: conservation violated at node %d (net %v)", v, net[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAllocationLP measures a 64-node-shaped feasibility +
+// min-offload solve (256 worker variables, ~130 constraints).
+func BenchmarkAllocationLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nodes, workersPer = 64, 4
+	nvars := nodes * workersPer
+	build := func() *Problem {
+		p := NewProblem(nvars)
+		obj := make([]float64, nvars)
+		for w := 0; w < nvars; w++ {
+			if w%workersPer != 0 {
+				obj[w] = 1
+			}
+		}
+		p.SetObjective(obj)
+		for n := 0; n < nodes; n++ {
+			coef := make([]float64, nvars)
+			for k := 0; k < workersPer; k++ {
+				coef[n*workersPer+k] = 1
+			}
+			p.AddConstraint(coef, LE, 44)
+		}
+		for a := 0; a < nodes; a++ {
+			coef := make([]float64, nvars)
+			for k := 0; k < workersPer; k++ {
+				coef[a*workersPer+k] = 1
+			}
+			p.AddConstraint(coef, GE, rng.Float64()*40)
+		}
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build().Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs.
+//
+// It plays the role of CVXOPT in the paper's global core-allocation policy
+// (§5.4.2): the bisection feasibility subproblems and the minimum-offload
+// secondary objective are linear programs over a few hundred variables.
+// Problems are stated as
+//
+//	minimize    c.x
+//	subject to  A x {<=,=,>=} b,   x >= 0.
+//
+// Bland's pivoting rule is used throughout, which guarantees termination
+// (no cycling) at the cost of speed — irrelevant at this scale.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Status is the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ErrNotSolved reports that the problem has no optimal solution.
+var ErrNotSolved = errors.New("lp: no optimal solution")
+
+type constraint struct {
+	coef []float64
+	rel  Rel
+	rhs  float64
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	nvars int
+	c     []float64
+	cons  []constraint
+}
+
+// NewProblem creates a problem with nvars non-negative variables and a
+// zero objective.
+func NewProblem(nvars int) *Problem {
+	if nvars <= 0 {
+		panic("lp: non-positive variable count")
+	}
+	return &Problem{nvars: nvars, c: make([]float64, nvars)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// SetObjective sets the minimization objective coefficients.
+func (p *Problem) SetObjective(c []float64) {
+	if len(c) != p.nvars {
+		panic(fmt.Sprintf("lp: objective has %d coefficients, want %d", len(c), p.nvars))
+	}
+	copy(p.c, c)
+}
+
+// AddConstraint appends the constraint coef.x rel rhs.
+func (p *Problem) AddConstraint(coef []float64, rel Rel, rhs float64) {
+	if len(coef) != p.nvars {
+		panic(fmt.Sprintf("lp: constraint has %d coefficients, want %d", len(coef), p.nvars))
+	}
+	p.cons = append(p.cons, constraint{coef: append([]float64(nil), coef...), rel: rel, rhs: rhs})
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid when Status == Optimal)
+	Objective float64   // c.x at the optimum
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the solution. The error is
+// non-nil exactly when Status != Optimal.
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	// Phase 1: minimize the sum of artificial variables.
+	if t.nart > 0 {
+		t.setPhase1Objective()
+		if status := t.iterate(); status == Unbounded {
+			// Phase 1 is bounded below by 0; this cannot happen.
+			return &Solution{Status: Infeasible}, fmt.Errorf("lp: %w (phase-1 unbounded)", ErrNotSolved)
+		}
+		if t.objectiveValue() > 1e-7 {
+			return &Solution{Status: Infeasible}, fmt.Errorf("lp: %w (infeasible)", ErrNotSolved)
+		}
+		t.driveOutArtificials()
+	}
+	// Phase 2: original objective.
+	t.setPhase2Objective(p.c)
+	if status := t.iterate(); status == Unbounded {
+		return &Solution{Status: Unbounded}, fmt.Errorf("lp: %w (unbounded)", ErrNotSolved)
+	}
+	x := t.extract(p.nvars)
+	obj := 0.0
+	for i, ci := range p.c {
+		obj += ci * x[i]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is the dense simplex tableau. Columns are ordered: original
+// variables, slack/surplus variables, artificial variables, rhs.
+type tableau struct {
+	m, n    int // constraints, total columns excluding rhs
+	norig   int
+	nart    int
+	artCol0 int         // first artificial column
+	a       [][]float64 // m rows x (n+1); last column is rhs
+	obj     []float64   // n+1 entries; reduced costs and objective value
+	basis   []int       // basic variable (column) of each row
+	phase2  bool        // artificials frozen
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.cons)
+	// Count slack/surplus and artificial columns. Rows with negative rhs
+	// are negated, which flips LE<->GE; both need one slack either way.
+	nslack, nart := 0, 0
+	for _, c := range p.cons {
+		rel := c.rel
+		if c.rhs < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			nslack++
+		case GE:
+			nslack++
+			nart++
+		case EQ:
+			nart++
+		}
+	}
+	n := p.nvars + nslack + nart
+	t := &tableau{
+		m: m, n: n, norig: p.nvars, nart: nart,
+		artCol0: p.nvars + nslack,
+		a:       make([][]float64, m),
+		obj:     make([]float64, n+1),
+		basis:   make([]int, m),
+	}
+	slack := p.nvars
+	art := t.artCol0
+	for i, c := range p.cons {
+		row := make([]float64, n+1)
+		coef := c.coef
+		rhs := c.rhs
+		rel := c.rel
+		sign := 1.0
+		if rhs < 0 {
+			sign = -1.0
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for j, v := range coef {
+			row[j] = sign * v
+		}
+		row[n] = rhs
+		switch rel {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+// setPhase1Objective installs minimize sum(artificials), expressed in terms
+// of the current (artificial) basis.
+func (t *tableau) setPhase1Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := t.artCol0; j < t.artCol0+t.nart; j++ {
+		t.obj[j] = 1
+	}
+	// Price out the basic artificials: subtract their rows.
+	for i, b := range t.basis {
+		if b >= t.artCol0 {
+			for j := 0; j <= t.n; j++ {
+				t.obj[j] -= t.a[i][j]
+			}
+		}
+	}
+}
+
+// setPhase2Objective installs minimize c.x priced out against the current
+// basis; artificial columns are frozen (treated as forbidden to enter).
+func (t *tableau) setPhase2Objective(c []float64) {
+	t.phase2 = true
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := 0; j < t.norig; j++ {
+		t.obj[j] = c[j]
+	}
+	for i, b := range t.basis {
+		cb := 0.0
+		if b < t.norig {
+			cb = c[b]
+		}
+		if cb != 0 {
+			for j := 0; j <= t.n; j++ {
+				t.obj[j] -= cb * t.a[i][j]
+			}
+		}
+	}
+}
+
+// objectiveValue returns the current objective value (phase-1 form stores
+// -value in the rhs entry).
+func (t *tableau) objectiveValue() float64 { return -t.obj[t.n] }
+
+// forbidden reports whether column j may not enter the basis (artificials
+// in phase 2).
+func (t *tableau) forbidden(j int, phase2 bool) bool {
+	return phase2 && j >= t.artCol0 && j < t.artCol0+t.nart
+}
+
+// iterate runs simplex pivots (Bland's rule) until optimal or unbounded.
+// Phase is inferred: after setPhase2Objective artificials are frozen.
+func (t *tableau) iterate() Status {
+	phase2 := t.phase2
+	for iter := 0; ; iter++ {
+		if iter > 100000 {
+			panic("lp: iteration limit exceeded (cycling despite Bland's rule?)")
+		}
+		// Entering column: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if t.forbidden(j, phase2) {
+				continue
+			}
+			if t.obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Leaving row: min ratio, ties broken by smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.a[i][t.n] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	for j := 0; j <= t.n; j++ {
+		t.a[row][j] /= p
+	}
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := 0; j <= t.n; j++ {
+			t.obj[j] -= f * t.a[row][j]
+		}
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots basic artificial variables out of the basis
+// where possible (degenerate rows) so phase 2 starts clean.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artCol0 {
+			continue
+		}
+		// Find any non-artificial column with a non-zero entry.
+		swapped := false
+		for j := 0; j < t.artCol0; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				swapped = true
+				break
+			}
+		}
+		if !swapped {
+			// Redundant row: the artificial stays basic at value ~0,
+			// which is harmless because its column is frozen in phase 2.
+			continue
+		}
+	}
+}
+
+// extract reads the values of the first nvars variables from the tableau.
+func (t *tableau) extract(nvars int) []float64 {
+	x := make([]float64, nvars)
+	for i, b := range t.basis {
+		if b < nvars {
+			x[b] = t.a[i][t.n]
+			if x[b] < 0 && x[b] > -1e-7 {
+				x[b] = 0
+			}
+		}
+	}
+	return x
+}

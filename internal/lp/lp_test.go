@@ -1,0 +1,262 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, obj=36.
+	// As minimization of -(3x + 5y).
+	p := NewProblem(2)
+	p.SetObjective([]float64{-3, -5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	s := solveOK(t, p)
+	if !approx(s.X[0], 2) || !approx(s.X[1], 6) || !approx(s.Objective, -36) {
+		t.Fatalf("x = %v, obj = %v; want [2 6], -36", s.X, s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x <= 4  => x=4, y=6, obj=16.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 2})
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	s := solveOK(t, p)
+	if !approx(s.X[0], 4) || !approx(s.X[1], 6) || !approx(s.Objective, 16) {
+		t.Fatalf("x = %v, obj = %v; want [4 6], 16", s.X, s.Objective)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 5, x >= 1  => x=5, y=0, obj=10.
+	p := NewProblem(2)
+	p.SetObjective([]float64{2, 3})
+	p.AddConstraint([]float64{1, 1}, GE, 5)
+	p.AddConstraint([]float64{1, 0}, GE, 1)
+	s := solveOK(t, p)
+	if !approx(s.Objective, 10) {
+		t.Fatalf("obj = %v, want 10 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3) => x=3.
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, -3)
+	s := solveOK(t, p)
+	if !approx(s.X[0], 3) {
+		t.Fatalf("x = %v, want 3", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	s, err := p.Solve()
+	if err == nil || s.Status != Infeasible {
+		t.Fatalf("status = %v, err = %v; want infeasible", s.Status, err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{-1, 0}) // maximize x with no upper bound
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	s, err := p.Solve()
+	if err == nil || s.Status != Unbounded {
+		t.Fatalf("status = %v, err = %v; want unbounded", s.Status, err)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7 (Beale's cycling example).
+	p := NewProblem(4)
+	p.SetObjective([]float64{-0.75, 150, -0.02, 6})
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s := solveOK(t, p)
+	if !approx(s.Objective, -0.05) {
+		t.Fatalf("obj = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 4 stated twice; min x => x=0, y=4.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0})
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{2, 2}, EQ, 8)
+	s := solveOK(t, p)
+	if !approx(s.X[0], 0) || !approx(s.X[1], 4) {
+		t.Fatalf("x = %v, want [0 4]", s.X)
+	}
+}
+
+func TestZeroObjectiveFeasibilityCheck(t *testing.T) {
+	// Pure feasibility: any x with x1 + x2 >= 2, x1 <= 1, x2 <= 2.
+	p := NewProblem(2)
+	p.AddConstraint([]float64{1, 1}, GE, 2)
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 2)
+	s := solveOK(t, p)
+	if s.X[0]+s.X[1] < 2-1e-9 || s.X[0] > 1+1e-9 || s.X[1] > 2+1e-9 {
+		t.Fatalf("returned infeasible point %v", s.X)
+	}
+}
+
+func TestAllocationShapedProblem(t *testing.T) {
+	// A miniature of the paper's core-allocation LP at fixed t:
+	// workers w0 (apprank 0 on node 0), w1 (apprank 0 on node 1),
+	// w2 (apprank 1 on node 1). Node capacities 4 and 4.
+	// Apprank 0 needs >= 6 cores, apprank 1 needs >= 2.
+	// Minimize offloaded cores (w1).
+	p := NewProblem(3)
+	p.SetObjective([]float64{0, 1, 0})
+	p.AddConstraint([]float64{1, 0, 0}, LE, 4) // node 0 capacity
+	p.AddConstraint([]float64{0, 1, 1}, LE, 4) // node 1 capacity
+	p.AddConstraint([]float64{1, 1, 0}, GE, 6) // apprank 0 demand
+	p.AddConstraint([]float64{0, 0, 1}, GE, 2) // apprank 1 demand
+	for i := 0; i < 3; i++ {
+		coef := make([]float64, 3)
+		coef[i] = 1
+		p.AddConstraint(coef, GE, 1) // every worker owns >= 1 core
+	}
+	s := solveOK(t, p)
+	if !approx(s.X[0], 4) || !approx(s.X[1], 2) || !approx(s.X[2], 2) {
+		t.Fatalf("x = %v, want [4 2 2]", s.X)
+	}
+}
+
+func TestInputValidationPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewProblem(0) },
+		func() { NewProblem(2).SetObjective([]float64{1}) },
+		func() { NewProblem(2).AddConstraint([]float64{1}, LE, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestQuickFeasibleBoundedLP builds random LPs that are feasible and
+// bounded by construction (box constraints plus random LE cuts that keep
+// the origin feasible) and checks that the solver's optimum is no worse
+// than a cloud of random feasible points.
+func TestQuickFeasibleBoundedLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64()*4 - 2
+		}
+		p.SetObjective(c)
+		// Box: x_i <= 10 keeps the problem bounded in every direction
+		// that decreases the objective... except negative c with x free
+		// upward; box handles it.
+		for i := 0; i < n; i++ {
+			coef := make([]float64, n)
+			coef[i] = 1
+			p.AddConstraint(coef, LE, 10)
+		}
+		// Random cuts a.x <= b with b >= 0 keep the origin feasible.
+		cuts := rng.Intn(4)
+		type cut struct {
+			coef []float64
+			rhs  float64
+		}
+		var cutList []cut
+		for k := 0; k < cuts; k++ {
+			coef := make([]float64, n)
+			for i := range coef {
+				coef[i] = rng.Float64()*2 - 1
+			}
+			rhs := rng.Float64() * 5
+			p.AddConstraint(coef, LE, rhs)
+			cutList = append(cutList, cut{coef, rhs})
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// The optimum must be feasible.
+		for i := 0; i < n; i++ {
+			if s.X[i] < -1e-7 || s.X[i] > 10+1e-7 {
+				return false
+			}
+		}
+		for _, cu := range cutList {
+			dot := 0.0
+			for i := range cu.coef {
+				dot += cu.coef[i] * s.X[i]
+			}
+			if dot > cu.rhs+1e-6 {
+				return false
+			}
+		}
+		// And at least as good as random feasible samples.
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.Float64() * 10
+			}
+			ok := true
+			for _, cu := range cutList {
+				dot := 0.0
+				for i := range cu.coef {
+					dot += cu.coef[i] * x[i]
+				}
+				if dot > cu.rhs {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			obj := 0.0
+			for i := range x {
+				obj += c[i] * x[i]
+			}
+			if obj < s.Objective-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

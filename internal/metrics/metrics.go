@@ -1,0 +1,166 @@
+// Package metrics provides the paper's load-imbalance metric (Equation 2)
+// and small statistics helpers shared by the experiments.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Imbalance computes Equation 2: max(load) / mean(load), which is >= 1
+// and dimensionless. A zero or empty load vector returns 1 (perfectly
+// balanced: there is nothing to balance).
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	maxL, sum := 0.0, 0.0
+	for _, l := range loads {
+		if l < 0 {
+			panic(fmt.Sprintf("metrics: negative load %v", l))
+		}
+		if l > maxL {
+			maxL = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	return maxL / (sum / float64(len(loads)))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// SpreadLoads builds a load vector with a prescribed imbalance (Equation
+// 2), the construction used by the paper's synthetic benchmark (§6.2):
+// the heaviest entry is mean*imbalance and the others are uniformly
+// distributed over the space of values that keep the overall mean at
+// mean. next is a uniform [0,1) random source.
+func SpreadLoads(n int, mean, imbalance float64, next func() float64) []float64 {
+	if n <= 0 {
+		panic("metrics: SpreadLoads with n <= 0")
+	}
+	if imbalance < 1 || imbalance > float64(n) {
+		panic(fmt.Sprintf("metrics: imbalance %v outside [1, %d]", imbalance, n))
+	}
+	loads := make([]float64, n)
+	loads[0] = mean * imbalance
+	if n == 1 {
+		return loads
+	}
+	// The remaining n-1 entries must sum to rem = n*mean - max, each in
+	// [0, max]. Draw uniform points, rescale to the target sum, and
+	// iteratively clamp entries exceeding max while redistributing the
+	// excess — this always terminates because (n-1)*max >= rem whenever
+	// imbalance >= 1 (with equality at imbalance 1, where every entry is
+	// clamped to exactly max = mean).
+	maxV := loads[0]
+	rem := float64(n)*mean - maxV
+	vals := loads[1:]
+	sum := 0.0
+	for i := range vals {
+		vals[i] = next()
+		sum += vals[i]
+	}
+	clamped := make([]bool, len(vals))
+	for {
+		free := 0.0
+		budget := rem
+		for i := range vals {
+			if clamped[i] {
+				budget -= maxV
+			} else {
+				free += vals[i]
+			}
+		}
+		if budget < 0 {
+			budget = 0
+		}
+		again := false
+		for i := range vals {
+			if clamped[i] {
+				vals[i] = maxV
+				continue
+			}
+			if free > 0 {
+				vals[i] = vals[i] / free * budget
+			} else {
+				vals[i] = budget / float64(len(vals))
+			}
+			if vals[i] > maxV+1e-12 {
+				clamped[i] = true
+				again = true
+			}
+		}
+		if !again {
+			return loads
+		}
+	}
+}

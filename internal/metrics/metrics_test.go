@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		loads []float64
+		want  float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1.0},
+		{[]float64{2, 1, 1}, 1.5},
+		{[]float64{4, 0, 0, 0}, 4.0},
+		{nil, 1.0},
+		{[]float64{0, 0}, 1.0},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.loads); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.loads, got, c.want)
+		}
+	}
+}
+
+func TestImbalanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative load did not panic")
+		}
+	}()
+	Imbalance([]float64{1, -1})
+}
+
+func TestBasicStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 || Max(xs) != 4 || Min(xs) != 1 || Median(xs) != 2.5 {
+		t.Fatalf("stats wrong: mean=%v max=%v min=%v median=%v", Mean(xs), Max(xs), Min(xs), Median(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty-input stats should be 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if got := Stddev([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("stddev of constant = %v", got)
+	}
+	if got := Stddev([]float64{1, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("stddev = %v, want 1", got)
+	}
+}
+
+func TestSpreadLoadsExactImbalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, imb := range []float64{1.0, 1.5, 2.0, 3.0, 4.0} {
+		loads := SpreadLoads(8, 50, imb, rng.Float64)
+		if len(loads) != 8 {
+			t.Fatal("wrong length")
+		}
+		got := Imbalance(loads)
+		if math.Abs(got-imb) > 1e-6 {
+			t.Fatalf("imbalance = %v, want %v (loads %v)", got, imb, loads)
+		}
+		if math.Abs(Mean(loads)-50) > 1e-6 {
+			t.Fatalf("mean = %v, want 50", Mean(loads))
+		}
+		for _, l := range loads {
+			if l < -1e-9 {
+				t.Fatalf("negative load in %v", loads)
+			}
+		}
+	}
+}
+
+func TestSpreadLoadsSingleRank(t *testing.T) {
+	loads := SpreadLoads(1, 50, 1.0, func() float64 { return 0.5 })
+	if len(loads) != 1 || loads[0] != 50 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+func TestSpreadLoadsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SpreadLoads(0, 50, 1, nil) },
+		func() { SpreadLoads(4, 50, 0.5, nil) },
+		func() { SpreadLoads(4, 50, 5.0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: SpreadLoads always hits the target imbalance and mean, for
+// any valid (n, imbalance) pair.
+func TestQuickSpreadLoads(t *testing.T) {
+	f := func(seed int64, nRaw, imbRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%15) + 2
+		imb := 1 + float64(imbRaw)/256*float64(n-1)
+		loads := SpreadLoads(n, 50, imb, rng.Float64)
+		return math.Abs(Imbalance(loads)-imb) < 1e-6 &&
+			math.Abs(Mean(loads)-50) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: imbalance is within [1, n].
+func TestQuickImbalanceBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		for i, r := range raw {
+			loads[i] = float64(r)
+		}
+		got := Imbalance(loads)
+		return got >= 1-1e-12 && got <= float64(len(raw))+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

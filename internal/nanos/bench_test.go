@@ -1,0 +1,51 @@
+package nanos
+
+import "testing"
+
+// BenchmarkSubmitIndependent measures dependency-registry throughput for
+// disjoint regions.
+func BenchmarkSubmitIndependent(b *testing.B) {
+	g := NewTaskGraph(func(*Task) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := uint64(i%4096) * 128
+		t := &Task{Accesses: []Access{{Region{s, s + 64}, InOut}}}
+		g.Submit(t)
+		g.MarkRunning(t, 0)
+		g.Complete(t)
+	}
+}
+
+// BenchmarkSubmitChained measures the serial-chain path (same region).
+func BenchmarkSubmitChained(b *testing.B) {
+	ready := make([]*Task, 0, 1)
+	g := NewTaskGraph(func(t *Task) { ready = append(ready, t) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Submit(&Task{Accesses: []Access{{Region{0, 64}, InOut}}})
+		for len(ready) > 0 {
+			t := ready[0]
+			ready = ready[1:]
+			g.MarkRunning(t, 0)
+			g.Complete(t)
+		}
+	}
+}
+
+// BenchmarkDataLocation measures locality queries over a fragmented
+// registry.
+func BenchmarkDataLocation(b *testing.B) {
+	g := NewTaskGraph(func(*Task) {})
+	for i := 0; i < 256; i++ {
+		s := uint64(i) * 100
+		t := &Task{Accesses: []Access{{Region{s, s + 100}, Out}}}
+		g.Submit(t)
+		g.MarkRunning(t, i%8)
+		g.Complete(t)
+	}
+	acc := []Access{{Region{0, 25600}, In}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DataLocation(acc)
+	}
+}

@@ -1,0 +1,497 @@
+package nanos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// harness collects readiness notifications.
+type harness struct {
+	g     *TaskGraph
+	ready []*Task
+}
+
+func newHarness() *harness {
+	h := &harness{}
+	h.g = NewTaskGraph(func(t *Task) { h.ready = append(h.ready, t) })
+	return h
+}
+
+// popReady removes and returns the first ready task, or nil.
+func (h *harness) popReady() *Task {
+	if len(h.ready) == 0 {
+		return nil
+	}
+	t := h.ready[0]
+	h.ready = h.ready[1:]
+	return t
+}
+
+// run executes t to completion on node 0.
+func (h *harness) run(t *Task) {
+	h.g.MarkRunning(t, 0)
+	h.g.Complete(t)
+}
+
+func region(s, e uint64) Region { return Region{Start: s, End: e} }
+
+func TestIndependentTasksReadyImmediately(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 5; i++ {
+		h.g.Submit(&Task{Label: "t", Accesses: []Access{
+			{Region: region(uint64(i*100), uint64(i*100+50)), Mode: InOut},
+		}})
+	}
+	if len(h.ready) != 5 {
+		t.Fatalf("%d tasks ready, want 5 (disjoint regions are independent)", len(h.ready))
+	}
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	h := newHarness()
+	w := &Task{Label: "writer", Accesses: []Access{{region(0, 100), Out}}}
+	r := &Task{Label: "reader", Accesses: []Access{{region(0, 100), In}}}
+	h.g.Submit(w)
+	h.g.Submit(r)
+	if len(h.ready) != 1 || h.ready[0] != w {
+		t.Fatalf("ready = %v, want writer only", h.ready)
+	}
+	if r.NumDeps() != 1 {
+		t.Fatalf("reader deps = %d, want 1", r.NumDeps())
+	}
+	h.ready = nil
+	h.run(w)
+	if len(h.ready) != 1 || h.ready[0] != r {
+		t.Fatal("reader not released by writer completion")
+	}
+}
+
+func TestWriteAfterRead(t *testing.T) {
+	h := newHarness()
+	w1 := &Task{Label: "w1", Accesses: []Access{{region(0, 10), Out}}}
+	r1 := &Task{Label: "r1", Accesses: []Access{{region(0, 10), In}}}
+	r2 := &Task{Label: "r2", Accesses: []Access{{region(0, 10), In}}}
+	w2 := &Task{Label: "w2", Accesses: []Access{{region(0, 10), Out}}}
+	h.g.Submit(w1)
+	h.g.Submit(r1)
+	h.g.Submit(r2)
+	h.g.Submit(w2)
+	// w2 must wait for both readers plus a direct WAW edge on w1.
+	if w2.NumDeps() != 3 {
+		t.Fatalf("w2 deps = %d, want 3 (two readers + first writer)", w2.NumDeps())
+	}
+	h.ready = nil
+	h.run(w1)
+	// Both readers become ready; w2 still blocked.
+	if len(h.ready) != 2 {
+		t.Fatalf("%d ready after w1, want 2 readers", len(h.ready))
+	}
+	if w2.State() != Created {
+		t.Fatal("w2 ran before readers finished")
+	}
+	h.ready = nil
+	h.run(r1)
+	if len(h.ready) != 0 {
+		t.Fatal("w2 released after only one reader")
+	}
+	h.run(r2)
+	if len(h.ready) != 1 || h.ready[0] != w2 {
+		t.Fatal("w2 not released after both readers")
+	}
+}
+
+func TestConcurrentReadersShareRegion(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 4; i++ {
+		h.g.Submit(&Task{Label: "r", Accesses: []Access{{region(0, 1000), In}}})
+	}
+	if len(h.ready) != 4 {
+		t.Fatalf("%d ready, want 4 (readers do not conflict)", len(h.ready))
+	}
+}
+
+func TestInOutChainSerializes(t *testing.T) {
+	h := newHarness()
+	var tasks []*Task
+	for i := 0; i < 5; i++ {
+		tk := &Task{Label: "acc", Accesses: []Access{{region(0, 8), InOut}}}
+		tasks = append(tasks, tk)
+		h.g.Submit(tk)
+	}
+	// Only the first is ready; completing each releases exactly the next.
+	for i := 0; i < 5; i++ {
+		if len(h.ready) != 1 || h.ready[0] != tasks[i] {
+			t.Fatalf("step %d: ready = %v", i, h.ready)
+		}
+		tk := h.popReady()
+		h.run(tk)
+	}
+}
+
+func TestPartialOverlapDependency(t *testing.T) {
+	h := newHarness()
+	w := &Task{Label: "w", Accesses: []Access{{region(0, 100), Out}}}
+	r := &Task{Label: "r", Accesses: []Access{{region(50, 150), In}}}
+	h.g.Submit(w)
+	h.g.Submit(r)
+	if r.NumDeps() != 1 {
+		t.Fatalf("partial overlap produced %d deps, want 1", r.NumDeps())
+	}
+}
+
+func TestAdjacentRegionsIndependent(t *testing.T) {
+	h := newHarness()
+	a := &Task{Label: "a", Accesses: []Access{{region(0, 100), Out}}}
+	b := &Task{Label: "b", Accesses: []Access{{region(100, 200), Out}}}
+	h.g.Submit(a)
+	h.g.Submit(b)
+	if len(h.ready) != 2 {
+		t.Fatal("adjacent (non-overlapping) regions must not conflict")
+	}
+}
+
+func TestMultipleDistinctPredecessors(t *testing.T) {
+	h := newHarness()
+	w1 := &Task{Label: "w1", Accesses: []Access{{region(0, 10), Out}}}
+	w2 := &Task{Label: "w2", Accesses: []Access{{region(10, 20), Out}}}
+	r := &Task{Label: "r", Accesses: []Access{{region(0, 20), In}}}
+	h.g.Submit(w1)
+	h.g.Submit(w2)
+	h.g.Submit(r)
+	if r.NumDeps() != 2 {
+		t.Fatalf("r deps = %d, want 2", r.NumDeps())
+	}
+}
+
+func TestDedupSinglePredecessor(t *testing.T) {
+	h := newHarness()
+	w := &Task{Label: "w", Accesses: []Access{{region(0, 10), Out}, {region(20, 30), Out}}}
+	r := &Task{Label: "r", Accesses: []Access{{region(0, 10), In}, {region(20, 30), In}}}
+	h.g.Submit(w)
+	h.g.Submit(r)
+	if r.NumDeps() != 1 {
+		t.Fatalf("r deps = %d, want 1 (same predecessor via two regions)", r.NumDeps())
+	}
+}
+
+func TestEmptyAccessIgnored(t *testing.T) {
+	h := newHarness()
+	h.g.Submit(&Task{Label: "w", Accesses: []Access{{region(0, 100), Out}}})
+	r := &Task{Label: "r", Accesses: []Access{{region(50, 50), In}}}
+	h.g.Submit(r)
+	if r.NumDeps() != 0 {
+		t.Fatal("zero-length access created a dependency")
+	}
+}
+
+func TestInvertedRegionPanics(t *testing.T) {
+	h := newHarness()
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted region did not panic")
+		}
+	}()
+	h.g.Submit(&Task{Accesses: []Access{{Region{100, 50}, In}}})
+}
+
+func TestResubmitPanics(t *testing.T) {
+	h := newHarness()
+	tk := &Task{Label: "t"}
+	h.g.Submit(tk)
+	defer func() {
+		if recover() == nil {
+			t.Error("resubmit did not panic")
+		}
+	}()
+	h.g.Submit(tk)
+}
+
+func TestQuiescence(t *testing.T) {
+	h := newHarness()
+	fired := 0
+	h.g.OnQuiescent(func() { fired++ })
+	if fired != 1 {
+		t.Fatal("quiescence on empty graph must fire immediately")
+	}
+	t1 := &Task{Label: "t1"}
+	t2 := &Task{Label: "t2"}
+	h.g.Submit(t1)
+	h.g.Submit(t2)
+	h.g.OnQuiescent(func() { fired++ })
+	h.run(t1)
+	if fired != 1 {
+		t.Fatal("quiescence fired with a task outstanding")
+	}
+	h.run(t2)
+	if fired != 2 {
+		t.Fatal("quiescence did not fire when the graph drained")
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := newHarness()
+	t1 := &Task{Label: "t1"}
+	h.g.Submit(t1)
+	sub, comp, out := h.g.Stats()
+	if sub != 1 || comp != 0 || out != 1 {
+		t.Fatalf("stats = %d/%d/%d", sub, comp, out)
+	}
+	h.run(t1)
+	sub, comp, out = h.g.Stats()
+	if sub != 1 || comp != 1 || out != 0 {
+		t.Fatalf("stats = %d/%d/%d", sub, comp, out)
+	}
+}
+
+func TestDataLocation(t *testing.T) {
+	h := newHarness()
+	w := &Task{Label: "w", Accesses: []Access{{region(0, 100), Out}}}
+	h.g.Submit(w)
+	h.g.MarkRunning(w, 3)
+	h.g.Complete(w)
+	// A reader of [0,150): 100 bytes on node 3, 50 unknown.
+	loc := h.g.DataLocation([]Access{{region(0, 150), In}})
+	if loc[3] != 100 || loc[-1] != 50 {
+		t.Fatalf("loc = %v, want 100 on node 3 and 50 unknown", loc)
+	}
+	// Out accesses do not contribute.
+	loc = h.g.DataLocation([]Access{{region(0, 150), Out}})
+	if len(loc) != 0 {
+		t.Fatalf("Out access produced location %v", loc)
+	}
+}
+
+func TestDataLocationUnstartedWriter(t *testing.T) {
+	h := newHarness()
+	w := &Task{Label: "w", Accesses: []Access{{region(0, 64), Out}}}
+	h.g.Submit(w)
+	loc := h.g.DataLocation([]Access{{region(0, 64), In}})
+	if loc[-1] != 64 {
+		t.Fatalf("loc = %v, want all 64 bytes unknown (writer not started)", loc)
+	}
+}
+
+func TestWritersQuery(t *testing.T) {
+	h := newHarness()
+	w1 := &Task{Label: "w1", Accesses: []Access{{region(0, 50), Out}}}
+	w2 := &Task{Label: "w2", Accesses: []Access{{region(50, 100), Out}}}
+	h.g.Submit(w1)
+	h.g.Submit(w2)
+	ws := h.g.Writers(region(0, 100))
+	if len(ws) != 2 {
+		t.Fatalf("writers = %d, want 2", len(ws))
+	}
+}
+
+func TestRegistryScrubReleasesCompleted(t *testing.T) {
+	h := newHarness()
+	// Repeatedly rewrite the same region; intervals must not accumulate
+	// and live pointers must be scrubbed.
+	for i := 0; i < 100; i++ {
+		tk := &Task{Label: "w", Accesses: []Access{{region(0, 64), InOut}}}
+		h.g.Submit(tk)
+		tk2 := h.popReady()
+		if tk2 != tk {
+			t.Fatal("chain broken")
+		}
+		h.run(tk)
+	}
+	if n := h.g.reg.numIntervals(); n > 2 {
+		t.Fatalf("registry holds %d intervals after 100 rewrites, want <= 2", n)
+	}
+}
+
+func TestSplitAndMergeBehaviour(t *testing.T) {
+	h := newHarness()
+	// Writer covers [0,100); two readers split it.
+	w := &Task{Label: "w", Accesses: []Access{{region(0, 100), Out}}}
+	h.g.Submit(w)
+	r1 := &Task{Label: "r1", Accesses: []Access{{region(0, 30), In}}}
+	r2 := &Task{Label: "r2", Accesses: []Access{{region(30, 100), In}}}
+	h.g.Submit(r1)
+	h.g.Submit(r2)
+	// A writer over [20,40) must depend on w (RAW-ordering via intervals),
+	// and on r1 and r2 (WAR).
+	w2 := &Task{Label: "w2", Accesses: []Access{{region(20, 40), Out}}}
+	h.g.Submit(w2)
+	if w2.NumDeps() != 3 {
+		t.Fatalf("w2 deps = %d, want 3 (w, r1, r2)", w2.NumDeps())
+	}
+}
+
+// TestQuickSerializability generates random task sets with random accesses
+// over a small address space, executes them in notification order, and
+// verifies that the execution order is a valid serialization: for every
+// pair of tasks with conflicting accesses (overlap, at least one writer),
+// their execution order matches submission order.
+func TestQuickSerializability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		type spec struct {
+			accs []Access
+		}
+		specs := make([]spec, n)
+		for i := range specs {
+			na := 1 + rng.Intn(3)
+			for k := 0; k < na; k++ {
+				s := uint64(rng.Intn(90))
+				e := s + uint64(rng.Intn(30)+1)
+				specs[i].accs = append(specs[i].accs, Access{
+					Region: region(s, e),
+					Mode:   AccessMode(rng.Intn(4)),
+				})
+			}
+		}
+		var execOrder []int64
+		var readyQ []*Task
+		g := NewTaskGraph(func(tk *Task) { readyQ = append(readyQ, tk) })
+		tasks := make([]*Task, n)
+		for i := range tasks {
+			tasks[i] = &Task{Label: "q", Accesses: specs[i].accs}
+			g.Submit(tasks[i])
+		}
+		// Execute in random ready order.
+		for len(readyQ) > 0 {
+			i := rng.Intn(len(readyQ))
+			tk := readyQ[i]
+			readyQ = append(readyQ[:i], readyQ[i+1:]...)
+			g.MarkRunning(tk, 0)
+			execOrder = append(execOrder, tk.ID)
+			g.Complete(tk)
+		}
+		if len(execOrder) != n {
+			return false // deadlock: not every task ran
+		}
+		pos := make(map[int64]int, n)
+		for i, id := range execOrder {
+			pos[id] = i
+		}
+		conflicts := func(a, b *Task) bool {
+			for _, x := range a.Accesses {
+				for _, y := range b.Accesses {
+					if !x.Region.Overlaps(y.Region) {
+						continue
+					}
+					// Readers don't conflict with readers; concurrent
+					// accesses don't conflict with each other.
+					if x.Mode == In && y.Mode == In {
+						continue
+					}
+					if x.Mode == Concurrent && y.Mode == Concurrent {
+						continue
+					}
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if conflicts(tasks[i], tasks[j]) && pos[tasks[i].ID] > pos[tasks[j].ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQuiescenceAlwaysFires: any random DAG drains and fires
+// quiescence exactly once.
+func TestQuickQuiescenceAlwaysFires(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fired := 0
+		var readyQ []*Task
+		g := NewTaskGraph(func(tk *Task) { readyQ = append(readyQ, tk) })
+		n := 1 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			s := uint64(rng.Intn(50))
+			g.Submit(&Task{Accesses: []Access{{region(s, s+10), AccessMode(rng.Intn(3))}}})
+		}
+		g.OnQuiescent(func() { fired++ })
+		for len(readyQ) > 0 {
+			tk := readyQ[0]
+			readyQ = readyQ[1:]
+			g.MarkRunning(tk, 0)
+			g.Complete(tk)
+		}
+		return fired == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentGroupRunsTogether(t *testing.T) {
+	h := newHarness()
+	w := &Task{Label: "init", Accesses: []Access{{region(0, 100), Out}}}
+	h.g.Submit(w)
+	var cs []*Task
+	for i := 0; i < 4; i++ {
+		c := &Task{Label: "acc", Accesses: []Access{{region(0, 100), Concurrent}}}
+		cs = append(cs, c)
+		h.g.Submit(c)
+	}
+	// All concurrent tasks depend only on the writer.
+	for i, c := range cs {
+		if c.NumDeps() != 1 {
+			t.Fatalf("concurrent %d deps = %d, want 1 (the writer)", i, c.NumDeps())
+		}
+	}
+	h.ready = nil
+	h.run(w)
+	if len(h.ready) != 4 {
+		t.Fatalf("%d concurrent tasks released, want all 4", len(h.ready))
+	}
+}
+
+func TestReaderAfterConcurrentWaitsForGroup(t *testing.T) {
+	h := newHarness()
+	c1 := &Task{Label: "c1", Accesses: []Access{{region(0, 10), Concurrent}}}
+	c2 := &Task{Label: "c2", Accesses: []Access{{region(0, 10), Concurrent}}}
+	r := &Task{Label: "r", Accesses: []Access{{region(0, 10), In}}}
+	h.g.Submit(c1)
+	h.g.Submit(c2)
+	h.g.Submit(r)
+	if r.NumDeps() != 2 {
+		t.Fatalf("reader deps = %d, want 2 (both concurrents)", r.NumDeps())
+	}
+	h.ready = nil
+	h.run(c1)
+	if len(h.ready) != 0 {
+		t.Fatal("reader released before the whole concurrent group finished")
+	}
+	h.run(c2)
+	if len(h.ready) != 1 || h.ready[0] != r {
+		t.Fatal("reader not released after the group")
+	}
+}
+
+func TestWriterAfterConcurrentWaitsForGroup(t *testing.T) {
+	h := newHarness()
+	for i := 0; i < 3; i++ {
+		h.g.Submit(&Task{Label: "c", Accesses: []Access{{region(0, 10), Concurrent}}})
+	}
+	w := &Task{Label: "w", Accesses: []Access{{region(0, 10), Out}}}
+	h.g.Submit(w)
+	if w.NumDeps() != 3 {
+		t.Fatalf("writer deps = %d, want 3", w.NumDeps())
+	}
+}
+
+func TestConcurrentAfterReaders(t *testing.T) {
+	h := newHarness()
+	r1 := &Task{Label: "r1", Accesses: []Access{{region(0, 10), In}}}
+	h.g.Submit(r1)
+	c := &Task{Label: "c", Accesses: []Access{{region(0, 10), Concurrent}}}
+	h.g.Submit(c)
+	if c.NumDeps() != 1 {
+		t.Fatalf("concurrent deps = %d, want 1 (the reader, WAR)", c.NumDeps())
+	}
+}

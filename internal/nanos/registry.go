@@ -1,0 +1,233 @@
+package nanos
+
+import "sort"
+
+// interval is a maximal byte range with homogeneous access history: the
+// last writing task (nil if it already completed or never existed) and the
+// readers since that write. writerNode remembers where the last writer
+// executed even after the task itself is released, for data-locality
+// queries.
+type interval struct {
+	start, end  uint64
+	lastWriter  *Task
+	writerNode  int
+	readers     []*Task
+	concurrents []*Task // current concurrent-clause group
+}
+
+// registry is a sorted list of disjoint intervals covering every byte
+// range accessed so far. Lookups are binary searches; splits keep the
+// structure canonical. Completed tasks are dropped lazily whenever an
+// interval is touched, so memory tracks the live task set, not history.
+type registry struct {
+	ivs []interval
+}
+
+// findFirst returns the index of the first interval with end > addr.
+func (r *registry) findFirst(addr uint64) int {
+	return sort.Search(len(r.ivs), func(i int) bool { return r.ivs[i].end > addr })
+}
+
+// insertAt inserts iv at index i.
+func (r *registry) insertAt(i int, iv interval) {
+	r.ivs = append(r.ivs, interval{})
+	copy(r.ivs[i+1:], r.ivs[i:])
+	r.ivs[i] = iv
+}
+
+// split ensures an interval boundary exists at addr if addr falls strictly
+// inside an interval; returns the index of the interval starting at or
+// after addr.
+func (r *registry) split(addr uint64) {
+	i := r.findFirst(addr)
+	if i == len(r.ivs) || r.ivs[i].start >= addr {
+		return
+	}
+	iv := r.ivs[i]
+	left := iv
+	left.end = addr
+	right := iv
+	right.start = addr
+	right.readers = append([]*Task(nil), iv.readers...)
+	right.concurrents = append([]*Task(nil), iv.concurrents...)
+	r.ivs[i] = left
+	r.insertAt(i+1, right)
+}
+
+// scrub drops completed tasks from an interval's history, preserving the
+// writer's execution node.
+func (iv *interval) scrub() {
+	if iv.lastWriter != nil && iv.lastWriter.state == Completed {
+		iv.writerNode = iv.lastWriter.ExecNode
+		iv.lastWriter = nil
+	}
+	live := iv.readers[:0]
+	for _, t := range iv.readers {
+		if t.state != Completed {
+			live = append(live, t)
+		}
+	}
+	iv.readers = live
+	if len(iv.readers) == 0 {
+		iv.readers = nil
+	}
+	liveC := iv.concurrents[:0]
+	for _, t := range iv.concurrents {
+		if t.state != Completed {
+			liveC = append(liveC, t)
+		}
+	}
+	iv.concurrents = liveC
+	if len(iv.concurrents) == 0 {
+		iv.concurrents = nil
+	}
+}
+
+// addAccess records task t's access a, adding dependency edges against the
+// current interval history and updating it.
+func (r *registry) addAccess(t *Task, a Access) {
+	if a.Region.Start >= a.Region.End {
+		return // empty access
+	}
+	r.split(a.Region.Start)
+	r.split(a.Region.End)
+	pos := a.Region.Start
+	i := r.findFirst(pos)
+	for pos < a.Region.End {
+		// Gap before the next interval (or no interval at all): cover it.
+		var gapEnd uint64
+		if i == len(r.ivs) || r.ivs[i].start >= a.Region.End {
+			gapEnd = a.Region.End
+		} else if r.ivs[i].start > pos {
+			gapEnd = r.ivs[i].start
+		}
+		if gapEnd > pos {
+			iv := interval{start: pos, end: gapEnd, writerNode: -1}
+			r.applyAccess(&iv, t, a.Mode)
+			r.insertAt(i, iv)
+			i++
+			pos = gapEnd
+			continue
+		}
+		// Existing interval fully inside [pos, End) thanks to split.
+		iv := &r.ivs[i]
+		iv.scrub()
+		r.applyAccess(iv, t, a.Mode)
+		pos = iv.end
+		i++
+	}
+}
+
+// applyAccess adds dependency edges from the interval's history to t and
+// updates the history for t's access mode.
+//
+// The concurrent clause forms a group ordered against readers and
+// writers on both sides but unordered internally: a concurrent access
+// depends on the last writer and the readers so far; subsequent readers
+// and writers depend on every member of the group.
+func (r *registry) applyAccess(iv *interval, t *Task, mode AccessMode) {
+	switch mode {
+	case In:
+		if len(iv.concurrents) > 0 {
+			for _, c := range iv.concurrents {
+				addEdge(c, t)
+			}
+		} else if iv.lastWriter != nil {
+			addEdge(iv.lastWriter, t)
+		}
+		if n := len(iv.readers); n == 0 || iv.readers[n-1] != t {
+			iv.readers = append(iv.readers, t)
+		}
+	case Concurrent:
+		if iv.lastWriter != nil {
+			addEdge(iv.lastWriter, t)
+		}
+		for _, rd := range iv.readers {
+			addEdge(rd, t)
+		}
+		if n := len(iv.concurrents); n == 0 || iv.concurrents[n-1] != t {
+			iv.concurrents = append(iv.concurrents, t)
+		}
+	case Out, InOut:
+		if iv.lastWriter != nil {
+			addEdge(iv.lastWriter, t)
+		}
+		for _, rd := range iv.readers {
+			addEdge(rd, t)
+		}
+		for _, c := range iv.concurrents {
+			addEdge(c, t)
+		}
+		iv.lastWriter = t
+		iv.writerNode = -1
+		iv.readers = nil
+		iv.concurrents = nil
+	}
+}
+
+// location accumulates, into dst, the bytes of region reg residing on each
+// node according to the last writers. Bytes with unknown location count
+// under node -1.
+func (r *registry) location(reg Region, dst map[int]int64) {
+	if reg.Start >= reg.End {
+		return
+	}
+	pos := reg.Start
+	i := r.findFirst(pos)
+	for pos < reg.End {
+		if i == len(r.ivs) || r.ivs[i].start >= reg.End {
+			dst[-1] += int64(reg.End - pos)
+			return
+		}
+		iv := &r.ivs[i]
+		if iv.start > pos {
+			dst[-1] += int64(iv.start - pos)
+			pos = iv.start
+		}
+		node := iv.writerNode
+		if iv.lastWriter != nil {
+			if iv.lastWriter.state == Completed || iv.lastWriter.state == Running {
+				node = iv.lastWriter.ExecNode
+			} else {
+				node = -1
+			}
+		}
+		end := min64(iv.end, reg.End)
+		dst[node] += int64(end - pos)
+		pos = end
+		i++
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// numIntervals reports the interval count (for tests).
+func (r *registry) numIntervals() int { return len(r.ivs) }
+
+// writers returns the distinct live last-writer tasks overlapping reg.
+func (r *registry) writers(reg Region) []*Task {
+	var out []*Task
+	i := r.findFirst(reg.Start)
+	for ; i < len(r.ivs) && r.ivs[i].start < reg.End; i++ {
+		w := r.ivs[i].lastWriter
+		if w == nil || !reg.Overlaps(Region{r.ivs[i].start, r.ivs[i].end}) {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out
+}

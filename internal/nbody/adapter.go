@@ -1,0 +1,243 @@
+package nbody
+
+import (
+	"fmt"
+
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simtime"
+)
+
+// AdapterConfig parameterises a cluster run of the Barnes–Hut code.
+type AdapterConfig struct {
+	// Bodies is the total body count.
+	Bodies int
+	// Steps is the number of timesteps.
+	Steps int
+	// ChunksPerRank is the number of force tasks each apprank submits
+	// per step (the paper's "single offloadable task that calculates the
+	// forces on a number of bodies", replicated over chunks).
+	ChunksPerRank int
+	// CostPerInteraction converts tree-traversal interaction counts into
+	// nominal task time.
+	CostPerInteraction simtime.Duration
+	// TreeCostPerBody is the per-body cost of the (non-offloadable)
+	// tree-construction task each rank runs per step.
+	TreeCostPerBody simtime.Duration
+	// Theta is the opening angle.
+	Theta float64
+	// DT overrides the leapfrog timestep (default 1e-3). Larger steps
+	// make the distribution evolve faster, so ORB's stale weights (from
+	// the previous step) produce more fine-grained imbalance.
+	DT float64
+	// TimeWeights makes ORB weigh bodies by measured execution time
+	// (interaction count scaled by the executing rank's home-node speed)
+	// instead of raw interaction counts. On a heterogeneous machine this
+	// makes ORB chase the slow node — shrinking the slow ranks' share,
+	// then growing it back — an oscillation that leaves residual
+	// fine-grained imbalance for DLB to absorb.
+	TimeWeights bool
+	// Seed initializes the body distribution.
+	Seed int64
+}
+
+// ClusterSim couples the real Barnes–Hut physics with the simulated
+// MPI+OmpSs-2@Cluster runtime: every timestep each apprank recomputes the
+// ORB decomposition (replicated, as in the original code), evaluates the
+// real forces for its bodies, and submits force tasks whose durations are
+// the measured interaction counts scaled by CostPerInteraction. ORB
+// balances interaction counts, so on a machine with a slow node the slow
+// ranks still receive equal work — the imbalance the paper's Figure 6(c)
+// studies.
+type ClusterSim struct {
+	cfg AdapterConfig
+	sys *System
+
+	weights []float64 // per-body interaction counts from the last step
+	acc     []Vec3
+	counts  []int
+
+	orbStep    int   // step the cached assignment belongs to
+	orbAssign  []int // cached ORB assignment
+	treeStep   int
+	tree       *Octree
+	appliedFor int            // last step whose leapfrog update has been applied
+	stepEnds   []simtime.Time // per-step completion times (rank 0)
+}
+
+// NewClusterSim builds the coupled simulation.
+func NewClusterSim(cfg AdapterConfig) *ClusterSim {
+	if cfg.Bodies <= 0 || cfg.Steps <= 0 || cfg.ChunksPerRank <= 0 {
+		panic("nbody: Bodies, Steps and ChunksPerRank must be positive")
+	}
+	if cfg.CostPerInteraction <= 0 {
+		panic("nbody: CostPerInteraction must be positive")
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.5
+	}
+	sys := NewRandomSphere(cfg.Bodies, cfg.Seed)
+	sys.Theta = cfg.Theta
+	if cfg.DT > 0 {
+		sys.DT = cfg.DT
+	}
+	cs := &ClusterSim{
+		cfg:        cfg,
+		sys:        sys,
+		weights:    make([]float64, cfg.Bodies),
+		acc:        make([]Vec3, cfg.Bodies),
+		counts:     make([]int, cfg.Bodies),
+		orbStep:    -1,
+		treeStep:   -1,
+		appliedFor: -1,
+	}
+	for i := range cs.weights {
+		cs.weights[i] = 1
+	}
+	return cs
+}
+
+// System exposes the underlying physical state (for verification).
+func (cs *ClusterSim) System() *System { return cs.sys }
+
+// orb returns the ORB assignment for the given step, computing it once
+// per step (every rank would compute the identical replicated
+// decomposition).
+func (cs *ClusterSim) orb(step, parts int) []int {
+	if cs.orbStep != step {
+		pos := make([]Vec3, len(cs.sys.Bodies))
+		for i, b := range cs.sys.Bodies {
+			pos[i] = b.Pos
+		}
+		cs.orbAssign = ORB(pos, cs.weights, parts)
+		cs.orbStep = step
+	}
+	return cs.orbAssign
+}
+
+// Main returns the SPMD main function.
+func (cs *ClusterSim) Main() func(app *core.App) {
+	return func(app *core.App) {
+		rank := app.Rank()
+		parts := app.NumRanks()
+		treeRegion := app.Alloc(int64(cs.cfg.Bodies) * 8)
+		posRegion := app.Alloc(int64(cs.cfg.Bodies) * 24)
+		chunkRegions := make([]nanos.Region, cs.cfg.ChunksPerRank)
+		for i := range chunkRegions {
+			chunkRegions[i] = app.Alloc(64 << 10)
+		}
+		for step := 0; step < cs.cfg.Steps; step++ {
+			assign := cs.orb(step, parts)
+			var mine []int
+			for i, p := range assign {
+				if p == rank {
+					mine = append(mine, i)
+				}
+			}
+			// Real physics: build the tree (cached per step — every rank
+			// would build an identical replica) and evaluate forces for
+			// this rank's bodies, recording interaction counts.
+			if cs.treeStep != step {
+				cs.tree = cs.sys.BuildTree()
+				cs.treeStep = step
+			}
+			tree := cs.tree
+			rankInteractions := 0
+			for _, i := range mine {
+				cs.acc[i], cs.counts[i] = tree.ForceOn(i)
+				rankInteractions += cs.counts[i]
+			}
+			// Tree construction runs as a non-offloadable task at home: it
+			// consumes the previous step's force outputs (pulling any
+			// remotely computed forces back, as the original code's
+			// exchange does) and publishes the new tree and positions.
+			treeAcc := []nanos.Access{
+				{Region: treeRegion, Mode: nanos.Out},
+				{Region: posRegion, Mode: nanos.Out},
+			}
+			for _, cr := range chunkRegions {
+				treeAcc = append(treeAcc, nanos.Access{Region: cr, Mode: nanos.In})
+			}
+			app.Submit(core.TaskSpec{
+				Label:       "bh-tree",
+				Work:        cs.cfg.TreeCostPerBody * simtime.Duration(cs.cfg.Bodies),
+				Accesses:    treeAcc,
+				Offloadable: false,
+			})
+			// Force tasks: contiguous chunks of this rank's bodies, task
+			// time proportional to the measured interaction counts.
+			nchunks := cs.cfg.ChunksPerRank
+			for c := 0; c < nchunks; c++ {
+				loC := len(mine) * c / nchunks
+				hiC := len(mine) * (c + 1) / nchunks
+				inter := 0
+				for _, i := range mine[loC:hiC] {
+					inter += cs.counts[i]
+				}
+				// Out on the chunk: each step's forces overwrite dead
+				// data, so the freshly built home-resident tree drives
+				// the locality decision, exactly as after the original
+				// code's position exchange.
+				app.Submit(core.TaskSpec{
+					Label: fmt.Sprintf("bh-force-%d", c),
+					Work:  simtime.Duration(inter) * cs.cfg.CostPerInteraction,
+					Accesses: []nanos.Access{
+						{Region: chunkRegions[c], Mode: nanos.Out},
+						{Region: treeRegion, Mode: nanos.In},
+					},
+					Offloadable: true,
+				})
+			}
+			app.TaskWait()
+			// Exchange updated positions (the allgather of the original
+			// code) and integrate. The leapfrog update is applied once —
+			// every rank holds a replica of the same state.
+			app.Comm().Allgather(rankInteractions, int64(cs.cfg.Bodies*24/parts))
+			if cs.appliedFor < step {
+				cs.appliedFor = step
+				cs.sys.Step(cs.acc)
+			}
+			if !cs.cfg.TimeWeights {
+				if cs.appliedFor == step && rank == 0 {
+					for i, c := range cs.counts {
+						cs.weights[i] = float64(c)
+					}
+				}
+			} else {
+				// Every rank stamps its own bodies with time-scaled
+				// weights (count / home-node speed).
+				speed := app.NodeSpeed()
+				for _, i := range mine {
+					cs.weights[i] = float64(cs.counts[i]) / speed
+				}
+			}
+			if rank == 0 {
+				cs.stepEnds = append(cs.stepEnds, app.Now())
+			}
+		}
+	}
+}
+
+// StepEnds returns the per-step completion times observed by rank 0.
+// Valid after the run; a ClusterSim must not be reused across runs.
+func (cs *ClusterSim) StepEnds() []simtime.Time {
+	return append([]simtime.Time(nil), cs.stepEnds...)
+}
+
+// TotalWorkNominal estimates the run's total nominal task work in
+// core-nanoseconds by replaying the physics on a copy (used by
+// experiments to compute the perfect-balance bound without a cluster
+// run).
+func (cs *ClusterSim) TotalWorkNominal(parts int) float64 {
+	clone := NewClusterSim(cs.cfg)
+	total := 0.0
+	for step := 0; step < cs.cfg.Steps; step++ {
+		acc, counts := clone.sys.ComputeForces()
+		for _, c := range counts {
+			total += float64(c) * float64(cs.cfg.CostPerInteraction)
+		}
+		total += float64(cs.cfg.TreeCostPerBody) * float64(cs.cfg.Bodies) * float64(parts)
+		clone.sys.Step(acc)
+	}
+	return total
+}

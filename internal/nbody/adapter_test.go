@@ -1,0 +1,121 @@
+package nbody
+
+import (
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/simtime"
+)
+
+func testAdapterConfig() AdapterConfig {
+	return AdapterConfig{
+		Bodies:             512,
+		Steps:              3,
+		ChunksPerRank:      8,
+		CostPerInteraction: 2 * simtime.Microsecond,
+		TreeCostPerBody:    100 * simtime.Nanosecond,
+		Seed:               11,
+	}
+}
+
+func TestClusterSimRuns(t *testing.T) {
+	cs := NewClusterSim(testAdapterConfig())
+	m := cluster.New(2, 4, cluster.DefaultNet())
+	rt := core.MustNew(core.Config{Machine: m, Degree: 2, LeWI: true})
+	if err := rt.Run(cs.Main()); err != nil {
+		t.Fatal(err)
+	}
+	// 2 ranks x 3 steps x (1 tree + 8 force) tasks.
+	if got := rt.TotalTasks(); got != 2*3*9 {
+		t.Fatalf("tasks = %d, want 54", got)
+	}
+	if rt.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestClusterSimPhysicsMatchesStandalone(t *testing.T) {
+	// Running through the cluster runtime must produce exactly the same
+	// physics as the standalone loop (the runtime only affects timing).
+	cfg := testAdapterConfig()
+	cs := NewClusterSim(cfg)
+	m := cluster.New(2, 4, cluster.DefaultNet())
+	rt := core.MustNew(core.Config{Machine: m, Degree: 2, LeWI: true, DROM: core.DROMLocal})
+	if err := rt.Run(cs.Main()); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewClusterSim(cfg) // standalone replay
+	for step := 0; step < cfg.Steps; step++ {
+		acc, _ := ref.sys.ComputeForces()
+		ref.sys.Step(acc)
+	}
+	for i := range ref.sys.Bodies {
+		d := ref.sys.Bodies[i].Pos.Sub(cs.sys.Bodies[i].Pos).Norm()
+		if d > 1e-12 {
+			t.Fatalf("body %d diverged by %v", i, d)
+		}
+	}
+}
+
+func TestSlowNodeHurtsWithoutBalancing(t *testing.T) {
+	cfg := testAdapterConfig()
+	run := func(mach *cluster.Machine, degree int, lewi bool, drom core.DROMMode) simtime.Duration {
+		cs := NewClusterSim(cfg)
+		rt := core.MustNew(core.Config{
+			Machine:         mach,
+			AppranksPerNode: 2,
+			Degree:          degree,
+			LeWI:            lewi,
+			DROM:            drom,
+			GlobalPeriod:    100 * simtime.Millisecond,
+			Seed:            2,
+		})
+		if err := rt.Run(cs.Main()); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Elapsed()
+	}
+	slowMachine := func() *cluster.Machine {
+		m := cluster.New(4, 8, cluster.DefaultNet())
+		m.SetSpeed(0, 0.6)
+		return m
+	}
+	fast := run(cluster.New(4, 8, cluster.DefaultNet()), 1, false, core.DROMOff)
+	slowBase := run(slowMachine(), 1, false, core.DROMOff)
+	slowBalanced := run(slowMachine(), 3, true, core.DROMGlobal)
+	if slowBase <= fast {
+		t.Fatalf("slow node did not slow the baseline: %v <= %v", slowBase, fast)
+	}
+	if slowBalanced >= slowBase {
+		t.Fatalf("balancing did not help the slow-node run: %v >= %v", slowBalanced, slowBase)
+	}
+}
+
+func TestTotalWorkNominalPositive(t *testing.T) {
+	cs := NewClusterSim(testAdapterConfig())
+	w := cs.TotalWorkNominal(2)
+	if w <= 0 {
+		t.Fatalf("TotalWorkNominal = %v", w)
+	}
+}
+
+func TestAdapterPanics(t *testing.T) {
+	for _, mod := range []func(*AdapterConfig){
+		func(c *AdapterConfig) { c.Bodies = 0 },
+		func(c *AdapterConfig) { c.Steps = 0 },
+		func(c *AdapterConfig) { c.ChunksPerRank = 0 },
+		func(c *AdapterConfig) { c.CostPerInteraction = 0 },
+	} {
+		cfg := testAdapterConfig()
+		mod(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewClusterSim(cfg)
+		}()
+	}
+}

@@ -1,0 +1,35 @@
+package nbody
+
+import "testing"
+
+// BenchmarkTreeBuild measures octree construction.
+func BenchmarkTreeBuild(b *testing.B) {
+	s := NewRandomSphere(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BuildTree()
+	}
+}
+
+// BenchmarkForceEval measures theta-criterion force evaluation per body.
+func BenchmarkForceEval(b *testing.B) {
+	s := NewRandomSphere(4096, 1)
+	tr := s.BuildTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ForceOn(i % 4096)
+	}
+}
+
+// BenchmarkORB measures the recursive bisection over 32 parts.
+func BenchmarkORB(b *testing.B) {
+	s := NewRandomSphere(8192, 1)
+	pos := make([]Vec3, len(s.Bodies))
+	for i, bd := range s.Bodies {
+		pos[i] = bd.Pos
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ORB(pos, nil, 32)
+	}
+}

@@ -1,0 +1,168 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"ompsscluster/internal/simtime"
+)
+
+// Request is a handle on a nonblocking operation, in the style of
+// MPI_Request. Wait blocks the owning process until completion; Test
+// polls.
+type Request struct {
+	done bool
+	data any
+	st   Status
+	ev   *simtime.Event
+}
+
+// Wait blocks until the operation completes and returns the payload and
+// status (meaningful for receives; sends return nil payload).
+func (r *Request) Wait(c *Comm) (any, Status) {
+	if !r.done {
+		c.proc.Wait(r.ev)
+	}
+	return r.data, r.st
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() bool { return r.done }
+
+// Isend starts a nonblocking send. In this model sends are buffered, so
+// the request completes immediately; it exists for source compatibility
+// with MPI-style code.
+func (c *Comm) Isend(dst, tag int, data any, size int64) *Request {
+	c.Send(dst, tag, data, size)
+	return &Request{done: true}
+}
+
+// Irecv posts a nonblocking receive for (src, tag). The matching message
+// completes the request; Wait returns its payload.
+func (c *Comm) Irecv(src, tag int) *Request {
+	w := c.state.w
+	req := &Request{ev: w.env.NewEvent()}
+	gsrc := src
+	if src != AnySource {
+		gsrc = c.state.group[src]
+	}
+	mb := w.mail[c.rank]
+	if mb.handler != nil {
+		panic("simmpi: Irecv on a rank with an event handler installed")
+	}
+	// Immediate match against already-arrived messages.
+	for i, msg := range mb.arrived {
+		if matches(gsrc, tag, msg) {
+			mb.arrived = append(mb.arrived[:i], mb.arrived[i+1:]...)
+			req.complete(c, msg)
+			return req
+		}
+	}
+	mb.irecvs = append(mb.irecvs, &pendingIrecv{src: gsrc, tag: tag, req: req, comm: c})
+	return req
+}
+
+func (r *Request) complete(c *Comm, msg *message) {
+	r.done = true
+	r.data = msg.data
+	r.st = Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}
+	if r.ev != nil && !r.ev.Triggered() {
+		r.ev.Trigger(nil)
+	}
+}
+
+// pendingIrecv is a posted nonblocking receive.
+type pendingIrecv struct {
+	src, tag int
+	req      *Request
+	comm     *Comm
+}
+
+// Probe blocks until a message matching (src, tag) is available without
+// consuming it, returning its status.
+func (c *Comm) Probe(src, tag int) Status {
+	w := c.state.w
+	gsrc := src
+	if src != AnySource {
+		gsrc = c.state.group[src]
+	}
+	mb := w.mail[c.rank]
+	for _, msg := range mb.arrived {
+		if matches(gsrc, tag, msg) {
+			return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}
+		}
+	}
+	mb.probes = append(mb.probes, &pendingRecv{src: gsrc, tag: tag, proc: c.proc})
+	msg := c.proc.Park().(*message)
+	return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}
+}
+
+// Iprobe reports whether a matching message is available, without
+// blocking or consuming it.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	gsrc := src
+	if src != AnySource {
+		gsrc = c.state.group[src]
+	}
+	for _, msg := range c.state.w.mail[c.rank].arrived {
+		if matches(gsrc, tag, msg) {
+			return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Sendrecv sends to dst and receives from src in one step (deadlock-free
+// because sends are buffered).
+func (c *Comm) Sendrecv(dst, sendTag int, data any, size int64, src, recvTag int) (any, Status) {
+	c.Send(dst, sendTag, data, size)
+	return c.Recv(src, recvTag)
+}
+
+// Scatter distributes root's slice of per-rank values: rank i receives
+// values[i]. Non-root ranks pass nil.
+func (c *Comm) Scatter(root int, values []any, size int64) any {
+	if c.Rank() == root && len(values) != c.Size() {
+		panic(fmt.Sprintf("simmpi: Scatter with %d values for %d ranks", len(values), c.Size()))
+	}
+	var contrib any
+	if c.Rank() == root {
+		contrib = values
+	}
+	return c.collective("scatter", contrib, size, func(vals []any, cr int) any {
+		rootVals := vals[root].([]any)
+		return rootVals[cr]
+	})
+}
+
+// Alltoall performs a complete exchange: each rank contributes a slice of
+// per-destination values and receives a slice indexed by source rank.
+func (c *Comm) Alltoall(values []any, size int64) []any {
+	if len(values) != c.Size() {
+		panic(fmt.Sprintf("simmpi: Alltoall with %d values for %d ranks", len(values), c.Size()))
+	}
+	r := c.collective("alltoall", values, size, func(vals []any, cr int) any {
+		out := make([]any, len(vals))
+		for src, v := range vals {
+			out[src] = v.([]any)[cr]
+		}
+		return out
+	})
+	return r.([]any)
+}
+
+// ReduceScatter combines all contributions element-wise with op and
+// scatters the result: each rank contributes a []float64 of length Size
+// and receives its own element of the combined vector.
+func (c *Comm) ReduceScatter(values []float64, op Op) float64 {
+	if len(values) != c.Size() {
+		panic(fmt.Sprintf("simmpi: ReduceScatter with %d values for %d ranks", len(values), c.Size()))
+	}
+	r := c.collective("reducescatter", values, 8*int64(len(values)), func(vals []any, cr int) any {
+		acc := vals[0].([]float64)[cr]
+		for _, v := range vals[1:] {
+			acc = op.apply(acc, v.([]float64)[cr]).(float64)
+		}
+		return acc
+	})
+	return r.(float64)
+}

@@ -1,0 +1,242 @@
+package simmpi
+
+import (
+	"testing"
+
+	"ompsscluster/internal/simtime"
+)
+
+func TestIsendCompletesImmediately(t *testing.T) {
+	env, w := newTestWorld(2)
+	var got any
+	w.Spawn(0, func(c *Comm) {
+		req := c.Isend(1, 1, "x", 8)
+		if !req.Test() {
+			t.Error("buffered Isend should complete immediately")
+		}
+		req.Wait(c)
+	})
+	w.Spawn(1, func(c *Comm) { got, _ = c.Recv(0, 1) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "x" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIrecvBeforeSend(t *testing.T) {
+	env, w := newTestWorld(2)
+	var got any
+	var st Status
+	w.Spawn(0, func(c *Comm) {
+		req := c.Irecv(1, 5)
+		if req.Test() {
+			t.Error("Irecv completed before any send")
+		}
+		// Overlap "computation" with the receive.
+		c.Proc().Sleep(simtime.Millisecond)
+		got, st = req.Wait(c)
+	})
+	w.Spawn(1, func(c *Comm) {
+		c.Proc().Sleep(2 * simtime.Millisecond)
+		c.Send(0, 5, 99, 8)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 || st.Source != 1 || st.Tag != 5 {
+		t.Fatalf("got %v st %+v", got, st)
+	}
+}
+
+func TestIrecvAfterArrival(t *testing.T) {
+	env, w := newTestWorld(2)
+	var got any
+	w.Spawn(0, func(c *Comm) {
+		c.Proc().Sleep(simtime.Millisecond) // let the message arrive first
+		req := c.Irecv(1, 2)
+		if !req.Test() {
+			t.Error("Irecv should match an already-arrived message")
+		}
+		got, _ = req.Wait(c)
+	})
+	w.Spawn(1, func(c *Comm) { c.Send(0, 2, "pre", 8) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "pre" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMultipleIrecvOrdered(t *testing.T) {
+	env, w := newTestWorld(2)
+	var order []int
+	w.Spawn(0, func(c *Comm) {
+		r1 := c.Irecv(1, AnyTag)
+		r2 := c.Irecv(1, AnyTag)
+		v2, _ := r2.Wait(c)
+		v1, _ := r1.Wait(c)
+		order = append(order, v1.(int), v2.(int))
+	})
+	w.Spawn(1, func(c *Comm) {
+		c.Send(0, 1, 10, 8)
+		c.Send(0, 2, 20, 8)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Posted-receive order must match arrival order.
+	if order[0] != 10 || order[1] != 20 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestProbeBlocksUntilMessage(t *testing.T) {
+	env, w := newTestWorld(2)
+	var probedAt simtime.Time
+	var st Status
+	w.Spawn(0, func(c *Comm) {
+		st = c.Probe(1, 7)
+		probedAt = env.Now()
+		v, _ := c.Recv(1, 7)
+		if v != "m" {
+			t.Errorf("message consumed by probe: %v", v)
+		}
+	})
+	w.Spawn(1, func(c *Comm) {
+		c.Proc().Sleep(3 * simtime.Millisecond)
+		c.Send(0, 7, "m", 64)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if probedAt < simtime.Time(3*simtime.Millisecond) {
+		t.Fatal("probe returned before the message was sent")
+	}
+	if st.Source != 1 || st.Tag != 7 || st.Size != 64 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	env, w := newTestWorld(2)
+	w.Spawn(0, func(c *Comm) {
+		if _, ok := c.Iprobe(1, 1); ok {
+			t.Error("Iprobe true before send")
+		}
+		c.Proc().Sleep(simtime.Millisecond)
+		st, ok := c.Iprobe(1, 1)
+		if !ok || st.Source != 1 {
+			t.Errorf("Iprobe after arrival: %+v %v", st, ok)
+		}
+		c.Recv(1, 1)
+	})
+	w.Spawn(1, func(c *Comm) { c.Send(0, 1, nil, 8) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecv(t *testing.T) {
+	env, w := newTestWorld(2)
+	got := make([]any, 2)
+	main := func(c *Comm) {
+		other := 1 - c.Rank()
+		v, _ := c.Sendrecv(other, 3, c.Rank()*100, 8, other, 3)
+		got[c.Rank()] = v
+	}
+	w.Spawn(0, main)
+	w.Spawn(1, main)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 100 || got[1] != 0 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	env, w := newTestWorld(3)
+	got := make([]any, 3)
+	for r := 0; r < 3; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			var vals []any
+			if r == 1 {
+				vals = []any{"a", "b", "c"}
+			}
+			got[r] = c.Scatter(1, vals, 16)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []any{"a", "b", "c"}
+	for r := range got {
+		if got[r] != want[r] {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	env, w := newTestWorld(3)
+	got := make([][]any, 3)
+	for r := 0; r < 3; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			vals := make([]any, 3)
+			for d := range vals {
+				vals[d] = r*10 + d
+			}
+			got[r] = c.Alltoall(vals, 8)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for src := 0; src < 3; src++ {
+			if got[r][src] != src*10+r {
+				t.Fatalf("rank %d got %v", r, got[r])
+			}
+		}
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	env, w := newTestWorld(3)
+	got := make([]float64, 3)
+	for r := 0; r < 3; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			contrib := []float64{float64(r), float64(r * 10), float64(r * 100)}
+			got[r] = c.ReduceScatter(contrib, Sum)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Element i = sum over ranks of rank*10^i.
+	if got[0] != 3 || got[1] != 30 || got[2] != 300 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestScatterSizeMismatchPanics(t *testing.T) {
+	env, w := newTestWorld(2)
+	w.Spawn(0, func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Scatter with wrong value count did not panic")
+			}
+			panic("stop") // unwind the process cleanly
+		}()
+		c.Scatter(0, []any{"only-one"}, 8)
+	})
+	w.Spawn(1, func(c *Comm) {})
+	env.Run() // the panic surfaces as a process failure; ignore
+	env.KillAll()
+}

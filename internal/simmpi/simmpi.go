@@ -1,0 +1,216 @@
+// Package simmpi is an MPI-like message-passing library running inside the
+// simtime discrete-event engine. It provides a World of ranks placed on the
+// nodes of a cluster.Machine, point-to-point messages with tag matching and
+// wildcard receives, and the usual collectives (Barrier, Bcast, Reduce,
+// Allreduce, Gather, Allgather).
+//
+// Rank programs run as simtime processes and use blocking operations
+// through their *Comm handle, in the style of MPI. Event-driven code (the
+// task runtime) can inject messages with World.Post and subscribe to
+// deliveries with World.Handle, without being a process.
+//
+// Message timing follows the machine's NetModel: latency plus size over
+// bandwidth between distinct nodes, a small local cost within a node.
+// Collectives charge ceil(log2 P) network hops, mimicking tree algorithms.
+package simmpi
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/simtime"
+)
+
+// Wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Status describes a received message.
+type Status struct {
+	Source int // sender rank (within the communicator)
+	Tag    int
+	Size   int64 // modelled payload size in bytes
+}
+
+// message is an in-flight or delivered point-to-point message.
+type message struct {
+	src  int // global rank
+	tag  int
+	size int64
+	data any
+	seq  uint64
+}
+
+// pendingRecv is a blocked receive posted by a process.
+type pendingRecv struct {
+	src, tag int // global src or AnySource
+	proc     *simtime.Proc
+}
+
+// mailbox holds the per-rank unexpected-message queue, posted receives
+// (blocking and nonblocking), probes, and an optional event-driven
+// handler.
+type mailbox struct {
+	arrived []*message
+	recvs   []*pendingRecv
+	irecvs  []*pendingIrecv
+	probes  []*pendingRecv
+	handler func(src, tag int, data any, size int64)
+}
+
+// World is a set of ranks placed on machine nodes.
+type World struct {
+	env       *simtime.Env
+	machine   *cluster.Machine
+	placement []int // global rank -> node
+	mail      []*mailbox
+	world     *commState
+	commCache map[string]*commState
+	seq       uint64
+}
+
+// NewWorld creates a world with len(placement) ranks; placement[r] is the
+// node hosting rank r.
+func NewWorld(env *simtime.Env, m *cluster.Machine, placement []int) *World {
+	if len(placement) == 0 {
+		panic("simmpi: empty placement")
+	}
+	for r, n := range placement {
+		if n < 0 || n >= m.NumNodes() {
+			panic(fmt.Sprintf("simmpi: rank %d placed on invalid node %d", r, n))
+		}
+	}
+	w := &World{
+		env:       env,
+		machine:   m,
+		placement: append([]int(nil), placement...),
+		mail:      make([]*mailbox, len(placement)),
+	}
+	for i := range w.mail {
+		w.mail[i] = &mailbox{}
+	}
+	group := make([]int, len(placement))
+	for i := range group {
+		group[i] = i
+	}
+	w.world = &commState{w: w, group: group, colls: map[int]*collOp{}}
+	return w
+}
+
+// Env returns the simulation environment.
+func (w *World) Env() *simtime.Env { return w.env }
+
+// Machine returns the hardware model.
+func (w *World) Machine() *cluster.Machine { return w.machine }
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return len(w.placement) }
+
+// NodeOf returns the node hosting the given global rank.
+func (w *World) NodeOf(rank int) int { return w.placement[rank] }
+
+// Spawn starts the program for one global rank as a simulation process.
+// The program receives a *Comm bound to the world communicator.
+func (w *World) Spawn(rank int, main func(c *Comm)) *simtime.Proc {
+	return w.env.Spawn(fmt.Sprintf("rank%d", rank), func(p *simtime.Proc) {
+		main(&Comm{state: w.world, rank: rank, proc: p})
+	})
+}
+
+// Handle installs an event-driven delivery handler for a rank. Messages
+// arriving for that rank are passed to fn instead of being queued for
+// Recv. This is how runtime instances (not processes) receive control
+// messages. A rank with a handler must not also call Recv.
+func (w *World) Handle(rank int, fn func(src, tag int, data any, size int64)) {
+	mb := w.mail[rank]
+	if len(mb.arrived) > 0 {
+		panic("simmpi: Handle installed after messages were queued")
+	}
+	mb.handler = fn
+}
+
+// Post sends a message from src to dst (global ranks) without blocking any
+// process. It may be called from event callbacks. Delivery happens after
+// the modelled transfer time.
+func (w *World) Post(src, dst, tag int, data any, size int64) {
+	if src < 0 || src >= len(w.placement) || dst < 0 || dst >= len(w.placement) {
+		panic(fmt.Sprintf("simmpi: Post with invalid ranks %d->%d", src, dst))
+	}
+	d := w.machine.Net.TransferTime(w.placement[src], w.placement[dst], size)
+	w.seq++
+	msg := &message{src: src, tag: tag, size: size, data: data, seq: w.seq}
+	w.env.Schedule(d, func() { w.deliver(dst, msg) })
+}
+
+// deliver places a message in dst's mailbox, completing a matching posted
+// receive (blocking first, then nonblocking), waking matching probes, or
+// invoking the rank's handler.
+func (w *World) deliver(dst int, msg *message) {
+	mb := w.mail[dst]
+	if mb.handler != nil {
+		mb.handler(msg.src, msg.tag, msg.data, msg.size)
+		return
+	}
+	// Probes observe the message without consuming it.
+	remaining := mb.probes[:0]
+	for _, pr := range mb.probes {
+		if matches(pr.src, pr.tag, msg) {
+			w.env.WakeProc(pr.proc, msg)
+		} else {
+			remaining = append(remaining, pr)
+		}
+	}
+	mb.probes = remaining
+	for i, pr := range mb.recvs {
+		if matches(pr.src, pr.tag, msg) {
+			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
+			w.env.WakeProc(pr.proc, msg)
+			return
+		}
+	}
+	for i, ir := range mb.irecvs {
+		if matches(ir.src, ir.tag, msg) {
+			mb.irecvs = append(mb.irecvs[:i], mb.irecvs[i+1:]...)
+			ir.req.complete(ir.comm, msg)
+			return
+		}
+	}
+	mb.arrived = append(mb.arrived, msg)
+}
+
+func matches(src, tag int, msg *message) bool {
+	return (src == AnySource || src == msg.src) && (tag == AnyTag || tag == msg.tag)
+}
+
+// recv blocks proc until a message matching (src, tag) arrives at rank.
+func (w *World) recv(p *simtime.Proc, rank, src, tag int) *message {
+	mb := w.mail[rank]
+	if mb.handler != nil {
+		panic("simmpi: Recv on a rank with an event handler installed")
+	}
+	for i, msg := range mb.arrived {
+		if matches(src, tag, msg) {
+			mb.arrived = append(mb.arrived[:i], mb.arrived[i+1:]...)
+			return msg
+		}
+	}
+	mb.recvs = append(mb.recvs, &pendingRecv{src: src, tag: tag, proc: p})
+	return p.Park().(*message)
+}
+
+// hopCost returns the modelled completion cost of a tree-structured
+// collective over p participants moving size bytes per hop.
+func (w *World) hopCost(p int, size int64) simtime.Duration {
+	if p <= 1 {
+		return 0
+	}
+	hops := bits.Len(uint(p - 1)) // ceil(log2 p)
+	per := w.machine.Net.Latency
+	if w.machine.Net.BytesPerSecond > 0 && size > 0 {
+		per += simtime.FromSeconds(float64(size) / w.machine.Net.BytesPerSecond)
+	}
+	return simtime.Duration(hops) * per
+}

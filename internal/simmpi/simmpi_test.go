@@ -1,0 +1,421 @@
+package simmpi
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/simtime"
+)
+
+// newTestWorld builds a world of n ranks, one per node, on a homogeneous
+// machine with the default network.
+func newTestWorld(n int) (*simtime.Env, *World) {
+	env := simtime.NewEnv()
+	m := cluster.New(n, 4, cluster.DefaultNet())
+	placement := make([]int, n)
+	for i := range placement {
+		placement[i] = i
+	}
+	return env, NewWorld(env, m, placement)
+}
+
+func TestSendRecv(t *testing.T) {
+	env, w := newTestWorld(2)
+	var got any
+	var st Status
+	w.Spawn(0, func(c *Comm) {
+		c.Send(1, 7, "payload", 100)
+	})
+	w.Spawn(1, func(c *Comm) {
+		got, st = c.Recv(0, 7)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload" {
+		t.Fatalf("got = %v", got)
+	}
+	if st.Source != 0 || st.Tag != 7 || st.Size != 100 {
+		t.Fatalf("status = %+v", st)
+	}
+	if env.Now() <= 0 {
+		t.Fatal("message delivery took no virtual time")
+	}
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	env, w := newTestWorld(2)
+	var got any
+	w.Spawn(0, func(c *Comm) {
+		got, _ = c.Recv(1, 3)
+	})
+	w.Spawn(1, func(c *Comm) {
+		c.Proc().Sleep(simtime.Millisecond)
+		c.Send(0, 3, 42, 8)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	env, w := newTestWorld(2)
+	var order []int
+	w.Spawn(0, func(c *Comm) {
+		c.Send(1, 5, "five", 8)
+		c.Send(1, 6, "six", 8)
+	})
+	w.Spawn(1, func(c *Comm) {
+		v6, _ := c.Recv(0, 6)
+		v5, _ := c.Recv(0, 5)
+		if v6 != "six" || v5 != "five" {
+			t.Errorf("tag matching wrong: %v %v", v6, v5)
+		}
+		order = append(order, 1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 {
+		t.Fatal("receiver did not finish")
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	env, w := newTestWorld(3)
+	var sources []int
+	for r := 1; r <= 2; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			c.Proc().Sleep(simtime.Duration(r) * simtime.Millisecond)
+			c.Send(0, r*10, r, 8)
+		})
+	}
+	w.Spawn(0, func(c *Comm) {
+		for i := 0; i < 2; i++ {
+			_, st := c.Recv(AnySource, AnyTag)
+			sources = append(sources, st.Source)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 || sources[0] != 1 || sources[1] != 2 {
+		t.Fatalf("sources = %v (wildcard receives must arrive in time order)", sources)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	env, w := newTestWorld(4)
+	var after []simtime.Time
+	for r := 0; r < 4; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			c.Proc().Sleep(simtime.Duration(r+1) * simtime.Millisecond)
+			c.Barrier()
+			after = append(after, env.Now())
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 4 {
+		t.Fatalf("only %d ranks passed the barrier", len(after))
+	}
+	for _, ts := range after {
+		if ts < simtime.Time(4*simtime.Millisecond) {
+			t.Fatalf("rank passed barrier at %v, before the slowest arrival", ts)
+		}
+		if ts != after[0] {
+			t.Fatalf("ranks left barrier at different times: %v", after)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	env, w := newTestWorld(4)
+	got := make([]any, 4)
+	for r := 0; r < 4; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			v := any(nil)
+			if r == 2 {
+				v = "root-value"
+			}
+			got[r] = c.Bcast(2, v, 64)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range got {
+		if v != "root-value" {
+			t.Fatalf("rank %d got %v", r, v)
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	env, w := newTestWorld(5)
+	reduced := make([]any, 5)
+	allred := make([]any, 5)
+	for r := 0; r < 5; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			reduced[r] = c.Reduce(0, float64(r+1), Sum)
+			allred[r] = c.Allreduce(r, Max)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reduced[0] != 15.0 {
+		t.Fatalf("Reduce on root = %v, want 15", reduced[0])
+	}
+	for r := 1; r < 5; r++ {
+		if reduced[r] != nil {
+			t.Fatalf("Reduce on rank %d = %v, want nil", r, reduced[r])
+		}
+	}
+	for r := 0; r < 5; r++ {
+		if allred[r] != 4 {
+			t.Fatalf("Allreduce on rank %d = %v, want 4", r, allred[r])
+		}
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	env, w := newTestWorld(3)
+	var got any
+	for r := 0; r < 3; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			v := c.Allreduce(float64(10-r), Min)
+			if r == 0 {
+				got = v
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 8.0 {
+		t.Fatalf("Allreduce Min = %v, want 8", got)
+	}
+}
+
+func TestGatherAllgather(t *testing.T) {
+	env, w := newTestWorld(3)
+	var rootGather []any
+	all := make([][]any, 3)
+	for r := 0; r < 3; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			g := c.Gather(1, fmt.Sprintf("v%d", r), 8)
+			if r == 1 {
+				rootGather = g
+			} else if g != nil {
+				t.Errorf("Gather returned non-nil on non-root %d", r)
+			}
+			all[r] = c.Allgather(r*r, 8)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rootGather) != 3 || rootGather[0] != "v0" || rootGather[2] != "v2" {
+		t.Fatalf("Gather = %v", rootGather)
+	}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 3; i++ {
+			if all[r][i] != i*i {
+				t.Fatalf("Allgather[%d] = %v", r, all[r])
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	env, w := newTestWorld(6)
+	type res struct{ rank, size int }
+	results := make([]res, 6)
+	for r := 0; r < 6; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			sub := c.Split(r%2, r)
+			// Even ranks {0,2,4} form one comm, odd {1,3,5} another.
+			results[r] = res{sub.Rank(), sub.Size()}
+			// The sub-communicator must support collectives.
+			sum := sub.Allreduce(r, Sum)
+			wantSum := 0 + 2 + 4
+			if r%2 == 1 {
+				wantSum = 1 + 3 + 5
+			}
+			if sum != wantSum {
+				t.Errorf("rank %d: sub Allreduce = %v, want %d", r, sum, wantSum)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		if results[r].size != 3 {
+			t.Fatalf("rank %d sub size = %d", r, results[r].size)
+		}
+		if results[r].rank != r/2 {
+			t.Fatalf("rank %d sub rank = %d, want %d", r, results[r].rank, r/2)
+		}
+	}
+}
+
+func TestSplitNegativeColor(t *testing.T) {
+	env, w := newTestWorld(2)
+	var r0 *Comm
+	w.Spawn(0, func(c *Comm) { r0 = c.Split(-1, 0) })
+	w.Spawn(1, func(c *Comm) {
+		sub := c.Split(0, 0)
+		if sub == nil || sub.Size() != 1 {
+			t.Error("rank 1 sub comm wrong")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r0 != nil {
+		t.Fatal("negative color must return nil comm")
+	}
+}
+
+func TestPostAndHandle(t *testing.T) {
+	env, w := newTestWorld(2)
+	var got []string
+	w.Handle(1, func(src, tag int, data any, size int64) {
+		got = append(got, fmt.Sprintf("%d/%d/%v/%d", src, tag, data, size))
+	})
+	env.Schedule(simtime.Millisecond, func() {
+		w.Post(0, 1, 9, "ctl", 16)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "0/9/ctl/16" {
+		t.Fatalf("handler got %v", got)
+	}
+}
+
+func TestLocalVsRemoteLatency(t *testing.T) {
+	env := simtime.NewEnv()
+	m := cluster.New(2, 4, cluster.DefaultNet())
+	// ranks 0,1 on node 0; rank 2 on node 1
+	w := NewWorld(env, m, []int{0, 0, 1})
+	var localAt, remoteAt simtime.Time
+	w.Spawn(0, func(c *Comm) {
+		c.Send(1, 1, nil, 1<<20)
+		c.Send(2, 1, nil, 1<<20)
+	})
+	w.Spawn(1, func(c *Comm) { c.Recv(0, 1); localAt = env.Now() })
+	w.Spawn(2, func(c *Comm) { c.Recv(0, 1); remoteAt = env.Now() })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if localAt >= remoteAt {
+		t.Fatalf("local delivery at %v not faster than remote at %v", localAt, remoteAt)
+	}
+}
+
+func TestNodeOfAndSize(t *testing.T) {
+	env := simtime.NewEnv()
+	m := cluster.New(2, 4, cluster.DefaultNet())
+	w := NewWorld(env, m, []int{0, 1, 1})
+	if w.Size() != 3 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+	if w.NodeOf(0) != 0 || w.NodeOf(2) != 1 {
+		t.Fatal("NodeOf wrong")
+	}
+}
+
+func TestInvalidPlacementPanics(t *testing.T) {
+	env := simtime.NewEnv()
+	m := cluster.New(2, 4, cluster.DefaultNet())
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid placement did not panic")
+		}
+	}()
+	NewWorld(env, m, []int{0, 5})
+}
+
+// Property: Allreduce(Sum) over random int contributions equals the serial
+// sum regardless of rank count.
+func TestQuickAllreduceSum(t *testing.T) {
+	f := func(raw []int8) bool {
+		n := len(raw)
+		if n == 0 || n > 12 {
+			return true
+		}
+		env, w := newTestWorld(n)
+		want := 0
+		for _, v := range raw {
+			want += int(v)
+		}
+		ok := true
+		for r := 0; r < n; r++ {
+			r := r
+			w.Spawn(r, func(c *Comm) {
+				if got := c.Allreduce(int(raw[r]), Sum); got != want {
+					ok = false
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every point-to-point message is delivered exactly once, in
+// order per (src, dst, tag) stream.
+func TestQuickMessageDelivery(t *testing.T) {
+	f := func(count uint8) bool {
+		n := int(count%20) + 1
+		env, w := newTestWorld(2)
+		var got []int
+		w.Spawn(0, func(c *Comm) {
+			for i := 0; i < n; i++ {
+				c.Send(1, 4, i, 8)
+			}
+		})
+		w.Spawn(1, func(c *Comm) {
+			for i := 0; i < n; i++ {
+				v, _ := c.Recv(0, 4)
+				got = append(got, v.(int))
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

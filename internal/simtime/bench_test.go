@@ -1,0 +1,51 @@
+package simtime
+
+import "testing"
+
+// BenchmarkScheduleAndRun measures raw callback-event throughput.
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEnv()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%1000), func() {})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcContextSwitch measures the process handshake cost.
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueuePingPong measures two processes exchanging items.
+func BenchmarkQueuePingPong(b *testing.B) {
+	e := NewEnv()
+	q1, q2 := e.NewQueue(), e.NewQueue()
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Push(i)
+			q2.Pop(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Pop(p)
+			q2.Push(i)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

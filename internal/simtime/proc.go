@@ -1,0 +1,250 @@
+package simtime
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that blocks in virtual time.
+// Exactly one process executes at a time; the engine resumes a process and
+// waits for it to park (block) or finish before executing the next event.
+// All simulation state may therefore be accessed without locks from process
+// bodies and event callbacks alike.
+type Proc struct {
+	env    *Env
+	id     uint64
+	name   string
+	resume chan any
+	parked bool
+	killed bool
+	done   *Event
+}
+
+// killedPanic unwinds a process goroutine when it is forcibly terminated.
+type killedPanic struct{}
+
+// Spawn creates a process running fn, starting at the current virtual time.
+// The returned Proc may be waited on via its Done event.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.seq++
+	p := &Proc{
+		env:    e,
+		id:     e.seq,
+		name:   name,
+		resume: make(chan any),
+		done:   e.NewEvent(),
+	}
+	e.procs[p] = struct{}{}
+	e.At(e.now, func() {
+		if p.killed {
+			delete(e.procs, p)
+			p.done.Trigger(nil)
+			return
+		}
+		go p.run(fn)
+		<-e.yield
+	})
+	return p
+}
+
+// run is the body wrapper executed on the process goroutine.
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		r := recover()
+		delete(p.env.procs, p)
+		if _, wasKilled := r.(killedPanic); r != nil && !wasKilled {
+			if p.env.fail == nil {
+				p.env.fail = fmt.Errorf("simtime: process %q panicked at %v: %v", p.name, p.env.now, r)
+			}
+		} else {
+			p.done.Trigger(nil)
+		}
+		p.env.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Done returns an event triggered when the process finishes.
+func (p *Proc) Done() *Event { return p.done }
+
+// Park blocks the process until another event wakes it with Env.WakeProc
+// (or an Event/Queue built on top of it). It returns the value passed to
+// the wake. Park is a low-level primitive for building synchronization
+// structures; most code should use Sleep, Wait, or Queue.
+func (p *Proc) Park() any {
+	p.parked = true
+	p.env.yield <- struct{}{}
+	v, ok := <-p.resume
+	if !ok {
+		panic(killedPanic{})
+	}
+	p.parked = false
+	return v
+}
+
+// WakeProc schedules p to resume at the current virtual time, with v as the
+// return value of its pending Park. The caller must guarantee that p is
+// parked (or will be parked before this wake event executes); waking a
+// running process deadlocks the engine.
+func (e *Env) WakeProc(p *Proc, v any) {
+	e.At(e.now, func() {
+		if p.killed {
+			return
+		}
+		p.resume <- v
+		<-e.yield
+	})
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative sleep %v", d))
+	}
+	e := p.env
+	e.At(e.now+Time(d), func() {
+		if p.killed {
+			return
+		}
+		p.resume <- nil
+		<-e.yield
+	})
+	p.parked = true
+	e.yield <- struct{}{}
+	if _, ok := <-p.resume; !ok {
+		panic(killedPanic{})
+	}
+	p.parked = false
+}
+
+// kill forcibly terminates the process. If it is parked, its goroutine is
+// unblocked and unwound. If it has not started yet, its start event is
+// suppressed.
+func (p *Proc) kill() {
+	if p.killed {
+		return
+	}
+	p.killed = true
+	if p.parked {
+		close(p.resume)
+		<-p.env.yield
+	}
+	delete(p.env.procs, p)
+}
+
+// Event is a one-shot occurrence that processes can wait on and callbacks
+// can subscribe to. An event carries an arbitrary value set at trigger
+// time. Triggering twice panics.
+type Event struct {
+	env       *Env
+	triggered bool
+	val       any
+	waiters   []*Proc
+	callbacks []func(any)
+}
+
+// NewEvent returns an untriggered event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Value returns the value the event was triggered with (nil if not yet
+// triggered).
+func (ev *Event) Value() any { return ev.val }
+
+// Trigger fires the event, waking all waiting processes and scheduling all
+// subscribed callbacks at the current virtual time.
+func (ev *Event) Trigger(v any) {
+	if ev.triggered {
+		panic("simtime: event triggered twice")
+	}
+	ev.triggered = true
+	ev.val = v
+	for _, p := range ev.waiters {
+		ev.env.WakeProc(p, v)
+	}
+	ev.waiters = nil
+	for _, cb := range ev.callbacks {
+		cb := cb
+		ev.env.At(ev.env.now, func() { cb(v) })
+	}
+	ev.callbacks = nil
+}
+
+// Subscribe registers fn to run (as a scheduled callback) when the event
+// triggers. If the event already triggered, fn is scheduled immediately.
+func (ev *Event) Subscribe(fn func(any)) {
+	if ev.triggered {
+		v := ev.val
+		ev.env.At(ev.env.now, func() { fn(v) })
+		return
+	}
+	ev.callbacks = append(ev.callbacks, fn)
+}
+
+// Wait blocks the process until the event triggers and returns the trigger
+// value. If the event already triggered, it returns immediately.
+func (p *Proc) Wait(ev *Event) any {
+	if ev.triggered {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p)
+	return p.Park()
+}
+
+// WaitAll blocks until every event in evs has triggered.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// Queue is an unbounded FIFO mailbox connecting event callbacks and
+// processes. Push never blocks; Pop blocks the calling process until an
+// item is available. Waiting processes are served in FIFO order.
+type Queue struct {
+	env     *Env
+	items   []any
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue.
+func (e *Env) NewQueue() *Queue { return &Queue{env: e} }
+
+// Len returns the number of buffered items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push appends v, waking the longest-waiting process if any.
+func (q *Queue) Push(v any) {
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.WakeProc(p, v)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue) TryPop() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop removes and returns the head item, blocking the process until one is
+// available.
+func (q *Queue) Pop(p *Proc) any {
+	if v, ok := q.TryPop(); ok {
+		return v
+	}
+	q.waiters = append(q.waiters, p)
+	return p.Park()
+}

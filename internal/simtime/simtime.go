@@ -1,0 +1,210 @@
+// Package simtime implements a deterministic discrete-event simulation
+// engine with virtual time.
+//
+// The engine provides two complementary execution styles:
+//
+//   - Callback events: functions scheduled at a virtual time with
+//     Env.Schedule or Env.At. These are the building block for event-driven
+//     state machines such as the task runtime.
+//
+//   - Processes: goroutines created with Env.Spawn that block in virtual
+//     time (Proc.Sleep, Proc.Wait, Queue.Pop). Exactly one process runs at
+//     any moment; the engine and the running process hand control back and
+//     forth over channels, so no locking is needed on simulation state.
+//     Processes make it natural to write SPMD rank programs that call
+//     blocking message-passing operations.
+//
+// Determinism: events are ordered by (time, insertion sequence), so two
+// runs of the same program observe identical interleavings.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a sentinel meaning "run until the event queue drains".
+const Forever Time = 1<<63 - 1
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Seconds reports t as a floating-point number of seconds since the start
+// of the simulation.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts a floating-point number of seconds to a Duration.
+func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.6fs", d.Seconds())
+}
+
+func (t Time) String() string {
+	return fmt.Sprintf("t=%.6fs", t.Seconds())
+}
+
+// item is a scheduled callback in the event heap.
+type item struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Env is a discrete-event simulation environment. It is not safe for
+// concurrent use from multiple goroutines except through the process
+// handshake protocol (see Proc).
+type Env struct {
+	now   Time
+	seq   uint64
+	pq    eventHeap
+	yield chan struct{}
+	procs map[*Proc]struct{}
+	fail  error
+	nstep uint64
+}
+
+// NewEnv returns a fresh simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far. Useful for
+// determinism tests and run statistics.
+func (e *Env) Steps() uint64 { return e.nstep }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: a discrete-event simulation cannot rewind.
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &item{t: t, seq: e.seq, fn: fn})
+}
+
+// Schedule schedules fn to run d after the current time. A negative d
+// panics.
+func (e *Env) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	e.At(e.now+Time(d), fn)
+}
+
+// Periodic runs fn at now+start and then every period thereafter, for as
+// long as fn returns true.
+func (e *Env) Periodic(start, period Duration, fn func() bool) {
+	if period <= 0 {
+		panic("simtime: Periodic requires a positive period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(start, tick)
+}
+
+// Step executes the earliest pending event, advancing virtual time to its
+// timestamp. It reports whether an event was executed.
+func (e *Env) Step() bool {
+	if len(e.pq) == 0 || e.fail != nil {
+		return false
+	}
+	it := heap.Pop(&e.pq).(*item)
+	e.now = it.t
+	e.nstep++
+	it.fn()
+	return true
+}
+
+// Run executes events until the queue drains or a process panics. It
+// returns the first process failure, if any.
+func (e *Env) Run() error { return e.RunUntil(Forever) }
+
+// RunUntil executes events with timestamps <= t. The clock does not advance
+// past the last executed event. It returns the first process failure, if
+// any.
+func (e *Env) RunUntil(t Time) error {
+	for len(e.pq) > 0 && e.pq[0].t <= t && e.fail == nil {
+		e.Step()
+	}
+	return e.fail
+}
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Env) Pending() int { return len(e.pq) }
+
+// LiveProcs returns the names of processes that have been spawned and have
+// not yet finished. After Run drains the queue, a non-empty result
+// indicates processes blocked forever (a deadlock in the simulated
+// program).
+func (e *Env) LiveProcs() []string {
+	var names []string
+	for p := range e.procs {
+		names = append(names, p.name)
+	}
+	return names
+}
+
+// KillAll forcibly terminates all live processes. Each parked process is
+// unblocked and its goroutine exits; deferred functions in process bodies
+// run. Use this to tear down a simulation with blocked processes (for
+// example, server loops) once the interesting work is done.
+func (e *Env) KillAll() {
+	for len(e.procs) > 0 {
+		var p *Proc
+		for q := range e.procs {
+			if p == nil || q.id < p.id {
+				p = q
+			}
+		}
+		p.kill()
+	}
+}
+
+// Err returns the first process failure observed, or nil.
+func (e *Env) Err() error { return e.fail }

@@ -1,0 +1,447 @@
+package simtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEnv()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (same-time events must run FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEnv()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEnv()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEnv()
+	fired := make(map[Time]bool)
+	for _, d := range []Duration{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired[Time(d)] = true })
+	}
+	if err := e.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	if !fired[10] || !fired[20] || fired[30] || fired[40] {
+		t.Fatalf("fired = %v, want only <=25", fired)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired[30] || !fired[40] {
+		t.Fatal("remaining events did not fire on Run")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEnv()
+	var wokeAt Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Second)
+		wokeAt = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != Time(5*Second) {
+		t.Fatalf("woke at %v, want 5s", wokeAt)
+	}
+	if n := len(e.LiveProcs()); n != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", n)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEnv()
+	var log []string
+	mk := func(name string, step Duration) {
+		e.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(step)
+				log = append(log, fmt.Sprintf("%s@%d", name, e.Now()/Time(Millisecond)))
+			}
+		})
+	}
+	mk("a", 10*Millisecond)
+	mk("b", 15*Millisecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// At t=30 both wake; b's wake event was scheduled earlier (at t=15 vs
+	// t=20), so b resumes first under (time, seq) ordering.
+	want := []string{"a@10", "b@15", "a@20", "b@30", "a@30", "b@45"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestEventWaitAndTrigger(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	var got []any
+	e.Spawn("w1", func(p *Proc) { got = append(got, p.Wait(ev)) })
+	e.Spawn("w2", func(p *Proc) { got = append(got, p.Wait(ev)) })
+	e.Schedule(7, func() { ev.Trigger("hello") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "hello" || got[1] != "hello" {
+		t.Fatalf("got = %v", got)
+	}
+	if !ev.Triggered() || ev.Value() != "hello" {
+		t.Fatal("event state wrong after trigger")
+	}
+}
+
+func TestEventWaitAfterTrigger(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	ev.Trigger(42)
+	var got any
+	e.Spawn("late", func(p *Proc) { got = p.Wait(ev) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got = %v, want 42", got)
+	}
+}
+
+func TestEventDoubleTriggerPanics(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	ev.Trigger(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("double trigger did not panic")
+		}
+	}()
+	ev.Trigger(nil)
+}
+
+func TestEventSubscribe(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	var calls []any
+	ev.Subscribe(func(v any) { calls = append(calls, v) })
+	e.Schedule(3, func() { ev.Trigger("x") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ev.Subscribe(func(v any) { calls = append(calls, v) }) // post-trigger subscribe
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0] != "x" || calls[1] != "x" {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	var got []any
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	e.Schedule(1, func() { q.Push(1); q.Push(2) })
+	e.Schedule(2, func() { q.Push(3) })
+	e.Schedule(3, func() { q.Push(4) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestQueueMultipleWaitersFIFO(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	var got []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("c%d", i)
+		e.Spawn(name, func(p *Proc) {
+			v := q.Pop(p)
+			got = append(got, fmt.Sprintf("%s<-%v", p.Name(), v))
+		})
+	}
+	e.Schedule(5, func() { q.Push("a"); q.Push("b"); q.Push("c") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"c0<-a", "c1<-b", "c2<-c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue returned ok")
+	}
+	q.Push("v")
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	v, ok := q.TryPop()
+	if !ok || v != "v" {
+		t.Fatalf("TryPop = %v, %v", v, ok)
+	}
+}
+
+func TestProcDoneEvent(t *testing.T) {
+	e := NewEnv()
+	p1 := e.Spawn("worker", func(p *Proc) { p.Sleep(10) })
+	var joinedAt Time
+	e.Spawn("joiner", func(p *Proc) {
+		p.Wait(p1.Done())
+		joinedAt = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joinedAt != 10 {
+		t.Fatalf("joined at %v, want 10", joinedAt)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEnv()
+	ev1, ev2 := e.NewEvent(), e.NewEvent()
+	var at Time
+	e.Spawn("w", func(p *Proc) {
+		p.WaitAll(ev1, ev2)
+		at = e.Now()
+	})
+	e.Schedule(5, func() { ev2.Trigger(nil) })
+	e.Schedule(9, func() { ev1.Trigger(nil) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 9 {
+		t.Fatalf("WaitAll completed at %v, want 9", at)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("bad", func(p *Proc) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run did not report the process panic")
+	}
+	if e.Err() == nil {
+		t.Fatal("Err did not retain the failure")
+	}
+}
+
+func TestKillAllUnblocksParked(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	cleaned := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("blocked%d", i), func(p *Proc) {
+			defer func() { cleaned++ }()
+			q.Pop(p) // never pushed
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.LiveProcs()); n != 5 {
+		t.Fatalf("LiveProcs = %d, want 5 blocked", n)
+	}
+	e.KillAll()
+	if n := len(e.LiveProcs()); n != 0 {
+		t.Fatalf("LiveProcs after KillAll = %d, want 0", n)
+	}
+	if cleaned != 5 {
+		t.Fatalf("deferred cleanups ran %d times, want 5", cleaned)
+	}
+}
+
+func TestKillAllUnstartedProc(t *testing.T) {
+	e := NewEnv()
+	ran := false
+	e.Spawn("never", func(p *Proc) { ran = true })
+	e.KillAll() // before Run: the start event must be suppressed
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("killed process body ran")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	e := NewEnv()
+	var times []Time
+	e.Periodic(10, 20, func() bool {
+		times = append(times, e.Now())
+		return len(times) < 4
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 30, 50, 70}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v, want 2.5", got)
+	}
+	if got := Time(3 * Second).Seconds(); got != 3.0 {
+		t.Fatalf("Time.Seconds = %v, want 3", got)
+	}
+}
+
+// TestDeterminism runs a randomized process soup twice with the same seed
+// and requires identical execution logs and step counts.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) (string, uint64) {
+		e := NewEnv()
+		rng := rand.New(rand.NewSource(seed))
+		var log string
+		q := e.NewQueue()
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(Duration(rng.Intn(100) + 1))
+					log += fmt.Sprintf("%d.%d@%d;", i, j, e.Now())
+					if j%3 == 0 {
+						q.Push(i)
+					} else if q.Len() > 0 {
+						q.TryPop()
+					}
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log, e.Steps()
+	}
+	log1, n1 := run(42)
+	log2, n2 := run(42)
+	if log1 != log2 || n1 != n2 {
+		t.Fatal("two runs with the same seed diverged")
+	}
+}
+
+// Property: for any sorted set of delays, events fire in non-decreasing
+// time order and the clock ends at the max delay.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEnv()
+		var fired []Time
+		maxT := Time(0)
+		for _, r := range raw {
+			d := Duration(r)
+			if Time(d) > maxT {
+				maxT = Time(d)
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(raw) == 0 || e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

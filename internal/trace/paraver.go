@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ompsscluster/internal/simtime"
+)
+
+// Paraver renders the recorder's busy timelines in a simplified Paraver
+// (.prv) format, the trace format of the BSC tool chain the paper's
+// figures were produced with. The header names one application with one
+// task per (node, apprank) timeline; each state change becomes a state
+// record:
+//
+//	#Paraver (dd/mm/yy at hh:mm):<endtime>_ns:<nnodes>(<cpus>):1:<ntasks>(...)
+//	1:<cpu>:1:<task>:1:<begin>:<end>:<value>
+//
+// where value is the number of busy cores during [begin, end). It is a
+// faithful enough subset for paramedir-style post-processing and for
+// regression-testing the timeline content.
+func (r *Recorder) Paraver() string {
+	keys := r.Keys()
+	var b strings.Builder
+	nodes := map[int]bool{}
+	for _, k := range keys {
+		nodes[k.Node] = true
+	}
+	fmt.Fprintf(&b, "#Paraver (01/01/00 at 00:00):%d_ns:%d(%d):1:%d(",
+		int64(r.end), len(nodes), len(keys), len(keys))
+	for i := range keys {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "1:%d", keys[i].Node+1)
+	}
+	b.WriteString(")\n")
+	// Emit state records in global time order for determinism.
+	type rec struct {
+		begin, end simtime.Time
+		task       int
+		value      float64
+	}
+	var recs []rec
+	for ti, k := range keys {
+		s := r.busy[k]
+		times, values := s.Samples()
+		for i := range times {
+			end := r.end
+			if i+1 < len(times) {
+				end = times[i+1]
+			}
+			if end > times[i] {
+				recs = append(recs, rec{times[i], end, ti + 1, values[i]})
+			}
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].begin != recs[j].begin {
+			return recs[i].begin < recs[j].begin
+		}
+		return recs[i].task < recs[j].task
+	})
+	for _, rc := range recs {
+		fmt.Fprintf(&b, "1:%d:1:%d:1:%d:%d:%d\n",
+			rc.task, rc.task, int64(rc.begin), int64(rc.end), int64(rc.value))
+	}
+	return b.String()
+}

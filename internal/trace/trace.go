@@ -1,0 +1,283 @@
+// Package trace records Paraver-style execution timelines from the
+// simulated runtime: for every (node, apprank) pair, the number of cores
+// busy executing that apprank's tasks over time, and the number of cores
+// owned by that apprank's worker on that node. These are the quantities
+// plotted in Figures 5 and 9 of the paper.
+//
+// Series are step functions: a recorded value holds until the next
+// record. The package can export CSV and render coarse ASCII timelines.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ompsscluster/internal/simtime"
+)
+
+// Key identifies one timeline: apprank's activity on a node.
+type Key struct {
+	Node, Apprank int
+}
+
+func (k Key) String() string { return fmt.Sprintf("node%d/apprank%d", k.Node, k.Apprank) }
+
+// Series is a right-continuous step function of time.
+type Series struct {
+	times  []simtime.Time
+	values []float64
+}
+
+// Record appends a sample at time t. Times must be non-decreasing; a
+// sample at an existing last time overwrites it.
+func (s *Series) Record(t simtime.Time, v float64) {
+	if n := len(s.times); n > 0 {
+		if t < s.times[n-1] {
+			panic(fmt.Sprintf("trace: time went backwards: %v after %v", t, s.times[n-1]))
+		}
+		if t == s.times[n-1] {
+			s.values[n-1] = v
+			return
+		}
+		if s.values[n-1] == v {
+			return // no change; keep the series compact
+		}
+	}
+	s.times = append(s.times, t)
+	s.values = append(s.values, v)
+}
+
+// Len returns the number of stored samples.
+func (s *Series) Len() int { return len(s.times) }
+
+// ValueAt returns the value of the step function at time t (0 before the
+// first sample).
+func (s *Series) ValueAt(t simtime.Time) float64 {
+	i := sort.Search(len(s.times), func(i int) bool { return s.times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return s.values[i-1]
+}
+
+// Integral returns the integral of the step function over [t0, t1].
+func (s *Series) Integral(t0, t1 simtime.Time) float64 {
+	if t1 <= t0 || len(s.times) == 0 {
+		return 0
+	}
+	total := 0.0
+	// Iterate segments overlapping [t0, t1].
+	i := sort.Search(len(s.times), func(i int) bool { return s.times[i] > t0 })
+	if i > 0 {
+		i--
+	}
+	for ; i < len(s.times); i++ {
+		segStart := s.times[i]
+		if segStart < t0 {
+			segStart = t0
+		}
+		segEnd := t1
+		if i+1 < len(s.times) && s.times[i+1] < t1 {
+			segEnd = s.times[i+1]
+		}
+		if segEnd > segStart {
+			total += s.values[i] * float64(segEnd-segStart)
+		}
+		if i+1 < len(s.times) && s.times[i+1] >= t1 {
+			break
+		}
+	}
+	return total
+}
+
+// Average returns the time-average over [t0, t1].
+func (s *Series) Average(t0, t1 simtime.Time) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	return s.Integral(t0, t1) / float64(t1-t0)
+}
+
+// Max returns the maximum recorded value.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Samples returns copies of the stored (time, value) pairs.
+func (s *Series) Samples() ([]simtime.Time, []float64) {
+	return append([]simtime.Time(nil), s.times...), append([]float64(nil), s.values...)
+}
+
+// Recorder collects busy and owned timelines plus named scalar series
+// (for example, node imbalance over time).
+type Recorder struct {
+	busy   map[Key]*Series
+	owned  map[Key]*Series
+	custom map[string]*Series
+	end    simtime.Time
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		busy:   make(map[Key]*Series),
+		owned:  make(map[Key]*Series),
+		custom: make(map[string]*Series),
+	}
+}
+
+func (r *Recorder) get(m map[Key]*Series, k Key) *Series {
+	s, ok := m[k]
+	if !ok {
+		s = &Series{}
+		m[k] = s
+	}
+	return s
+}
+
+// RecordBusy records the number of cores busy for apprank on node at t.
+func (r *Recorder) RecordBusy(t simtime.Time, node, apprank int, v float64) {
+	r.get(r.busy, Key{node, apprank}).Record(t, v)
+	if t > r.end {
+		r.end = t
+	}
+}
+
+// RecordOwned records the cores owned by apprank's worker on node at t.
+func (r *Recorder) RecordOwned(t simtime.Time, node, apprank int, v float64) {
+	r.get(r.owned, Key{node, apprank}).Record(t, v)
+	if t > r.end {
+		r.end = t
+	}
+}
+
+// RecordCustom records a named scalar series sample.
+func (r *Recorder) RecordCustom(name string, t simtime.Time, v float64) {
+	s, ok := r.custom[name]
+	if !ok {
+		s = &Series{}
+		r.custom[name] = s
+	}
+	s.Record(t, v)
+	if t > r.end {
+		r.end = t
+	}
+}
+
+// Busy returns the busy series for (node, apprank), or an empty series.
+func (r *Recorder) Busy(node, apprank int) *Series {
+	if s, ok := r.busy[Key{node, apprank}]; ok {
+		return s
+	}
+	return &Series{}
+}
+
+// Owned returns the owned series for (node, apprank), or an empty series.
+func (r *Recorder) Owned(node, apprank int) *Series {
+	if s, ok := r.owned[Key{node, apprank}]; ok {
+		return s
+	}
+	return &Series{}
+}
+
+// Custom returns the named scalar series, or an empty series.
+func (r *Recorder) Custom(name string) *Series {
+	if s, ok := r.custom[name]; ok {
+		return s
+	}
+	return &Series{}
+}
+
+// End returns the largest recorded time.
+func (r *Recorder) End() simtime.Time { return r.end }
+
+// Keys returns the busy-series keys, sorted by node then apprank.
+func (r *Recorder) Keys() []Key {
+	keys := make([]Key, 0, len(r.busy))
+	for k := range r.busy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		return keys[i].Apprank < keys[j].Apprank
+	})
+	return keys
+}
+
+// CSV renders every busy/owned series as long-format CSV:
+// kind,node,apprank,time_s,value.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("kind,node,apprank,time_s,value\n")
+	emit := func(kind string, m map[Key]*Series) {
+		keys := make([]Key, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Node != keys[j].Node {
+				return keys[i].Node < keys[j].Node
+			}
+			return keys[i].Apprank < keys[j].Apprank
+		})
+		for _, k := range keys {
+			s := m[k]
+			for i := range s.times {
+				fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.3f\n", kind, k.Node, k.Apprank, s.times[i].Seconds(), s.values[i])
+			}
+		}
+	}
+	emit("busy", r.busy)
+	emit("owned", r.owned)
+	return b.String()
+}
+
+// Render draws an ASCII timeline of the busy series, one row per
+// (node, apprank), width columns wide, scaled to maxVal cores (0 means
+// autoscale per row). It is the textual analogue of the paper's traces.
+func (r *Recorder) Render(width int, maxVal float64) string {
+	if width <= 0 {
+		width = 80
+	}
+	ramp := []rune(" .:-=+*#%@")
+	var b strings.Builder
+	end := r.end
+	if end == 0 {
+		return "(empty trace)\n"
+	}
+	for _, k := range r.Keys() {
+		s := r.busy[k]
+		scale := maxVal
+		if scale <= 0 {
+			scale = s.Max()
+		}
+		if scale <= 0 {
+			scale = 1
+		}
+		fmt.Fprintf(&b, "%-22s |", k.String())
+		for c := 0; c < width; c++ {
+			t0 := simtime.Time(float64(end) * float64(c) / float64(width))
+			t1 := simtime.Time(float64(end) * float64(c+1) / float64(width))
+			avg := s.Average(t0, t1)
+			idx := int(avg / scale * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteRune(ramp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

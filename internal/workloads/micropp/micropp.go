@@ -1,0 +1,184 @@
+// Package micropp is a workload surrogate for Alya MicroPP, the 3-D
+// finite-element micro-scale solid-mechanics library used in the paper's
+// evaluation (§6.2). MicroPP's execution is unbalanced because each
+// apprank holds a different mix of linear and non-linear finite elements:
+// linear elements cost one assembly pass, non-linear ones run a
+// Newton-Raphson loop whose iteration count varies by element and by
+// timestep.
+//
+// The surrogate reproduces that cost structure. Each apprank owns a fixed
+// set of element chunks (weak scaling: the per-apprank element count is
+// constant). A chunk's nominal cost is
+//
+//	elements x LinearCost x (1 + nonlinearFrac x (NRIterations-1))
+//
+// with the per-apprank non-linear fraction chosen so that the apprank
+// load vector matches a target imbalance (Equation 2), apprank 0 being
+// the heaviest as in the paper's traces (Figure 9). Per-chunk,
+// per-timestep Newton-Raphson variability adds the fine-grained
+// imbalance that LeWI reacts to.
+package micropp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/metrics"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simmpi"
+	"ompsscluster/internal/simtime"
+)
+
+// Config parameterises the surrogate.
+type Config struct {
+	// ChunksPerApprank is the number of element-chunk tasks each apprank
+	// submits per timestep (weak scaling).
+	ChunksPerApprank int
+	// ElementsPerChunk is the number of finite elements per chunk.
+	ElementsPerChunk int
+	// LinearCost is the nominal per-element assembly cost.
+	LinearCost simtime.Duration
+	// NRIterations is the Newton-Raphson iteration count of a fully
+	// non-linear element (>= 1).
+	NRIterations float64
+	// Imbalance is the target per-apprank load imbalance (Equation 2).
+	Imbalance float64
+	// Timesteps is the number of time-loop iterations.
+	Timesteps int
+	// NRJitter is the relative half-width of per-chunk, per-step
+	// Newton-Raphson variability (default 0.15 when zero).
+	NRJitter float64
+	// Seed drives fraction placement and jitter.
+	Seed int64
+}
+
+// Problem is an instantiated MicroPP surrogate.
+type Problem struct {
+	cfg          Config
+	appranks     int
+	nonlinFrac   []float64      // per apprank, in [0, 1]
+	chunkNominal []float64      // per apprank nominal chunk cost, ns
+	stepEnds     []simtime.Time // per-timestep completion times (rank 0)
+}
+
+// New builds the problem for the given apprank count.
+func New(cfg Config, appranks int) *Problem {
+	if cfg.ChunksPerApprank <= 0 || cfg.ElementsPerChunk <= 0 || cfg.Timesteps <= 0 {
+		panic("micropp: ChunksPerApprank, ElementsPerChunk and Timesteps must be positive")
+	}
+	if cfg.LinearCost <= 0 {
+		panic("micropp: LinearCost must be positive")
+	}
+	if cfg.NRIterations < 1 {
+		panic(fmt.Sprintf("micropp: NRIterations %v < 1", cfg.NRIterations))
+	}
+	if cfg.Imbalance < 1 {
+		panic(fmt.Sprintf("micropp: imbalance %v < 1", cfg.Imbalance))
+	}
+	if cfg.NRJitter == 0 {
+		cfg.NRJitter = 0.15
+	}
+	// An apprank's chunk cost factor is f = 1 + frac*(NR-1) with frac in
+	// [0, 1]: between all-linear (factor 1) and all-non-linear (factor
+	// NR). The imbalance of the factor vector is NR / (1 + (NR-1)*E[g])
+	// when the heaviest apprank is fully non-linear (g = frac/fracMax,
+	// max g = 1). Choosing the mean of g as
+	//
+	//	E[g] = (NR/I - 1) / (NR - 1)
+	//
+	// realises the target imbalance I exactly, as long as the element
+	// mix can express it (I <= A*NR/(NR+A-1)); beyond that the mix
+	// saturates at its maximum expressible imbalance.
+	p := &Problem{cfg: cfg, appranks: appranks}
+	nr := cfg.NRIterations
+	lin := float64(cfg.LinearCost) * float64(cfg.ElementsPerChunk)
+	var g []float64
+	switch {
+	case cfg.Imbalance == 1 || nr == 1 || appranks == 1:
+		g = make([]float64, appranks)
+		for i := range g {
+			g[i] = 1
+		}
+	default:
+		meanG := (nr/cfg.Imbalance - 1) / (nr - 1)
+		if lo := 1 / float64(appranks); meanG < lo {
+			meanG = lo // saturate at the maximum expressible imbalance
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x41c0))
+		g = metrics.SpreadLoads(appranks, meanG, 1/meanG, rng.Float64)
+	}
+	// g[0] is the maximum (apprank 0 heaviest, as in Figure 9).
+	for a := 0; a < appranks; a++ {
+		frac := g[a]
+		p.nonlinFrac = append(p.nonlinFrac, frac)
+		p.chunkNominal = append(p.chunkNominal, lin*(1+frac*(nr-1)))
+	}
+	return p
+}
+
+// NonlinearFractions returns the per-apprank non-linear element fraction.
+func (p *Problem) NonlinearFractions() []float64 {
+	return append([]float64(nil), p.nonlinFrac...)
+}
+
+// LoadImbalance returns the Equation-2 imbalance of the nominal apprank
+// loads actually realised by the element mix.
+func (p *Problem) LoadImbalance() float64 {
+	return metrics.Imbalance(p.chunkNominal)
+}
+
+// TotalWork returns the total nominal work in core-nanoseconds.
+func (p *Problem) TotalWork() float64 {
+	total := 0.0
+	for _, c := range p.chunkNominal {
+		total += c * float64(p.cfg.ChunksPerApprank) * float64(p.cfg.Timesteps)
+	}
+	return total
+}
+
+// OptimalTime is the perfect-balance bound on machine m.
+func (p *Problem) OptimalTime(m *cluster.Machine) simtime.Duration {
+	return simtime.Duration(p.TotalWork() / m.TotalCapacity())
+}
+
+// Main returns the SPMD main: per timestep, one task per element chunk
+// (inout on the chunk's state, in on the apprank's mesh), a taskwait, and
+// a residual allreduce.
+func (p *Problem) Main() func(app *core.App) {
+	return func(app *core.App) {
+		rng := rand.New(rand.NewSource(p.cfg.Seed*104729 + int64(app.Rank())))
+		mesh := app.Alloc(int64(p.cfg.ChunksPerApprank) * 256)
+		chunks := make([]nanos.Region, p.cfg.ChunksPerApprank)
+		for i := range chunks {
+			chunks[i] = app.Alloc(int64(p.cfg.ElementsPerChunk) * 96)
+		}
+		nominal := p.chunkNominal[app.Rank()]
+		for ts := 0; ts < p.cfg.Timesteps; ts++ {
+			for i := range chunks {
+				jitter := 1 + p.cfg.NRJitter*(2*rng.Float64()-1)
+				app.Submit(core.TaskSpec{
+					Label: "assemble+solve",
+					Work:  simtime.Duration(nominal * jitter),
+					Accesses: []nanos.Access{
+						{Region: chunks[i], Mode: nanos.InOut},
+						{Region: mesh, Mode: nanos.In},
+					},
+					Offloadable: true,
+				})
+			}
+			app.TaskWait()
+			app.AllreduceFloat(nominal, simmpi.Max) // convergence residual
+			if app.Rank() == 0 {
+				p.stepEnds = append(p.stepEnds, app.Now())
+			}
+		}
+	}
+}
+
+// StepEnds returns the per-timestep completion times observed by rank 0.
+// Valid after the run; a Problem must not be reused across runs.
+func (p *Problem) StepEnds() []simtime.Time {
+	return append([]simtime.Time(nil), p.stepEnds...)
+}

@@ -1,0 +1,124 @@
+package micropp
+
+import (
+	"math"
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/simtime"
+)
+
+const us = simtime.Microsecond
+
+func testConfig(imb float64) Config {
+	return Config{
+		ChunksPerApprank: 32,
+		ElementsPerChunk: 64,
+		LinearCost:       2 * us,
+		NRIterations:     10,
+		Imbalance:        imb,
+		Timesteps:        2,
+		Seed:             3,
+	}
+}
+
+func TestRealisedImbalanceMatchesTarget(t *testing.T) {
+	for _, imb := range []float64{1.0, 1.5, 2.0, 3.0} {
+		p := New(testConfig(imb), 8)
+		got := p.LoadImbalance()
+		if math.Abs(got-imb) > 1e-6 {
+			t.Fatalf("imbalance = %v, want %v", got, imb)
+		}
+	}
+}
+
+func TestApprankZeroHeaviest(t *testing.T) {
+	p := New(testConfig(2.0), 8)
+	fr := p.NonlinearFractions()
+	for i := 1; i < len(fr); i++ {
+		if fr[i] > fr[0]+1e-12 {
+			t.Fatalf("apprank %d fraction %v exceeds apprank 0's %v", i, fr[i], fr[0])
+		}
+	}
+	if math.Abs(fr[0]-1.0) > 1e-9 {
+		t.Fatalf("heaviest apprank fraction = %v, want 1.0 (fully non-linear)", fr[0])
+	}
+}
+
+func TestFractionsWithinRange(t *testing.T) {
+	p := New(testConfig(2.5), 16)
+	for i, f := range p.NonlinearFractions() {
+		if f < -1e-12 || f > 1+1e-12 {
+			t.Fatalf("fraction[%d] = %v outside [0,1]", i, f)
+		}
+	}
+}
+
+func TestImbalanceSaturates(t *testing.T) {
+	// 2 appranks, NR=10: maximum expressible imbalance is
+	// 2*10/(10+1) = 1.818... A target of 1.9 must saturate, not panic.
+	cfg := testConfig(1.9)
+	p := New(cfg, 2)
+	maxImb := 2.0 * 10 / 11
+	if got := p.LoadImbalance(); math.Abs(got-maxImb) > 1e-6 {
+		t.Fatalf("saturated imbalance = %v, want %v", got, maxImb)
+	}
+}
+
+func TestBalancedCase(t *testing.T) {
+	p := New(testConfig(1.0), 4)
+	if got := p.LoadImbalance(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("imbalance = %v, want 1.0", got)
+	}
+}
+
+func TestEndToEndImbalancedRun(t *testing.T) {
+	p := New(testConfig(2.0), 4)
+	m := cluster.New(4, 4, cluster.DefaultNet())
+	baseline := core.MustNew(core.Config{Machine: m, Degree: 1})
+	if err := baseline.Run(p.Main()); err != nil {
+		t.Fatal(err)
+	}
+	balanced := core.MustNew(core.Config{
+		Machine:      m,
+		Degree:       3,
+		LeWI:         true,
+		DROM:         core.DROMGlobal,
+		GlobalPeriod: 10 * simtime.Millisecond,
+		Seed:         1,
+	})
+	if err := balanced.Run(p.Main()); err != nil {
+		t.Fatal(err)
+	}
+	if balanced.Elapsed() >= baseline.Elapsed() {
+		t.Fatalf("balancing did not help: %v >= %v", balanced.Elapsed(), baseline.Elapsed())
+	}
+	opt := p.OptimalTime(m)
+	if balanced.Elapsed() > opt*2 {
+		t.Fatalf("balanced run %v far from optimal %v", balanced.Elapsed(), opt)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	good := testConfig(2.0)
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.ChunksPerApprank = 0 },
+		func(c *Config) { c.ElementsPerChunk = 0 },
+		func(c *Config) { c.LinearCost = 0 },
+		func(c *Config) { c.NRIterations = 0.5 },
+		func(c *Config) { c.Imbalance = 0.9 },
+		func(c *Config) { c.Timesteps = 0 },
+	} {
+		cfg := good
+		mod(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg, 4)
+		}()
+	}
+}

@@ -1,0 +1,234 @@
+// Package stencil is a 2-D Jacobi heat-diffusion solver with 1-D domain
+// decomposition and MPI halo exchange — the classic MPI+tasks pattern the
+// paper's programming model (§4) targets: point-to-point MPI from the
+// main function, offloadable compute tasks per row block.
+//
+// Unlike the synthetic benchmark, the computation is real: every rank
+// owns a slab of the global grid, exchanges boundary rows with its
+// neighbours through the simulated MPI library (the actual float64 rows
+// travel in the messages), and updates its slab. Load imbalance comes
+// from a "hotspot" rank whose cells cost more to update (standing in for
+// local mesh refinement).
+package stencil
+
+import (
+	"fmt"
+	"math"
+
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simmpi"
+	"ompsscluster/internal/simtime"
+)
+
+// Config parameterises the solver.
+type Config struct {
+	// RowsPerRank and Cols fix each rank's slab (weak scaling).
+	RowsPerRank, Cols int
+	// BlockRows is the task granularity: one task updates BlockRows rows.
+	BlockRows int
+	// CostPerCell is the nominal task time per grid cell.
+	CostPerCell simtime.Duration
+	// Iterations is the number of Jacobi sweeps.
+	Iterations int
+	// HotspotRank's cells cost HotspotFactor times more (local
+	// refinement); factor 1 disables the imbalance.
+	HotspotRank   int
+	HotspotFactor float64
+	// TopBoundary is the fixed temperature of the global top edge.
+	TopBoundary float64
+}
+
+// Benchmark holds the distributed grid state.
+type Benchmark struct {
+	cfg      Config
+	ranks    int
+	slabs    [][][]float64 // per rank: (RowsPerRank+2) x Cols, rows 0 and last are halos
+	next     [][][]float64
+	residual []float64 // per-iteration global residual
+	iterEnds []simtime.Time
+	applied  int
+}
+
+// New builds the benchmark for the given rank count. The initial grid is
+// zero with a fixed hot top edge.
+func New(cfg Config, ranks int) *Benchmark {
+	if cfg.RowsPerRank <= 0 || cfg.Cols <= 0 || cfg.Iterations <= 0 {
+		panic("stencil: RowsPerRank, Cols and Iterations must be positive")
+	}
+	if cfg.BlockRows <= 0 || cfg.BlockRows > cfg.RowsPerRank {
+		panic(fmt.Sprintf("stencil: BlockRows %d outside [1, %d]", cfg.BlockRows, cfg.RowsPerRank))
+	}
+	if cfg.HotspotFactor == 0 {
+		cfg.HotspotFactor = 1
+	}
+	if cfg.HotspotFactor < 1 {
+		panic("stencil: HotspotFactor must be >= 1")
+	}
+	b := &Benchmark{cfg: cfg, ranks: ranks, applied: -1}
+	for r := 0; r < ranks; r++ {
+		b.slabs = append(b.slabs, newSlab(cfg.RowsPerRank+2, cfg.Cols))
+		b.next = append(b.next, newSlab(cfg.RowsPerRank+2, cfg.Cols))
+	}
+	// Global top boundary: the halo row above rank 0 is fixed hot.
+	for c := 0; c < cfg.Cols; c++ {
+		b.slabs[0][0][c] = cfg.TopBoundary
+		b.next[0][0][c] = cfg.TopBoundary
+	}
+	return b
+}
+
+func newSlab(rows, cols int) [][]float64 {
+	s := make([][]float64, rows)
+	for i := range s {
+		s[i] = make([]float64, cols)
+	}
+	return s
+}
+
+// Residuals returns the per-iteration global residual (max cell change).
+// Valid after the run.
+func (b *Benchmark) Residuals() []float64 { return append([]float64(nil), b.residual...) }
+
+// IterationEnds returns the per-iteration completion times (rank 0).
+func (b *Benchmark) IterationEnds() []simtime.Time {
+	return append([]simtime.Time(nil), b.iterEnds...)
+}
+
+// Temperature returns the current value at a global (row, col).
+func (b *Benchmark) Temperature(row, col int) float64 {
+	return b.slabs[row/b.cfg.RowsPerRank][row%b.cfg.RowsPerRank+1][col]
+}
+
+// blockCost returns the nominal task time for one row block on rank r.
+func (b *Benchmark) blockCost(r, rows int) simtime.Duration {
+	cost := simtime.Duration(rows*b.cfg.Cols) * b.cfg.CostPerCell
+	if r == b.cfg.HotspotRank {
+		cost = simtime.Duration(float64(cost) * b.cfg.HotspotFactor)
+	}
+	return cost
+}
+
+// TotalWork returns the nominal task work of the run in core-nanoseconds.
+func (b *Benchmark) TotalWork() float64 {
+	total := 0.0
+	for r := 0; r < b.ranks; r++ {
+		total += float64(b.blockCost(r, b.cfg.RowsPerRank)) * float64(b.cfg.Iterations)
+	}
+	return total
+}
+
+// Main returns the SPMD main function: per iteration, halo exchange by
+// real point-to-point MPI, one offloadable task per row block, taskwait,
+// and a residual allreduce.
+func (b *Benchmark) Main() func(app *core.App) {
+	const haloTag = 77
+	return func(app *core.App) {
+		r := app.Rank()
+		cfg := b.cfg
+		rowBytes := int64(cfg.Cols * 8)
+		nblocks := (cfg.RowsPerRank + cfg.BlockRows - 1) / cfg.BlockRows
+		blockRegions := make([]nanos.Region, nblocks)
+		for i := range blockRegions {
+			blockRegions[i] = app.Alloc(int64(cfg.BlockRows) * rowBytes)
+		}
+		haloRegion := app.Alloc(2 * rowBytes)
+		comm := app.Comm()
+		for iter := 0; iter < cfg.Iterations; iter++ {
+			// Real halo exchange: send our edge rows, receive the
+			// neighbours' (the float64 data rides in the messages).
+			slab := b.slabs[r]
+			if r > 0 {
+				comm.Send(r-1, haloTag, append([]float64(nil), slab[1]...), rowBytes)
+			}
+			if r < b.ranks-1 {
+				comm.Send(r+1, haloTag, append([]float64(nil), slab[cfg.RowsPerRank]...), rowBytes)
+			}
+			if r > 0 {
+				v, _ := comm.Recv(r-1, haloTag)
+				copy(slab[0], v.([]float64))
+			}
+			if r < b.ranks-1 {
+				v, _ := comm.Recv(r+1, haloTag)
+				copy(slab[cfg.RowsPerRank+1], v.([]float64))
+			}
+			// The real Jacobi sweep for this rank (host computation; the
+			// simulated time is carried by the tasks below).
+			b.sweep(r)
+			// One offloadable task per row block; the halo region is a
+			// read so boundary blocks prefer home.
+			for blk := 0; blk < nblocks; blk++ {
+				rows := cfg.BlockRows
+				if (blk+1)*cfg.BlockRows > cfg.RowsPerRank {
+					rows = cfg.RowsPerRank - blk*cfg.BlockRows
+				}
+				acc := []nanos.Access{{Region: blockRegions[blk], Mode: nanos.InOut}}
+				if blk == 0 || blk == nblocks-1 {
+					acc = append(acc, nanos.Access{Region: haloRegion, Mode: nanos.In})
+				}
+				app.Submit(core.TaskSpec{
+					Label:       "jacobi-block",
+					Work:        b.blockCost(r, rows),
+					Accesses:    acc,
+					Offloadable: true,
+				})
+			}
+			app.TaskWait()
+			// Residual allreduce; the first rank past it commits the
+			// sweep (swap current/next) exactly once.
+			local := b.localResidual(r)
+			global := app.AllreduceFloat(local, simmpi.Max)
+			if b.applied < iter {
+				b.applied = iter
+				b.commit()
+				b.residual = append(b.residual, global)
+			}
+			if r == 0 {
+				b.iterEnds = append(b.iterEnds, app.Now())
+			}
+		}
+	}
+}
+
+// sweep computes rank r's next slab from the current one.
+func (b *Benchmark) sweep(r int) {
+	cfg := b.cfg
+	cur, nxt := b.slabs[r], b.next[r]
+	for i := 1; i <= cfg.RowsPerRank; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			left, right := j-1, j+1
+			if left < 0 {
+				left = 0
+			}
+			if right >= cfg.Cols {
+				right = cfg.Cols - 1
+			}
+			nxt[i][j] = 0.25 * (cur[i-1][j] + cur[i+1][j] + cur[i][left] + cur[i][right])
+		}
+	}
+}
+
+// localResidual returns rank r's max cell change of the pending sweep.
+func (b *Benchmark) localResidual(r int) float64 {
+	cfg := b.cfg
+	maxd := 0.0
+	for i := 1; i <= cfg.RowsPerRank; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			if d := math.Abs(b.next[r][i][j] - b.slabs[r][i][j]); d > maxd {
+				maxd = d
+			}
+		}
+	}
+	return maxd
+}
+
+// commit swaps current and next slabs for every rank (replicated update,
+// applied once per iteration) while preserving the fixed boundary halos.
+func (b *Benchmark) commit() {
+	for r := range b.slabs {
+		cur, nxt := b.slabs[r], b.next[r]
+		for i := 1; i <= b.cfg.RowsPerRank; i++ {
+			cur[i], nxt[i] = nxt[i], cur[i]
+		}
+	}
+}

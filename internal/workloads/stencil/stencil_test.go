@@ -1,0 +1,158 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/simtime"
+)
+
+const ms = simtime.Millisecond
+
+func testConfig() Config {
+	return Config{
+		RowsPerRank:   16,
+		Cols:          32,
+		BlockRows:     2,
+		CostPerCell:   2 * simtime.Microsecond,
+		Iterations:    8,
+		HotspotRank:   0,
+		HotspotFactor: 3,
+		TopBoundary:   100,
+	}
+}
+
+// runStencil executes the benchmark on a fresh runtime.
+func runStencil(t *testing.T, b *Benchmark, ranks, degree int, lewi bool, drom core.DROMMode) *core.ClusterRuntime {
+	t.Helper()
+	m := cluster.New(ranks, 4, cluster.DefaultNet())
+	rt := core.MustNew(core.Config{
+		Machine:      m,
+		Degree:       degree,
+		LeWI:         lewi,
+		DROM:         drom,
+		GlobalPeriod: 20 * ms,
+		Seed:         1,
+	})
+	if err := rt.Run(b.Main()); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestPhysicsHeatFlowsDown(t *testing.T) {
+	cfg := testConfig()
+	b := New(cfg, 4)
+	runStencil(t, b, 4, 2, true, core.DROMOff)
+	// After a few sweeps, rows near the hot top edge are warmer than
+	// rows far from it.
+	top := b.Temperature(0, cfg.Cols/2)
+	bottom := b.Temperature(4*cfg.RowsPerRank-1, cfg.Cols/2)
+	if top <= bottom {
+		t.Fatalf("top %v not hotter than bottom %v", top, bottom)
+	}
+	if top <= 0 || top > cfg.TopBoundary {
+		t.Fatalf("top temperature %v outside (0, %v]", top, cfg.TopBoundary)
+	}
+}
+
+func TestResidualDecreases(t *testing.T) {
+	b := New(testConfig(), 4)
+	runStencil(t, b, 4, 2, true, core.DROMOff)
+	res := b.Residuals()
+	if len(res) != 8 {
+		t.Fatalf("got %d residuals, want 8", len(res))
+	}
+	if res[len(res)-1] >= res[0] {
+		t.Fatalf("residual did not decrease: %v -> %v", res[0], res[len(res)-1])
+	}
+	for _, r := range res {
+		if math.IsNaN(r) || r < 0 {
+			t.Fatalf("bad residual %v", r)
+		}
+	}
+}
+
+func TestPhysicsIndependentOfRuntimeConfig(t *testing.T) {
+	// The simulated runtime must not alter the numerics: the grid after
+	// the run is identical whatever the balancing configuration.
+	b1 := New(testConfig(), 4)
+	runStencil(t, b1, 4, 1, false, core.DROMOff)
+	b2 := New(testConfig(), 4)
+	runStencil(t, b2, 4, 3, true, core.DROMGlobal)
+	cfg := testConfig()
+	for row := 0; row < 4*cfg.RowsPerRank; row += 7 {
+		for col := 0; col < cfg.Cols; col += 5 {
+			v1, v2 := b1.Temperature(row, col), b2.Temperature(row, col)
+			if math.Abs(v1-v2) > 1e-12 {
+				t.Fatalf("grid diverged at (%d,%d): %v vs %v", row, col, v1, v2)
+			}
+		}
+	}
+}
+
+func TestHotspotImbalanceAndOffloading(t *testing.T) {
+	base := New(testConfig(), 4)
+	rtBase := runStencil(t, base, 4, 1, false, core.DROMOff)
+	bal := New(testConfig(), 4)
+	rtBal := runStencil(t, bal, 4, 3, true, core.DROMGlobal)
+	if rtBal.Elapsed() >= rtBase.Elapsed() {
+		t.Fatalf("offloading did not help the hotspot: %v >= %v", rtBal.Elapsed(), rtBase.Elapsed())
+	}
+	if rtBal.TotalOffloadedTasks() == 0 {
+		t.Fatal("no tasks offloaded")
+	}
+}
+
+func TestNoHotspotBalanced(t *testing.T) {
+	cfg := testConfig()
+	cfg.HotspotFactor = 1
+	b := New(cfg, 4)
+	rt := runStencil(t, b, 4, 1, false, core.DROMOff)
+	ends := b.IterationEnds()
+	if len(ends) != cfg.Iterations {
+		t.Fatalf("iteration ends = %d, want %d", len(ends), cfg.Iterations)
+	}
+	// Balanced run: per-iteration times are nearly equal.
+	first := float64(ends[0])
+	last := float64(ends[len(ends)-1] - ends[len(ends)-2])
+	if math.Abs(first-last) > 0.2*first {
+		t.Fatalf("iteration times vary too much: first %v, last %v", first, last)
+	}
+	_ = rt
+}
+
+func TestConfigPanics(t *testing.T) {
+	good := testConfig()
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.RowsPerRank = 0 },
+		func(c *Config) { c.Cols = 0 },
+		func(c *Config) { c.Iterations = 0 },
+		func(c *Config) { c.BlockRows = 0 },
+		func(c *Config) { c.BlockRows = c.RowsPerRank + 1 },
+		func(c *Config) { c.HotspotFactor = 0.5 },
+	} {
+		cfg := good
+		mod(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg, 4)
+		}()
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	cfg := testConfig()
+	b := New(cfg, 2)
+	// Rank 0 at factor 3, rank 1 at 1: (3+1) x rows x cols x cost x iters.
+	want := 4.0 * float64(cfg.RowsPerRank*cfg.Cols) * float64(cfg.CostPerCell) * float64(cfg.Iterations)
+	if got := b.TotalWork(); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("TotalWork = %v, want %v", got, want)
+	}
+}

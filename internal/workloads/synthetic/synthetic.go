@@ -1,0 +1,174 @@
+// Package synthetic implements the paper's synthetic benchmark (§6.2): a
+// configurable-imbalance iterative program. Each iteration submits
+// TasksPerCore tasks per core with an average nominal duration of
+// MeanTask; per-apprank task durations differ so that the load vector
+// meets the target imbalance (Equation 2), with the heaviest rank at
+// MeanTask x Imbalance and the others uniformly distributed over the
+// space of values respecting the constraints.
+//
+// The slow-node sweep of Figure 10 uses the same benchmark on a machine
+// with one slow node; the signed imbalance decides whether the slow node
+// hosts the most (positive) or the least (negative) loaded apprank.
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/metrics"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simtime"
+)
+
+// Config parameterises the benchmark.
+type Config struct {
+	// Imbalance is the target Equation-2 imbalance, >= 1.
+	Imbalance float64
+	// TasksPerCore is the number of tasks per core per iteration
+	// (paper: 100).
+	TasksPerCore int
+	// MeanTask is the average nominal task duration (paper: 50ms).
+	MeanTask simtime.Duration
+	// Iterations is the number of outer iterations.
+	Iterations int
+	// Jitter is the relative half-width of the per-task uniform duration
+	// noise (0.1 = +/-10%). Fine-grained variation is what LeWI reacts
+	// to; zero disables it.
+	Jitter float64
+	// Seed drives load placement and jitter.
+	Seed int64
+	// HeaviestApprank, when > 0, pins the maximum-load apprank to a
+	// specific rank (Figure 10 places it on or away from the slow node);
+	// 0 leaves it at rank 0.
+	HeaviestApprank int
+	// LightestApprank, when > 0 (or PinLightest is set for rank 0), pins
+	// the minimum-load apprank, for the "slow node has the least work"
+	// side of Figure 10.
+	LightestApprank int
+	PinLightest     bool
+}
+
+// Benchmark is an instantiated synthetic workload for a given apprank
+// count and per-apprank core count.
+type Benchmark struct {
+	cfg          Config
+	appranks     int
+	coresPerRank int
+	meanPerRank  []float64 // nominal task duration per apprank, ns
+	tasksPerIter int
+	iterEnds     []simtime.Time // barrier-exit times observed by rank 0
+}
+
+// New builds the workload. coresPerApprank is the number of cores each
+// apprank starts with (node cores / appranks per node).
+func New(cfg Config, appranks, coresPerApprank int) *Benchmark {
+	if cfg.Imbalance < 1 {
+		panic(fmt.Sprintf("synthetic: imbalance %v < 1", cfg.Imbalance))
+	}
+	if cfg.TasksPerCore <= 0 || cfg.MeanTask <= 0 || cfg.Iterations <= 0 {
+		panic("synthetic: TasksPerCore, MeanTask and Iterations must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5a17))
+	loads := metrics.SpreadLoads(appranks, float64(cfg.MeanTask), cfg.Imbalance, rng.Float64)
+	if cfg.HeaviestApprank > 0 && cfg.HeaviestApprank < appranks {
+		loads[0], loads[cfg.HeaviestApprank] = loads[cfg.HeaviestApprank], loads[0]
+	}
+	if cfg.PinLightest || (cfg.LightestApprank > 0 && cfg.LightestApprank < appranks) {
+		minIdx := 0
+		for i, l := range loads {
+			if l < loads[minIdx] {
+				minIdx = i
+			}
+		}
+		loads[cfg.LightestApprank], loads[minIdx] = loads[minIdx], loads[cfg.LightestApprank]
+	}
+	return &Benchmark{
+		cfg:          cfg,
+		appranks:     appranks,
+		coresPerRank: coresPerApprank,
+		meanPerRank:  loads,
+		tasksPerIter: cfg.TasksPerCore * coresPerApprank,
+	}
+}
+
+// Loads returns the per-apprank nominal task durations (for tests).
+func (b *Benchmark) Loads() []float64 { return append([]float64(nil), b.meanPerRank...) }
+
+// TotalWork returns the total nominal work of the whole run in
+// core-nanoseconds.
+func (b *Benchmark) TotalWork() float64 {
+	total := 0.0
+	for _, l := range b.meanPerRank {
+		total += l * float64(b.tasksPerIter) * float64(b.cfg.Iterations)
+	}
+	return total
+}
+
+// OptimalTime returns the perfect-load-balance time bound on machine m:
+// total work divided by aggregate capacity (the grey line of Figures 8
+// and 10).
+func (b *Benchmark) OptimalTime(m *cluster.Machine) simtime.Duration {
+	return simtime.Duration(b.TotalWork() / m.TotalCapacity())
+}
+
+// Main returns the SPMD main function to pass to core.Run.
+func (b *Benchmark) Main() func(app *core.App) {
+	return func(app *core.App) {
+		// Deterministic per-rank jitter stream.
+		rng := rand.New(rand.NewSource(b.cfg.Seed*7919 + int64(app.Rank())))
+		mean := b.meanPerRank[app.Rank()]
+		regions := make([]nanos.Region, b.tasksPerIter)
+		for i := range regions {
+			regions[i] = app.Alloc(1 << 12)
+		}
+		for iter := 0; iter < b.cfg.Iterations; iter++ {
+			for i := 0; i < b.tasksPerIter; i++ {
+				d := mean
+				if b.cfg.Jitter > 0 {
+					d *= 1 + b.cfg.Jitter*(2*rng.Float64()-1)
+				}
+				app.Submit(core.TaskSpec{
+					Label:       "synth",
+					Work:        simtime.Duration(d),
+					Accesses:    []nanos.Access{{Region: regions[i], Mode: nanos.InOut}},
+					Offloadable: true,
+				})
+			}
+			app.TaskWait()
+			app.Barrier()
+			if app.Rank() == 0 {
+				b.iterEnds = append(b.iterEnds, app.Now())
+			}
+		}
+	}
+}
+
+// IterationEnds returns the virtual times at which each iteration's
+// closing barrier completed (as seen by rank 0). Valid after the run.
+func (b *Benchmark) IterationEnds() []simtime.Time {
+	return append([]simtime.Time(nil), b.iterEnds...)
+}
+
+// SteadyIterTime returns the average per-iteration time after skipping
+// warm warm-up iterations (the paper's Figures 8 and 10 report execution
+// time per iteration in steady state).
+func (b *Benchmark) SteadyIterTime(warm int) simtime.Duration {
+	return SteadyIterTime(b.iterEnds, warm)
+}
+
+// SteadyIterTime averages iteration durations from boundary timestamps,
+// skipping the first warm iterations (at least one is always kept).
+func SteadyIterTime(ends []simtime.Time, warm int) simtime.Duration {
+	if len(ends) == 0 {
+		return 0
+	}
+	if warm >= len(ends) {
+		warm = len(ends) - 1
+	}
+	if warm == 0 {
+		return simtime.Duration(ends[len(ends)-1]) / simtime.Duration(len(ends))
+	}
+	return simtime.Duration(ends[len(ends)-1]-ends[warm-1]) / simtime.Duration(len(ends)-warm)
+}

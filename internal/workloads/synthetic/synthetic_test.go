@@ -1,0 +1,125 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/metrics"
+	"ompsscluster/internal/simtime"
+)
+
+const ms = simtime.Millisecond
+
+func testConfig(imb float64) Config {
+	return Config{
+		Imbalance:    imb,
+		TasksPerCore: 10,
+		MeanTask:     5 * ms,
+		Iterations:   2,
+		Jitter:       0.1,
+		Seed:         1,
+	}
+}
+
+func TestLoadsMeetTarget(t *testing.T) {
+	for _, imb := range []float64{1.0, 1.5, 2.0, 3.0} {
+		b := New(testConfig(imb), 8, 4)
+		got := metrics.Imbalance(b.Loads())
+		if math.Abs(got-imb) > 1e-6 {
+			t.Fatalf("imbalance = %v, want %v", got, imb)
+		}
+	}
+}
+
+func TestHeaviestApprankPinning(t *testing.T) {
+	cfg := testConfig(2.0)
+	cfg.HeaviestApprank = 3
+	b := New(cfg, 8, 4)
+	loads := b.Loads()
+	maxIdx := 0
+	for i, l := range loads {
+		if l > loads[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx != 3 {
+		t.Fatalf("heaviest apprank = %d, want 3", maxIdx)
+	}
+}
+
+func TestOptimalTime(t *testing.T) {
+	b := New(testConfig(2.0), 4, 4)
+	m := cluster.New(4, 4, cluster.DefaultNet())
+	// Total work = 4 ranks * 40 tasks * 5ms (mean) * 2 iters = 1.6 core-s
+	// over 16 cores = 100ms.
+	want := 100 * ms
+	got := b.OptimalTime(m)
+	if math.Abs(float64(got-want)) > float64(ms) {
+		t.Fatalf("optimal = %v, want ~%v", got, want)
+	}
+}
+
+func TestBaselineMatchesImbalanceBound(t *testing.T) {
+	// Without balancing, the elapsed time per iteration should be the
+	// heaviest rank's work on its own cores.
+	cfg := testConfig(2.0)
+	cfg.Jitter = 0
+	b := New(cfg, 4, 4)
+	m := cluster.New(4, 4, cluster.DefaultNet())
+	rt := core.MustNew(core.Config{Machine: m, Degree: 1})
+	if err := rt.Run(b.Main()); err != nil {
+		t.Fatal(err)
+	}
+	// Heaviest rank: 40 tasks x 10ms on 4 cores = 100ms/iter, 2 iters.
+	elapsed := rt.Elapsed()
+	if elapsed < 200*ms || elapsed > 215*ms {
+		t.Fatalf("baseline = %v, want ~201ms", elapsed)
+	}
+}
+
+func TestBalancedRunApproachesOptimal(t *testing.T) {
+	cfg := testConfig(2.0)
+	b := New(cfg, 4, 4)
+	m := cluster.New(4, 4, cluster.DefaultNet())
+	rt := core.MustNew(core.Config{
+		Machine:      m,
+		Degree:       3,
+		LeWI:         true,
+		DROM:         DROMGlobalAlias,
+		GlobalPeriod: 20 * ms,
+	})
+	if err := rt.Run(b.Main()); err != nil {
+		t.Fatal(err)
+	}
+	opt := b.OptimalTime(m)
+	if rt.Elapsed() > opt*3/2 {
+		t.Fatalf("balanced = %v, want within 50%% of optimal %v", rt.Elapsed(), opt)
+	}
+	if rt.TotalOffloadedTasks() == 0 {
+		t.Fatal("imbalanced run offloaded nothing")
+	}
+}
+
+// DROMGlobalAlias avoids importing core's constant under a clash-prone
+// name in table-driven tests.
+const DROMGlobalAlias = core.DROMGlobal
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(Config{Imbalance: 0.5, TasksPerCore: 1, MeanTask: ms, Iterations: 1}, 2, 1) },
+		func() { New(Config{Imbalance: 1, MeanTask: ms, Iterations: 1}, 2, 1) },
+		func() { New(Config{Imbalance: 1, TasksPerCore: 1, Iterations: 1}, 2, 1) },
+		func() { New(Config{Imbalance: 1, TasksPerCore: 1, MeanTask: ms}, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
