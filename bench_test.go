@@ -13,8 +13,10 @@ package ompsscluster_test
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
+	"ompsscluster/internal/expander"
 	"ompsscluster/internal/experiments"
 )
 
@@ -83,8 +85,7 @@ func reportReduction(b *testing.B, r *experiments.Result, degree int) {
 		return
 	}
 	last := deg.Points[len(deg.Points)-1]
-	base := dlb.Y(last.X)
-	if base > 0 {
+	if base, ok := dlb.Lookup(last.X); ok && base > 0 {
 		b.ReportMetric(100*(1-last.Y/base), "%reduction-vs-dlb")
 	}
 }
@@ -99,7 +100,7 @@ func BenchmarkFig6cNbodySlowNode(b *testing.B) {
 			return
 		}
 		last := deg3.Points[len(deg3.Points)-1]
-		if y := base.Y(last.X); y > 0 {
+		if y, ok := base.Lookup(last.X); ok && y > 0 {
 			b.ReportMetric(100*(1-last.Y/y), "%reduction-vs-baseline")
 		}
 	})
@@ -122,7 +123,9 @@ func BenchmarkFig8SyntheticSweep(b *testing.B) {
 			perfect = r.Get("4n perfect")
 		}
 		if deg4 != nil && perfect != nil {
-			if d, p := deg4.Y(2.0), perfect.Y(2.0); d > 0 && p > 0 {
+			d, dok := deg4.Lookup(2.0)
+			p, pok := perfect.Lookup(2.0)
+			if dok && pok && p > 0 {
 				b.ReportMetric(100*(d/p-1), "%above-perfect@imb2")
 			}
 		}
@@ -219,4 +222,39 @@ func BenchmarkAblationORBWeights(b *testing.B) {
 // thermal motivation) and measures re-convergence.
 func BenchmarkExtDVFS(b *testing.B) {
 	runFigure(b, "ext-dvfs", nil)
+}
+
+// BenchmarkSweepParallelism runs the Figure 8 sweep (the widest
+// configuration fan-out) sequentially and at full parallelism, reporting
+// the wall-clock ratio as speedup-x. Independent simulator runs each own
+// a simtime.Env, so the sweep scales with cores; on a single-core machine
+// the two sub-benchmarks simply report comparable times.
+func BenchmarkSweepParallelism(b *testing.B) {
+	cpus := runtime.NumCPU()
+	var seq float64
+	run := func(name string, workers int) {
+		b.Run(name, func(b *testing.B) {
+			sc := benchScale()
+			sc.Parallel = workers
+			sc.Graphs = expander.NewStore("")
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.ByID("fig8", sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				seq = perOp
+			} else if seq > 0 && perOp > 0 {
+				b.ReportMetric(seq/perOp, "speedup-x")
+				b.ReportMetric(float64(cpus), "cpus")
+			}
+		})
+	}
+	workers := cpus
+	if workers < 2 {
+		workers = 2 // exercise the concurrent path even on one core
+	}
+	run("sequential", 1)
+	run("parallel", workers)
 }

@@ -5,7 +5,7 @@
 //
 //	lbsim -list
 //	lbsim -exp fig8 [-scale quick|default|paper] [-format table|csv|markdown]
-//	lbsim -all [-scale ...]
+//	lbsim -all [-scale ...] [-parallel N]
 package main
 
 import (
@@ -13,20 +13,23 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
+	"ompsscluster/internal/expander"
 	"ompsscluster/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment ids")
-		scale  = flag.String("scale", "default", "scale: quick, default, or paper")
-		format = flag.String("format", "table", "output format: table, csv, or markdown")
-		talp   = flag.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
-		outDir = flag.String("out", "", "also write each result as CSV into this directory")
+		exp      = flag.String("exp", "", "experiment id (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		scale    = flag.String("scale", "default", "scale: quick, default, or paper")
+		format   = flag.String("format", "table", "output format: table, csv, or markdown")
+		talp     = flag.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
+		outDir   = flag.String("out", "", "also write each result as CSV into this directory")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
 	)
 	flag.Parse()
 
@@ -46,6 +49,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sc.Parallel = *parallel
+	// One graph store for the whole invocation: sweeps (and with -all,
+	// experiments) that reuse a layout generate its helper graph once.
+	sc.Graphs = expander.NewStore("")
 	emit := func(r *experiments.Result) {
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {

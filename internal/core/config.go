@@ -60,6 +60,10 @@ type Config struct {
 	Degree int
 	// Shape selects the helper graph family (expander by default).
 	Shape expander.Shape
+	// Graphs, when non-nil, caches generated helper graphs so repeated
+	// runs of the same layout (a sweep) share one generation. The store
+	// is safe for concurrent use; the cached graphs are never mutated.
+	Graphs *expander.Store
 	// LeWI enables fine-grained lending/borrowing of idle cores.
 	LeWI bool
 	// DROM selects the ownership policy.

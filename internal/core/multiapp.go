@@ -95,13 +95,20 @@ func (rt *ClusterRuntime) addApp(spec AppSpec) error {
 	cfg := rt.cfg
 	nNodes := cfg.Machine.NumNodes()
 	nApp := nNodes * spec.RanksPerNode
-	g, err := expander.Generate(expander.Params{
+	p := expander.Params{
 		Appranks: nApp,
 		Nodes:    nNodes,
 		Degree:   spec.Degree,
 		Seed:     cfg.Seed + int64(len(rt.apps))*7919,
 		Shape:    cfg.Shape,
-	})
+	}
+	var g *expander.Graph
+	var err error
+	if cfg.Graphs != nil {
+		g, err = cfg.Graphs.Get(p)
+	} else {
+		g, err = expander.Generate(p)
+	}
 	if err != nil {
 		return err
 	}

@@ -5,12 +5,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // Store caches generated graphs, in memory and optionally on disk, so that
 // each configuration is generated only once (as the paper does: "each
-// graph is stored for future executions").
+// graph is stored for future executions"). A Store is safe for concurrent
+// use: parallel sweeps share one store so runs of the same layout share
+// one graph. The returned graphs are read-only by convention — the
+// runtime never mutates an expander graph after construction.
 type Store struct {
+	mu  sync.Mutex
 	dir string // empty means memory-only
 	mem map[string]*Graph
 }
@@ -28,6 +33,8 @@ func key(p Params) string {
 // Get returns the graph for p, generating and caching it on first use.
 func (s *Store) Get(p Params) (*Graph, error) {
 	k := key(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if g, ok := s.mem[k]; ok {
 		return g, nil
 	}

@@ -19,6 +19,7 @@ func ablationRun(sc Scale, nodes int, tweak func(*core.Config)) simtime.Duration
 	cfg := core.Config{
 		Machine:      m,
 		Degree:       4,
+		Graphs:       sc.Graphs,
 		LeWI:         true,
 		DROM:         core.DROMGlobal,
 		GlobalPeriod: sc.GlobalPeriod,
@@ -42,13 +43,15 @@ func AblationTasksPerCore(sc Scale) *Result {
 		XLabel: "threshold",
 		YLabel: "time per iteration (s)",
 	}
-	s := Series{Label: "8n imbalance 2.0 degree 4"}
+	s := &Series{Label: "8n imbalance 2.0 degree 4"}
+	var specs []runSpec
 	for _, k := range []int{1, 2, 3, 4, 8} {
-		k := k
-		t := ablationRun(sc, min8(sc), func(c *core.Config) { c.TasksPerCore = k })
-		s.Points = append(s.Points, Point{float64(k), t.Seconds()})
+		specs = append(specs, runSpec{s, float64(k), func() float64 {
+			return ablationRun(sc, min8(sc), func(c *core.Config) { c.TasksPerCore = k }).Seconds()
+		}})
 	}
-	res.Series = append(res.Series, s)
+	runAll(sc, specs)
+	res.Series = append(res.Series, *s)
 	res.Notes = append(res.Notes, "the paper uses 2: one task executing plus one with data staged")
 	return res
 }
@@ -63,11 +66,16 @@ func AblationCountBorrowed(sc Scale) *Result {
 		XLabel: "0=owned-only (paper), 1=count borrowed",
 		YLabel: "time per iteration (s)",
 	}
-	s := Series{Label: "8n imbalance 2.0 degree 4"}
-	t0 := ablationRun(sc, min8(sc), func(c *core.Config) { c.CountBorrowed = false })
-	t1 := ablationRun(sc, min8(sc), func(c *core.Config) { c.CountBorrowed = true })
-	s.Points = append(s.Points, Point{0, t0.Seconds()}, Point{1, t1.Seconds()})
-	res.Series = append(res.Series, s)
+	s := &Series{Label: "8n imbalance 2.0 degree 4"}
+	runAll(sc, []runSpec{
+		{s, 0, func() float64 {
+			return ablationRun(sc, min8(sc), func(c *core.Config) { c.CountBorrowed = false }).Seconds()
+		}},
+		{s, 1, func() float64 {
+			return ablationRun(sc, min8(sc), func(c *core.Config) { c.CountBorrowed = true }).Seconds()
+		}},
+	})
+	res.Series = append(res.Series, *s)
 	return res
 }
 
@@ -84,22 +92,24 @@ func AblationGraphShape(sc Scale) *Result {
 	if nodes > sc.MaxNodes {
 		nodes = sc.MaxNodes
 	}
-	s := Series{Label: fmt.Sprintf("%dn imbalance 2.0", nodes)}
+	s := &Series{Label: fmt.Sprintf("%dn imbalance 2.0", nodes)}
+	var specs []runSpec
 	for i, shape := range []expander.Shape{expander.ShapeExpander, expander.ShapeRing, expander.ShapeFull} {
-		shape := shape
-		t := ablationRun(sc, nodes, func(c *core.Config) {
-			c.Shape = shape
-			if shape == expander.ShapeFull {
-				c.Degree = nodes
-				if nodes > c.Machine.Node(0).Cores {
-					c.Degree = c.Machine.Node(0).Cores
-					c.Shape = expander.ShapeRing // full graph infeasible: fall back wide
+		specs = append(specs, runSpec{s, float64(i), func() float64 {
+			return ablationRun(sc, nodes, func(c *core.Config) {
+				c.Shape = shape
+				if shape == expander.ShapeFull {
+					c.Degree = nodes
+					if nodes > c.Machine.Node(0).Cores {
+						c.Degree = c.Machine.Node(0).Cores
+						c.Shape = expander.ShapeRing // full graph infeasible: fall back wide
+					}
 				}
-			}
-		})
-		s.Points = append(s.Points, Point{float64(i), t.Seconds()})
+			}).Seconds()
+		}})
 	}
-	res.Series = append(res.Series, s)
+	runAll(sc, specs)
+	res.Series = append(res.Series, *s)
 	res.Notes = append(res.Notes,
 		"full connectivity needs one worker per node per apprank: one core each, which caps it at cores-per-node")
 	return res
@@ -114,13 +124,15 @@ func AblationGlobalPeriod(sc Scale) *Result {
 		XLabel: "period (s)",
 		YLabel: "time per iteration (s)",
 	}
-	s := Series{Label: "8n imbalance 2.0 degree 4"}
+	s := &Series{Label: "8n imbalance 2.0 degree 4"}
+	var specs []runSpec
 	for _, p := range []simtime.Duration{sc.GlobalPeriod / 4, sc.GlobalPeriod, sc.GlobalPeriod * 4} {
-		p := p
-		t := ablationRun(sc, min8(sc), func(c *core.Config) { c.GlobalPeriod = p })
-		s.Points = append(s.Points, Point{p.Seconds(), t.Seconds()})
+		specs = append(specs, runSpec{s, p.Seconds(), func() float64 {
+			return ablationRun(sc, min8(sc), func(c *core.Config) { c.GlobalPeriod = p }).Seconds()
+		}})
 	}
-	res.Series = append(res.Series, s)
+	runAll(sc, specs)
+	res.Series = append(res.Series, *s)
 	return res
 }
 
@@ -141,6 +153,7 @@ func AblationIncentive(sc Scale) *Result {
 		rt := core.MustNew(core.Config{
 			Machine:      m,
 			Degree:       4,
+			Graphs:       sc.Graphs,
 			LeWI:         true,
 			DROM:         core.DROMGlobal,
 			GlobalPeriod: sc.GlobalPeriod,
@@ -153,12 +166,15 @@ func AblationIncentive(sc Scale) *Result {
 		}
 		return float64(rt.TotalOffloadedTasks())
 	}
-	s := Series{Label: "balanced load offloads"}
+	s := &Series{Label: "balanced load offloads"}
 	// Incentive 0 means "use the default" in Config, so pass a negative
 	// epsilon-free marker: the Config treats 0 as default 1e-6, so the
 	// no-incentive case uses a tiny negative that rounds to zero effect.
-	s.Points = append(s.Points, Point{0, run(-1)}, Point{1, run(1e-6)})
-	res.Series = append(res.Series, s)
+	runAll(sc, []runSpec{
+		{s, 0, func() float64 { return run(-1) }},
+		{s, 1, func() float64 { return run(1e-6) }},
+	})
+	res.Series = append(res.Series, *s)
 	res.Notes = append(res.Notes,
 		"the incentive only matters when the solver is otherwise indifferent; unnecessary offloads also stay low because spare cores go to home workers")
 	return res
@@ -181,15 +197,15 @@ func AblationORBWeights(sc Scale) *Result {
 	if nodes > sc.MaxNodes {
 		nodes = sc.MaxNodes
 	}
-	counts := Series{Label: "count weights (paper)"}
-	times := Series{Label: "time weights (counterfactual)"}
-	counts.Points = append(counts.Points,
-		Point{0, nbodyRun(sc, nodes, 1, false, core.DROMOff, true, false).Seconds()},
-		Point{1, nbodyRun(sc, nodes, 3, true, core.DROMGlobal, true, false).Seconds()})
-	times.Points = append(times.Points,
-		Point{0, nbodyRun(sc, nodes, 1, false, core.DROMOff, true, true).Seconds()},
-		Point{1, nbodyRun(sc, nodes, 3, true, core.DROMGlobal, true, true).Seconds()})
-	res.Series = append(res.Series, counts, times)
+	counts := &Series{Label: "count weights (paper)"}
+	times := &Series{Label: "time weights (counterfactual)"}
+	runAll(sc, []runSpec{
+		{counts, 0, func() float64 { return nbodyRun(sc, nodes, 1, false, core.DROMOff, true, false).Seconds() }},
+		{counts, 1, func() float64 { return nbodyRun(sc, nodes, 3, true, core.DROMGlobal, true, false).Seconds() }},
+		{times, 0, func() float64 { return nbodyRun(sc, nodes, 1, false, core.DROMOff, true, true).Seconds() }},
+		{times, 1, func() float64 { return nbodyRun(sc, nodes, 3, true, core.DROMGlobal, true, true).Seconds() }},
+	})
+	res.Series = append(res.Series, *counts, *times)
 	res.Notes = append(res.Notes,
 		"time-weighted ORB adapts to the slow node on its own; count-weighted ORB (the paper's) leaves the imbalance for the runtime to fix")
 	return res

@@ -16,7 +16,9 @@ import (
 	"sort"
 	"strings"
 
+	"ompsscluster/internal/expander"
 	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/sweep"
 )
 
 // Point is one (x, y) sample of a series.
@@ -30,14 +32,16 @@ type Series struct {
 	Points []Point
 }
 
-// Y returns the series value at x (exact match), or NaN-like -1.
-func (s Series) Y(x float64) float64 {
+// Lookup returns the series value at x (exact match) and whether the
+// series has a point there. Missing points are reported explicitly so a
+// legitimate non-positive value is never mistaken for a hole.
+func (s Series) Lookup(x float64) (float64, bool) {
 	for _, p := range s.Points {
 		if p.X == x {
-			return p.Y
+			return p.Y, true
 		}
 	}
-	return -1
+	return 0, false
 }
 
 // Result is one reproduced figure.
@@ -83,11 +87,10 @@ func (r *Result) Table() string {
 	for _, x := range sorted {
 		fmt.Fprintf(&b, "%-12.3g", x)
 		for _, s := range r.Series {
-			y := s.Y(x)
-			if y < 0 {
-				fmt.Fprintf(&b, "  %16s", "-")
-			} else {
+			if y, ok := s.Lookup(x); ok {
 				fmt.Fprintf(&b, "  %16.4f", y)
+			} else {
+				fmt.Fprintf(&b, "  %16s", "-")
 			}
 		}
 		b.WriteString("\n")
@@ -127,10 +130,10 @@ func (r *Result) Markdown() string {
 	for _, x := range sorted {
 		fmt.Fprintf(&b, "| %g |", x)
 		for _, s := range r.Series {
-			if y := s.Y(x); y < 0 {
-				b.WriteString(" – |")
-			} else {
+			if y, ok := s.Lookup(x); ok {
 				fmt.Fprintf(&b, " %.4f |", y)
+			} else {
+				b.WriteString(" – |")
 			}
 		}
 		b.WriteString("\n")
@@ -142,16 +145,28 @@ func (r *Result) Markdown() string {
 	return b.String()
 }
 
-// CSV renders the result in long format: series,x,y.
+// CSV renders the result in long format: series,x,y. Fields are quoted
+// per RFC 4180 when they contain a comma, quote, or newline, so labels
+// like "degree 4, local" survive a round-trip.
 func (r *Result) CSV() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "series,%s,%s\n", strings.ReplaceAll(r.XLabel, " ", "_"), strings.ReplaceAll(r.YLabel, " ", "_"))
+	fmt.Fprintf(&b, "series,%s,%s\n",
+		csvField(strings.ReplaceAll(r.XLabel, " ", "_")),
+		csvField(strings.ReplaceAll(r.YLabel, " ", "_")))
 	for _, s := range r.Series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "%s,%g,%g\n", s.Label, p.X, p.Y)
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvField(s.Label), p.X, p.Y)
 		}
 	}
 	return b.String()
+}
+
+// csvField quotes s per RFC 4180 if it needs it, else returns it as is.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Scale controls the cost of the reproduction. The paper's runs use
@@ -180,6 +195,16 @@ type Scale struct {
 	SamplePeriod simtime.Duration
 	// Seed drives all randomness.
 	Seed int64
+
+	// Parallel is the number of simulator runs the figure engines execute
+	// concurrently (each run on its own simtime.Env). 0 or 1 runs
+	// sequentially; results are identical at any setting because the
+	// sweep engine collects by spec index.
+	Parallel int
+	// Graphs, when non-nil, is shared by every run of the sweep so
+	// configurations with the same layout generate their helper graph
+	// once. Safe for concurrent use.
+	Graphs *expander.Store
 }
 
 // SamplePeriodOrDefault returns the sampling period as a Time step.
@@ -232,6 +257,36 @@ func PaperScale() Scale {
 		GlobalPeriod: 2 * simtime.Second,
 		LocalPeriod:  100 * simtime.Millisecond,
 		Seed:         1,
+	}
+}
+
+// engine returns the sweep engine configured by the scale. The default
+// (Parallel 0) is sequential, preserving the historical single-threaded
+// behaviour; cmd/lbsim sets Parallel from its -parallel flag.
+func (sc Scale) engine() *sweep.Engine {
+	if sc.Parallel <= 1 {
+		return sweep.New(1)
+	}
+	return sweep.New(sc.Parallel)
+}
+
+// runSpec is one point-producing simulator run of a figure sweep: run
+// yields the y value destined for series at x. Everything the run
+// touches must be created inside it (machines, recorders, workloads) so
+// specs may execute concurrently.
+type runSpec struct {
+	series *Series
+	x      float64
+	run    func() float64
+}
+
+// runAll executes the specs through the scale's sweep engine and appends
+// each result to its destination series in spec order, so assembled
+// series are identical at every parallelism.
+func runAll(sc Scale, specs []runSpec) {
+	ys := sweep.Map(sc.engine(), specs, func(s runSpec) float64 { return s.run() })
+	for i, s := range specs {
+		s.series.Points = append(s.series.Points, Point{s.x, ys[i]})
 	}
 }
 

@@ -9,6 +9,17 @@ import (
 // qs is the shared quick scale for tests.
 func qs() Scale { return QuickScale() }
 
+// y returns the series value at x, or -1 when the point is missing (the
+// tests' sentinel for a hole; measured values in these figures are
+// positive).
+func y(s *Series, x float64) float64 {
+	v, ok := s.Lookup(x)
+	if !ok {
+		return -1
+	}
+	return v
+}
+
 func TestFig8Shapes(t *testing.T) {
 	res := Fig8(qs())
 	// At 4 nodes: degree 4 beats the baseline at imbalance 2.0, and sits
@@ -20,7 +31,7 @@ func TestFig8Shapes(t *testing.T) {
 		t.Fatalf("missing series; have %v", labels(res))
 	}
 	for _, imb := range []float64{2.0, 3.0} {
-		b, d, p := base.Y(imb), deg4.Y(imb), perfect.Y(imb)
+		b, d, p := y(base, imb), y(deg4, imb), y(perfect, imb)
 		if b <= 0 || d <= 0 || p <= 0 {
 			t.Fatalf("imb %v: missing points b=%v d=%v p=%v", imb, b, d, p)
 		}
@@ -32,11 +43,11 @@ func TestFig8Shapes(t *testing.T) {
 		}
 	}
 	// Baseline time grows with imbalance; degree 4 stays nearly flat.
-	if base.Y(4.0) <= base.Y(1.0)*1.5 {
-		t.Errorf("baseline does not grow with imbalance: %v vs %v", base.Y(4.0), base.Y(1.0))
+	if y(base, 4.0) <= y(base, 1.0)*1.5 {
+		t.Errorf("baseline does not grow with imbalance: %v vs %v", y(base, 4.0), y(base, 1.0))
 	}
-	growth := deg4.Y(4.0) / deg4.Y(1.0)
-	baseGrowth := base.Y(4.0) / base.Y(1.0)
+	growth := y(deg4, 4.0) / y(deg4, 1.0)
+	baseGrowth := y(base, 4.0) / y(base, 1.0)
 	if growth >= baseGrowth {
 		t.Errorf("degree 4 grows as fast as baseline: %v vs %v", growth, baseGrowth)
 	}
@@ -51,9 +62,9 @@ func TestFig8DegreeTwoLimitedAtHighImbalance(t *testing.T) {
 	}
 	// The paper: degree 2 suffices up to imbalance ~2 but falls behind at
 	// higher imbalance where degree 4 still holds.
-	if deg2.Y(4.0) <= deg4.Y(4.0)*1.05 {
+	if y(deg2, 4.0) <= y(deg4, 4.0)*1.05 {
 		t.Errorf("degree 2 (%v) should clearly lag degree 4 (%v) at imbalance 4",
-			deg2.Y(4.0), deg4.Y(4.0))
+			y(deg2, 4.0), y(deg4, 4.0))
 	}
 }
 
@@ -318,9 +329,9 @@ func TestExtDynamicBeatsDegreeOne(t *testing.T) {
 	if s1 == nil || dyn == nil {
 		t.Fatalf("missing series: %v", labels(res))
 	}
-	if dyn.Y(3.0) >= s1.Y(3.0) {
+	if y(dyn, 3.0) >= y(s1, 3.0) {
 		t.Fatalf("dynamic (%v) no better than static degree 1 (%v) at imbalance 3",
-			dyn.Y(3.0), s1.Y(3.0))
+			y(dyn, 3.0), y(s1, 3.0))
 	}
 }
 
@@ -330,7 +341,7 @@ func TestExtPartitionQualityBounded(t *testing.T) {
 	if len(ts.Points) < 2 {
 		t.Skip("too few partitions at this scale")
 	}
-	whole := ts.Y(0)
+	whole := y(&ts, 0)
 	for _, p := range ts.Points {
 		if p.Y > whole*1.5 {
 			t.Fatalf("partition %v degrades balance too much: %v vs whole %v", p.X, p.Y, whole)

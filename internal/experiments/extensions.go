@@ -6,6 +6,7 @@ import (
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/sweep"
 	"ompsscluster/internal/workloads/synthetic"
 )
 
@@ -23,26 +24,58 @@ func ExtDynamicSpreading(sc Scale) *Result {
 		YLabel: "time per iteration (s)",
 	}
 	nodes := min8(sc)
-	static1 := Series{Label: "static degree 1"}
-	static4 := Series{Label: "static degree 4"}
-	dynamic := Series{Label: "dynamic (from degree 1)"}
-	grown := Series{Label: "helpers grown"}
+	static1 := &Series{Label: "static degree 1"}
+	static4 := &Series{Label: "static degree 4"}
+	dynamic := &Series{Label: "dynamic (from degree 1)"}
+	grown := &Series{Label: "helpers grown"}
+	// The dynamic run feeds two series (steady time and helpers grown)
+	// from one simulation, so the figure sweeps a two-valued spec rather
+	// than the usual one-point runSpec.
+	type dynSpec struct {
+		imb  float64
+		kind int // 0 = static degree 1, 1 = static degree 4, 2 = dynamic
+	}
+	var specs []dynSpec
 	for _, imb := range []float64{1.0, 2.0, 3.0, 4.0} {
 		if imb > float64(nodes) {
 			continue
 		}
-		cfg := synConfig(sc, imb)
-		t1, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 1, true, core.DROMLocal, nil)
-		static1.Points = append(static1.Points, Point{imb, t1.Seconds()})
+		specs = append(specs, dynSpec{imb, 0})
 		if nodes >= 4 {
-			t4, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 4, true, core.DROMGlobal, nil)
-			static4.Points = append(static4.Points, Point{imb, t4.Seconds()})
+			specs = append(specs, dynSpec{imb, 1})
 		}
-		td, rt := dynamicRun(sc, nodes, cfg)
-		dynamic.Points = append(dynamic.Points, Point{imb, td.Seconds()})
-		grown.Points = append(grown.Points, Point{imb, float64(rt.HelpersGrown())})
+		specs = append(specs, dynSpec{imb, 2})
 	}
-	res.Series = append(res.Series, static1, static4, dynamic, grown)
+	type dynOut struct {
+		t     simtime.Duration
+		grown int
+	}
+	outs := sweep.Map(sc.engine(), specs, func(s dynSpec) dynOut {
+		cfg := synConfig(sc, s.imb)
+		switch s.kind {
+		case 0:
+			t, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 1, true, core.DROMLocal, nil)
+			return dynOut{t: t}
+		case 1:
+			t, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 4, true, core.DROMGlobal, nil)
+			return dynOut{t: t}
+		default:
+			td, rt := dynamicRun(sc, nodes, cfg)
+			return dynOut{t: td, grown: rt.HelpersGrown()}
+		}
+	})
+	for i, s := range specs {
+		switch s.kind {
+		case 0:
+			static1.Points = append(static1.Points, Point{s.imb, outs[i].t.Seconds()})
+		case 1:
+			static4.Points = append(static4.Points, Point{s.imb, outs[i].t.Seconds()})
+		default:
+			dynamic.Points = append(dynamic.Points, Point{s.imb, outs[i].t.Seconds()})
+			grown.Points = append(grown.Points, Point{s.imb, float64(outs[i].grown)})
+		}
+	}
+	res.Series = append(res.Series, *static1, *static4, *dynamic, *grown)
 	res.Notes = append(res.Notes,
 		"dynamic growth removes the offloading-degree parameter; the paper conjectured the benefit would not cover the complexity (§5.2)")
 	return res
@@ -55,6 +88,7 @@ func dynamicRun(sc Scale, nodes int, synCfg synthetic.Config) (simtime.Duration,
 	rt := core.MustNew(core.Config{
 		Machine:      m,
 		Degree:       1,
+		Graphs:       sc.Graphs,
 		LeWI:         true,
 		DROM:         core.DROMGlobal,
 		GlobalPeriod: sc.GlobalPeriod,
@@ -88,14 +122,16 @@ func ExtPartitionedSolver(sc Scale) *Result {
 	if nodes > 64 {
 		nodes = 64
 	}
-	timeSeries := Series{Label: fmt.Sprintf("%dn imbalance 2.0 degree 4", nodes)}
+	timeSeries := &Series{Label: fmt.Sprintf("%dn imbalance 2.0 degree 4", nodes)}
 	costSeries := Series{Label: "modelled solve cost (ms)"}
+	var specs []runSpec
 	for _, part := range []int{0, 32, 16, 8} {
 		if part >= nodes {
 			continue
 		}
-		t := partitionedRun(sc, nodes, part)
-		timeSeries.Points = append(timeSeries.Points, Point{float64(part), t.Seconds()})
+		specs = append(specs, runSpec{timeSeries, float64(part), func() float64 {
+			return partitionedRun(sc, nodes, part).Seconds()
+		}})
 		groupNodes := part
 		if part == 0 {
 			groupNodes = nodes
@@ -103,7 +139,8 @@ func ExtPartitionedSolver(sc Scale) *Result {
 		f := float64(groupNodes) / 32.0
 		costSeries.Points = append(costSeries.Points, Point{float64(part), 57 * f * f})
 	}
-	res.Series = append(res.Series, timeSeries, costSeries)
+	runAll(sc, specs)
+	res.Series = append(res.Series, *timeSeries, costSeries)
 	res.Notes = append(res.Notes,
 		"each group solves independently; the solve delay (57ms at 32 nodes, quadratic) is modelled between measurement and application")
 	return res
@@ -123,16 +160,27 @@ func ExtDVFS(sc Scale) *Result {
 		YLabel: "iteration time (s)",
 	}
 	nodes := min8(sc)
-	run := func(degree int, lewi bool, drom core.DROMMode, label string) {
+	type dvfsSpec struct {
+		degree int
+		lewi   bool
+		drom   core.DROMMode
+		label  string
+	}
+	specs := []dvfsSpec{
+		{1, false, core.DROMOff, "baseline"},
+		{4, true, core.DROMGlobal, "degree 4 lewi+drom"},
+	}
+	res.Series = append(res.Series, sweep.Map(sc.engine(), specs, func(sp dvfsSpec) Series {
 		m := cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet())
 		cfg := synConfig(sc, 1.0) // balanced application
 		cfg.Iterations = sc.Iterations * 2
 		b := synthetic.New(cfg, nodes, sc.CoresPerNode)
 		rt := core.MustNew(core.Config{
 			Machine:      m,
-			Degree:       degree,
-			LeWI:         lewi,
-			DROM:         drom,
+			Degree:       sp.degree,
+			Graphs:       sc.Graphs,
+			LeWI:         sp.lewi,
+			DROM:         sp.drom,
 			GlobalPeriod: sc.GlobalPeriod,
 			LocalPeriod:  sc.LocalPeriod,
 			Seed:         sc.Seed,
@@ -145,17 +193,15 @@ func ExtDVFS(sc Scale) *Result {
 		if err := rt.Run(b.Main()); err != nil {
 			panic(fmt.Sprintf("experiments: dvfs run failed: %v", err))
 		}
-		s := Series{Label: label}
+		s := Series{Label: sp.label}
 		ends := b.IterationEnds()
 		prev := simtime.Time(0)
 		for i, e := range ends {
 			s.Points = append(s.Points, Point{float64(i), (e - prev).Seconds()})
 			prev = e
 		}
-		res.Series = append(res.Series, s)
-	}
-	run(1, false, core.DROMOff, "baseline")
-	run(4, true, core.DROMGlobal, "degree 4 lewi+drom")
+		return s
+	})...)
 	res.Notes = append(res.Notes,
 		"node 0 drops to 0.6x speed halfway through; the balanced baseline slows to the throttled node's pace while the runtime re-balances within a few periods")
 	return res
@@ -167,6 +213,7 @@ func partitionedRun(sc Scale, nodes, partition int) simtime.Duration {
 	rt := core.MustNew(core.Config{
 		Machine:         m,
 		Degree:          4,
+		Graphs:          sc.Graphs,
 		LeWI:            true,
 		DROM:            core.DROMGlobal,
 		GlobalPeriod:    sc.GlobalPeriod,

@@ -5,6 +5,8 @@ import (
 
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
+	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/sweep"
 )
 
 // Headline reproduces the abstract's three headline claims:
@@ -25,14 +27,43 @@ func Headline(sc Scale) *Result {
 		YLabel: "value",
 	}
 
-	// Claim 1: MicroPP on 32 nodes (global policy, degree 4).
 	mppNodes := 32
 	if mppNodes > sc.MaxNodes {
 		mppNodes = sc.MaxNodes
 	}
-	dlb, _ := mppRun(sc, mppNodes, 1, 1, true, core.DROMLocal, nil)
-	deg4, _ := mppRun(sc, mppNodes, 1, 4, true, core.DROMGlobal, nil)
-	opt := mppOptimal(sc, mppNodes, 1)
+	nbNodes := 16
+	if nbNodes > sc.MaxNodes {
+		nbNodes = sc.MaxNodes
+	}
+	synNodes := 8
+	if synNodes > sc.MaxNodes {
+		synNodes = sc.MaxNodes
+	}
+	synCfg := synConfig(sc, 2.0)
+
+	// The eight underlying measurements are independent simulator runs;
+	// sweep them together and assemble the claims from the results.
+	runs := []func() simtime.Duration{
+		func() simtime.Duration { t, _ := mppRun(sc, mppNodes, 1, 1, true, core.DROMLocal, nil); return t },
+		func() simtime.Duration { t, _ := mppRun(sc, mppNodes, 1, 4, true, core.DROMGlobal, nil); return t },
+		func() simtime.Duration { return mppOptimal(sc, mppNodes, 1) },
+		func() simtime.Duration { return nbodyRun(sc, nbNodes, 1, false, core.DROMOff, true, false) },
+		func() simtime.Duration { return nbodyRun(sc, nbNodes, 1, true, core.DROMLocal, true, false) },
+		func() simtime.Duration { return nbodyRun(sc, nbNodes, 3, true, core.DROMGlobal, true, false) },
+		func() simtime.Duration {
+			m := cluster.New(synNodes, sc.CoresPerNode, cluster.DefaultNet())
+			t, _ := synRun(sc, m, synCfg, 4, true, core.DROMGlobal, nil)
+			return t
+		},
+		func() simtime.Duration {
+			m := cluster.New(synNodes, sc.CoresPerNode, cluster.DefaultNet())
+			return synOptimalIter(sc, m, synCfg)
+		},
+	}
+	vals := sweep.Map(sc.engine(), runs, func(f func() simtime.Duration) simtime.Duration { return f() })
+
+	// Claim 1: MicroPP on 32 nodes (global policy, degree 4).
+	dlb, deg4, opt := vals[0], vals[1], vals[2]
 	reduction := 100 * (1 - float64(deg4)/float64(dlb))
 	aboveOpt := 100 * (float64(deg4)/float64(opt) - 1)
 	res.Series = append(res.Series,
@@ -44,13 +75,7 @@ func Headline(sc Scale) *Result {
 		mppNodes, reduction, aboveOpt))
 
 	// Claim 2: n-body on 16 nodes, one slow node.
-	nbNodes := 16
-	if nbNodes > sc.MaxNodes {
-		nbNodes = sc.MaxNodes
-	}
-	base := nbodyRun(sc, nbNodes, 1, false, core.DROMOff, true, false)
-	dlbNB := nbodyRun(sc, nbNodes, 1, true, core.DROMLocal, true, false)
-	deg3 := nbodyRun(sc, nbNodes, 3, true, core.DROMGlobal, true, false)
+	base, dlbNB, deg3 := vals[3], vals[4], vals[5]
 	dlbGain := 100 * (1 - float64(dlbNB)/float64(base))
 	furtherGain := 100 * (float64(dlbNB) - float64(deg3)) / float64(base)
 	res.Series = append(res.Series,
@@ -62,14 +87,7 @@ func Headline(sc Scale) *Result {
 		nbNodes, dlbGain, furtherGain))
 
 	// Claim 3: synthetic at imbalance 2.0 on 8 nodes, degree 4.
-	synNodes := 8
-	if synNodes > sc.MaxNodes {
-		synNodes = sc.MaxNodes
-	}
-	m := cluster.New(synNodes, sc.CoresPerNode, cluster.DefaultNet())
-	cfg := synConfig(sc, 2.0)
-	t, _ := synRun(sc, m, cfg, 4, true, core.DROMGlobal, nil)
-	optIter := synOptimalIter(sc, m, cfg)
+	t, optIter := vals[6], vals[7]
 	overOpt := 100 * (float64(t)/float64(optIter) - 1)
 	res.Series = append(res.Series,
 		Series{Label: "synthetic above perfect %", Points: []Point{{3, overOpt}}},

@@ -6,6 +6,7 @@ import (
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/sweep"
 	"ompsscluster/internal/trace"
 	"ompsscluster/internal/workloads/micropp"
 	"ompsscluster/internal/workloads/synthetic"
@@ -55,6 +56,7 @@ func mppRun(sc Scale, nodes, rpn, degree int, lewi bool, drom core.DROMMode, rec
 		Machine:         m,
 		AppranksPerNode: rpn,
 		Degree:          degree,
+		Graphs:          sc.Graphs,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,
@@ -85,33 +87,45 @@ func figMicroPP(id, title string, sc Scale, rpn int, drom core.DROMMode) *Result
 	}
 	nodes := nodeSweep(sc, 2, 4, 8, 16, 32, 64)
 	degrees := []int{2, 3, 4, 8}
-	baseline := Series{Label: "baseline"}
-	dlbOnly := Series{Label: "dlb (degree 1)"}
-	perfect := Series{Label: "perfect"}
-	degSeries := make([]Series, len(degrees))
+	baseline := &Series{Label: "baseline"}
+	dlbOnly := &Series{Label: "dlb (degree 1)"}
+	perfect := &Series{Label: "perfect"}
+	degSeries := make([]*Series, len(degrees))
 	for i, d := range degrees {
-		degSeries[i] = Series{Label: fmt.Sprintf("degree %d", d)}
+		degSeries[i] = &Series{Label: fmt.Sprintf("degree %d", d)}
 	}
+	var specs []runSpec
 	for _, n := range nodes {
 		x := float64(n)
-		t, _ := mppRun(sc, n, rpn, 1, false, core.DROMOff, nil)
-		baseline.Points = append(baseline.Points, Point{x, t.Seconds()})
+		specs = append(specs, runSpec{baseline, x, func() float64 {
+			t, _ := mppRun(sc, n, rpn, 1, false, core.DROMOff, nil)
+			return t.Seconds()
+		}})
 		// Single-node DLB: LeWI plus the local DROM policy among the
 		// processes of each node.
-		t, _ = mppRun(sc, n, rpn, 1, true, core.DROMLocal, nil)
-		dlbOnly.Points = append(dlbOnly.Points, Point{x, t.Seconds()})
+		specs = append(specs, runSpec{dlbOnly, x, func() float64 {
+			t, _ := mppRun(sc, n, rpn, 1, true, core.DROMLocal, nil)
+			return t.Seconds()
+		}})
 		for i, d := range degrees {
 			if d > n || d*rpn > sc.CoresPerNode {
 				continue
 			}
-			t, _ = mppRun(sc, n, rpn, d, true, drom, nil)
-			degSeries[i].Points = append(degSeries[i].Points, Point{x, t.Seconds()})
+			specs = append(specs, runSpec{degSeries[i], x, func() float64 {
+				t, _ := mppRun(sc, n, rpn, d, true, drom, nil)
+				return t.Seconds()
+			}})
 		}
-		perfect.Points = append(perfect.Points, Point{x, mppOptimal(sc, n, rpn).Seconds()})
+		specs = append(specs, runSpec{perfect, x, func() float64 {
+			return mppOptimal(sc, n, rpn).Seconds()
+		}})
 	}
-	res.Series = append(res.Series, baseline, dlbOnly)
-	res.Series = append(res.Series, degSeries...)
-	res.Series = append(res.Series, perfect)
+	runAll(sc, specs)
+	res.Series = append(res.Series, *baseline, *dlbOnly)
+	for _, s := range degSeries {
+		res.Series = append(res.Series, *s)
+	}
+	res.Series = append(res.Series, *perfect)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("MicroPP surrogate, imbalance %.1f, %d appranks/node, %s DROM policy",
 			mppImbalance, rpn, drom))
@@ -154,13 +168,14 @@ func Fig9(sc Scale) *Result {
 		XLabel: "config (0=base 1=LeWI 2=DROM 3=both)",
 		YLabel: "execution time (s)",
 	}
-	times := make([]simtime.Duration, 4)
-	for i, cfg := range fig9Configs() {
+	times := sweep.Map(sc.engine(), fig9Configs(), func(cfg fig9Config) simtime.Duration {
 		t, _ := mppRun(sc, 4, 1, cfg.degree, cfg.lewi, cfg.drom, nil)
-		times[i] = t
+		return t
+	})
+	for i, cfg := range fig9Configs() {
 		res.Series = append(res.Series, Series{
 			Label:  cfg.label,
-			Points: []Point{{float64(i), t.Seconds()}},
+			Points: []Point{{float64(i), times[i].Seconds()}},
 		})
 	}
 	res.Notes = append(res.Notes,
@@ -193,12 +208,13 @@ func fig9Configs() []fig9Config {
 // and returns the recorders (busy and owned timelines per node/apprank)
 // with their labels.
 func Fig9Traces(sc Scale) ([]*trace.Recorder, []string) {
-	var recs []*trace.Recorder
-	var labels []string
-	for _, cfg := range fig9Configs() {
+	recs := sweep.Map(sc.engine(), fig9Configs(), func(cfg fig9Config) *trace.Recorder {
 		rec := trace.NewRecorder()
 		mppRun(sc, 4, 1, cfg.degree, cfg.lewi, cfg.drom, rec)
-		recs = append(recs, rec)
+		return rec
+	})
+	var labels []string
+	for _, cfg := range fig9Configs() {
 		labels = append(labels, cfg.label)
 	}
 	return recs, labels

@@ -63,6 +63,7 @@ func nbodyRun(sc Scale, nodes, degree int, lewi bool, drom core.DROMMode, slow, 
 		Machine:         m,
 		AppranksPerNode: rpn,
 		Degree:          degree,
+		Graphs:          sc.Graphs,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,
@@ -119,22 +120,32 @@ func Fig6c(sc Scale) *Result {
 		XLabel: "nodes",
 		YLabel: "time per step (s)",
 	}
-	baseline := Series{Label: "baseline"}
-	dlbOnly := Series{Label: "dlb (degree 1)"}
-	deg2 := Series{Label: "degree 2"}
-	deg3 := Series{Label: "degree 3"}
+	baseline := &Series{Label: "baseline"}
+	dlbOnly := &Series{Label: "dlb (degree 1)"}
+	deg2 := &Series{Label: "degree 2"}
+	deg3 := &Series{Label: "degree 3"}
+	var specs []runSpec
 	for _, n := range nodeSweep(sc, 2, 4, 8, 16) {
 		x := float64(n)
-		baseline.Points = append(baseline.Points, Point{x, nbodyRun(sc, n, 1, false, core.DROMOff, true, false).Seconds()})
-		dlbOnly.Points = append(dlbOnly.Points, Point{x, nbodyRun(sc, n, 1, true, core.DROMLocal, true, false).Seconds()})
+		specs = append(specs, runSpec{baseline, x, func() float64 {
+			return nbodyRun(sc, n, 1, false, core.DROMOff, true, false).Seconds()
+		}})
+		specs = append(specs, runSpec{dlbOnly, x, func() float64 {
+			return nbodyRun(sc, n, 1, true, core.DROMLocal, true, false).Seconds()
+		}})
 		if 2*2 <= sc.CoresPerNode {
-			deg2.Points = append(deg2.Points, Point{x, nbodyRun(sc, n, 2, true, core.DROMGlobal, true, false).Seconds()})
+			specs = append(specs, runSpec{deg2, x, func() float64 {
+				return nbodyRun(sc, n, 2, true, core.DROMGlobal, true, false).Seconds()
+			}})
 		}
 		if n >= 3 && 3*2 <= sc.CoresPerNode {
-			deg3.Points = append(deg3.Points, Point{x, nbodyRun(sc, n, 3, true, core.DROMGlobal, true, false).Seconds()})
+			specs = append(specs, runSpec{deg3, x, func() float64 {
+				return nbodyRun(sc, n, 3, true, core.DROMGlobal, true, false).Seconds()
+			}})
 		}
 	}
-	res.Series = append(res.Series, baseline, dlbOnly, deg2, deg3)
+	runAll(sc, specs)
+	res.Series = append(res.Series, *baseline, *dlbOnly, *deg2, *deg3)
 	res.Notes = append(res.Notes,
 		"node 0 runs at 0.6 relative speed (1.8 vs 3.0 GHz); ORB balances interaction counts, not time")
 	return res

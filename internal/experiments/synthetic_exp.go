@@ -6,6 +6,7 @@ import (
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/sweep"
 	"ompsscluster/internal/trace"
 	"ompsscluster/internal/workloads/synthetic"
 )
@@ -17,6 +18,7 @@ func synRun(sc Scale, m *cluster.Machine, synCfg synthetic.Config, degree int, l
 	rt := core.MustNew(core.Config{
 		Machine:      m,
 		Degree:       degree,
+		Graphs:       sc.Graphs,
 		LeWI:         lewi,
 		DROM:         drom,
 		GlobalPeriod: sc.GlobalPeriod,
@@ -60,10 +62,12 @@ func Fig8(sc Scale) *Result {
 		YLabel: "time per iteration (s)",
 	}
 	imbalances := []float64{1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+	var specs []runSpec
+	var order []*Series
 	for _, nodes := range nodeSweep(sc, 4, 8, 64) {
 		m := func() *cluster.Machine { return cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()) }
-		base := Series{Label: fmt.Sprintf("%dn baseline", nodes)}
-		perfect := Series{Label: fmt.Sprintf("%dn perfect", nodes)}
+		base := &Series{Label: fmt.Sprintf("%dn baseline", nodes)}
+		perfect := &Series{Label: fmt.Sprintf("%dn perfect", nodes)}
 		degSeries := map[int]*Series{}
 		degrees := []int{2, 3, 4}
 		for _, d := range degrees {
@@ -74,24 +78,34 @@ func Fig8(sc Scale) *Result {
 				continue
 			}
 			cfg := synConfig(sc, imb)
-			t, _ := synRun(sc, m(), cfg, 1, true, core.DROMLocal, nil)
-			base.Points = append(base.Points, Point{imb, t.Seconds()})
+			specs = append(specs, runSpec{base, imb, func() float64 {
+				t, _ := synRun(sc, m(), cfg, 1, true, core.DROMLocal, nil)
+				return t.Seconds()
+			}})
 			for _, d := range degrees {
 				if d > nodes {
 					continue
 				}
-				t, _ := synRun(sc, m(), cfg, d, true, core.DROMGlobal, nil)
-				degSeries[d].Points = append(degSeries[d].Points, Point{imb, t.Seconds()})
+				specs = append(specs, runSpec{degSeries[d], imb, func() float64 {
+					t, _ := synRun(sc, m(), cfg, d, true, core.DROMGlobal, nil)
+					return t.Seconds()
+				}})
 			}
-			perfect.Points = append(perfect.Points, Point{imb, synOptimalIter(sc, m(), cfg).Seconds()})
+			specs = append(specs, runSpec{perfect, imb, func() float64 {
+				return synOptimalIter(sc, m(), cfg).Seconds()
+			}})
 		}
-		res.Series = append(res.Series, base)
+		order = append(order, base)
 		for _, d := range degrees {
 			if d <= nodes {
-				res.Series = append(res.Series, *degSeries[d])
+				order = append(order, degSeries[d])
 			}
 		}
-		res.Series = append(res.Series, perfect)
+		order = append(order, perfect)
+	}
+	runAll(sc, specs)
+	for _, s := range order {
+		res.Series = append(res.Series, *s)
 	}
 	res.Notes = append(res.Notes,
 		"baseline = degree 1 with single-node DLB (no benefit with one apprank per node, as in the paper)")
@@ -114,18 +128,20 @@ func Fig10(sc Scale) *Result {
 		m.SetSpeed(0, 1.0/3.0)
 		return m
 	}
-	type sweep struct {
+	type slowSweep struct {
 		nodes   int
 		degrees []int
 		maxImb  float64
 	}
-	sweeps := []sweep{{2, []int{2}, 2.0}, {8, []int{2, 4}, 4.0}}
+	sweeps := []slowSweep{{2, []int{2}, 2.0}, {8, []int{2, 4}, 4.0}}
+	var specs []runSpec
+	var order []*Series
 	for _, sw := range sweeps {
 		if sw.nodes > sc.MaxNodes {
 			continue
 		}
-		base := Series{Label: fmt.Sprintf("%dn baseline", sw.nodes)}
-		perfect := Series{Label: fmt.Sprintf("%dn perfect", sw.nodes)}
+		base := &Series{Label: fmt.Sprintf("%dn baseline", sw.nodes)}
+		perfect := &Series{Label: fmt.Sprintf("%dn perfect", sw.nodes)}
 		degSeries := map[int]*Series{}
 		for _, d := range sw.degrees {
 			degSeries[d] = &Series{Label: fmt.Sprintf("%dn degree %d", sw.nodes, d)}
@@ -142,19 +158,29 @@ func Fig10(sc Scale) *Result {
 			if imb < 0 {
 				cfg.PinLightest = true // slow node (node 0) gets the least work
 			} // else the heaviest stays at apprank 0 = the slow node
-			t, _ := synRun(sc, slowMachine(sw.nodes), cfg, 1, true, core.DROMLocal, nil)
-			base.Points = append(base.Points, Point{imb, t.Seconds()})
+			specs = append(specs, runSpec{base, imb, func() float64 {
+				t, _ := synRun(sc, slowMachine(sw.nodes), cfg, 1, true, core.DROMLocal, nil)
+				return t.Seconds()
+			}})
 			for _, d := range sw.degrees {
-				t, _ := synRun(sc, slowMachine(sw.nodes), cfg, d, true, core.DROMGlobal, nil)
-				degSeries[d].Points = append(degSeries[d].Points, Point{imb, t.Seconds()})
+				specs = append(specs, runSpec{degSeries[d], imb, func() float64 {
+					t, _ := synRun(sc, slowMachine(sw.nodes), cfg, d, true, core.DROMGlobal, nil)
+					return t.Seconds()
+				}})
 			}
-			perfect.Points = append(perfect.Points, Point{imb, synOptimalIter(sc, slowMachine(sw.nodes), cfg).Seconds()})
+			specs = append(specs, runSpec{perfect, imb, func() float64 {
+				return synOptimalIter(sc, slowMachine(sw.nodes), cfg).Seconds()
+			}})
 		}
-		res.Series = append(res.Series, base)
+		order = append(order, base)
 		for _, d := range sw.degrees {
-			res.Series = append(res.Series, *degSeries[d])
+			order = append(order, degSeries[d])
 		}
-		res.Series = append(res.Series, perfect)
+		order = append(order, perfect)
+	}
+	runAll(sc, specs)
+	for _, s := range order {
+		res.Series = append(res.Series, *s)
 	}
 	return res
 }
@@ -187,26 +213,34 @@ func Fig11(sc Scale) *Result {
 		nodes int
 		imb   float64
 	}
+	type spec struct {
+		sce scenario
+		cfg cfg
+	}
+	var specs []spec
 	for _, sce := range []scenario{{2, 2.0}, {4, 4.0}} {
 		if sce.nodes > sc.MaxNodes {
 			continue
 		}
 		for _, c := range cfgs {
-			rec := trace.NewRecorder()
-			synCfg := synConfig(sc, sce.imb)
-			synCfg.Iterations = sc.Iterations + 2 // room to converge
-			m := cluster.New(sce.nodes, sc.CoresPerNode, cluster.DefaultNet())
-			synRun(sc, m, synCfg, sce.nodes, c.lewi, c.drom, rec)
-			series := Series{Label: fmt.Sprintf("%dn %s", sce.nodes, c.label)}
-			// Sample the step series on a regular grid so all series
-			// share x values (the recorder compacts repeated values).
-			imbSeries := rec.Custom("node_imbalance")
-			for ti := sc.SamplePeriodOrDefault(); ti <= rec.End(); ti += sc.SamplePeriodOrDefault() {
-				series.Points = append(series.Points, Point{ti.Seconds(), imbSeries.ValueAt(ti)})
-			}
-			res.Series = append(res.Series, series)
+			specs = append(specs, spec{sce, c})
 		}
 	}
+	res.Series = append(res.Series, sweep.Map(sc.engine(), specs, func(s spec) Series {
+		rec := trace.NewRecorder()
+		synCfg := synConfig(sc, s.sce.imb)
+		synCfg.Iterations = sc.Iterations + 2 // room to converge
+		m := cluster.New(s.sce.nodes, sc.CoresPerNode, cluster.DefaultNet())
+		synRun(sc, m, synCfg, s.sce.nodes, s.cfg.lewi, s.cfg.drom, rec)
+		series := Series{Label: fmt.Sprintf("%dn %s", s.sce.nodes, s.cfg.label)}
+		// Sample the step series on a regular grid so all series
+		// share x values (the recorder compacts repeated values).
+		imbSeries := rec.Custom("node_imbalance")
+		for ti := sc.SamplePeriodOrDefault(); ti <= rec.End(); ti += sc.SamplePeriodOrDefault() {
+			series.Points = append(series.Points, Point{ti.Seconds(), imbSeries.ValueAt(ti)})
+		}
+		return series
+	})...)
 	res.Notes = append(res.Notes,
 		"offloading degree equals the node count (full connectivity on these tiny graphs)")
 	return res
@@ -224,13 +258,15 @@ func Fig5(sc Scale) *Result {
 		XLabel: "time (s)",
 		YLabel: "busy cores",
 	}
-	for _, pol := range []struct {
-		label string
-		drom  core.DROMMode
-	}{{"local", core.DROMLocal}, {"global", core.DROMGlobal}} {
+	type fig5Out struct {
+		series []Series
+		note   string
+	}
+	outs := sweep.Map(sc.engine(), fig5Policies(), func(pol fig5Policy) fig5Out {
 		rec := trace.NewRecorder()
-		rt, phase2Start := runFig5Workload(sc, pol.drom, rec)
+		_, phase2Start := runFig5Workload(sc, pol.drom, rec)
 		end := rec.End()
+		var out fig5Out
 		// Busy timelines, sampled.
 		for node := 0; node < 2; node++ {
 			for a := 0; a < 2; a++ {
@@ -242,7 +278,7 @@ func Fig5(sc Scale) *Result {
 					t1 := simtime.Time(float64(end) * float64(k+1) / samples)
 					s.Points = append(s.Points, Point{t0.Seconds(), busy.Average(t0, t1)})
 				}
-				res.Series = append(res.Series, s)
+				out.series = append(out.series, s)
 			}
 		}
 		// Cross-node activity once the balanced phase has settled (the
@@ -250,26 +286,38 @@ func Fig5(sc Scale) *Result {
 		// cores of each apprank on its non-home node.
 		settle := phase2Start + (end-phase2Start)/3
 		cross := rec.Busy(1, 0).Average(settle, end) + rec.Busy(0, 1).Average(settle, end)
-		res.Notes = append(res.Notes, fmt.Sprintf(
+		out.note = fmt.Sprintf(
 			"%s policy: %.2f cores of cross-node execution during the balanced phase (paper: local offloads unnecessarily, global ~0)",
-			pol.label, cross))
-		_ = rt
+			pol.label, cross)
+		return out
+	})
+	for _, out := range outs {
+		res.Series = append(res.Series, out.series...)
+		res.Notes = append(res.Notes, out.note)
 	}
 	return res
+}
+
+// fig5Policy is one of Figure 5's two allocation policies.
+type fig5Policy struct {
+	label string
+	drom  core.DROMMode
+}
+
+func fig5Policies() []fig5Policy {
+	return []fig5Policy{{"local", core.DROMLocal}, {"global", core.DROMGlobal}}
 }
 
 // Fig5Traces runs the two-phase workload under both policies with trace
 // recording and returns the recorders with their labels, for traceview.
 func Fig5Traces(sc Scale) ([]*trace.Recorder, []string) {
-	var recs []*trace.Recorder
-	var labels []string
-	for _, pol := range []struct {
-		label string
-		drom  core.DROMMode
-	}{{"local", core.DROMLocal}, {"global", core.DROMGlobal}} {
+	recs := sweep.Map(sc.engine(), fig5Policies(), func(pol fig5Policy) *trace.Recorder {
 		rec := trace.NewRecorder()
 		runFig5Workload(sc, pol.drom, rec)
-		recs = append(recs, rec)
+		return rec
+	})
+	var labels []string
+	for _, pol := range fig5Policies() {
 		labels = append(labels, pol.label)
 	}
 	return recs, labels
@@ -283,6 +331,7 @@ func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder) (*core.C
 		Machine:         m,
 		AppranksPerNode: 1,
 		Degree:          2,
+		Graphs:          sc.Graphs,
 		LeWI:            true,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

@@ -21,6 +21,7 @@ package simtime
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is an absolute virtual time in nanoseconds since the start of the
@@ -179,13 +180,19 @@ func (e *Env) RunUntil(t Time) error {
 func (e *Env) Pending() int { return len(e.pq) }
 
 // LiveProcs returns the names of processes that have been spawned and have
-// not yet finished. After Run drains the queue, a non-empty result
-// indicates processes blocked forever (a deadlock in the simulated
-// program).
+// not yet finished, in spawn order. After Run drains the queue, a
+// non-empty result indicates processes blocked forever (a deadlock in the
+// simulated program). Spawn order keeps the deadlock report — and thus
+// error paths — as deterministic as the package's happy path.
 func (e *Env) LiveProcs() []string {
-	var names []string
+	live := make([]*Proc, 0, len(e.procs))
 	for p := range e.procs {
-		names = append(names, p.name)
+		live = append(live, p)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	names := make([]string, len(live))
+	for i, p := range live {
+		names[i] = p.name
 	}
 	return names
 }

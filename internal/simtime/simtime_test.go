@@ -445,3 +445,29 @@ func TestQuickEventOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// LiveProcs reports deadlocked processes in spawn order, not map order,
+// so deadlock diagnostics are deterministic run to run.
+func TestLiveProcsSpawnOrder(t *testing.T) {
+	e := NewEnv()
+	// Names chosen so lexical order differs from spawn order.
+	for _, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		e.Spawn(name, func(p *Proc) { p.Park() }) // parks forever
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"zeta", "alpha", "mid", "beta"}
+	for i := 0; i < 10; i++ { // map iteration must never leak through
+		got := e.LiveProcs()
+		if len(got) != len(want) {
+			t.Fatalf("LiveProcs = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("LiveProcs = %v, want %v", got, want)
+			}
+		}
+	}
+	e.KillAll()
+}

@@ -1,0 +1,113 @@
+// Package sweep executes independent simulator runs concurrently.
+//
+// The experiments layer enumerates dozens of configurations per figure
+// (scenario × nodes × offloading degree × LeWI/DROM × policy), and each
+// configuration is one self-contained, deterministic, single-threaded
+// simulator run on its own simtime.Env. The engine exploits exactly that
+// two-level structure: a bounded worker pool executes the runs
+// concurrently while results are collected by spec index, so output
+// assembled from them is byte-identical to a sequential sweep regardless
+// of completion order.
+//
+// Jobs must not share mutable state: everything a run touches (machine
+// model, recorder, task graphs, RNGs) must be built inside the job. The
+// one sanctioned shared structure is expander.Store, which is safe for
+// concurrent use.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is a bounded worker pool for independent simulator runs. A nil
+// Engine is valid and runs sequentially.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine running up to workers jobs concurrently.
+// workers <= 0 selects runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers reports the engine's concurrency bound.
+func (e *Engine) Workers() int {
+	if e == nil || e.workers < 1 {
+		return 1
+	}
+	return e.workers
+}
+
+// Run executes job(0) … job(n-1). With one worker the jobs run in the
+// calling goroutine in index order — exactly the historical sequential
+// sweep, panics included. With more workers the jobs are drawn from a
+// shared counter by min(n, workers) goroutines; a panicking job stops
+// the draw, and after all in-flight jobs finish Run re-panics in the
+// caller with the lowest-index panic so failures surface deterministically.
+func (e *Engine) Run(n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicIdx = -1
+		panicVal any
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicIdx < 0 || i < panicIdx {
+								panicIdx, panicVal = i, r
+							}
+							mu.Unlock()
+							next.Store(int64(n)) // stop drawing new jobs
+						}
+					}()
+					job(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicIdx >= 0 {
+		panic(fmt.Sprintf("sweep: job %d panicked: %v", panicIdx, panicVal))
+	}
+}
+
+// Map runs one job per spec through the engine and returns the results
+// in spec order, independent of completion order.
+func Map[S, R any](e *Engine, specs []S, run func(S) R) []R {
+	out := make([]R, len(specs))
+	e.Run(len(specs), func(i int) { out[i] = run(specs[i]) })
+	return out
+}

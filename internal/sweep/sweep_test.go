@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesSpecOrder(t *testing.T) {
+	specs := make([]int, 100)
+	for i := range specs {
+		specs[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 16} {
+		out := Map(New(workers), specs, func(s int) int { return s * s })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	e := New(workers)
+	e.Run(50, func(i int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", p, workers)
+	}
+}
+
+func TestSequentialRunsInCallerOrder(t *testing.T) {
+	var order []int
+	New(1).Run(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestNilEngineIsSequential(t *testing.T) {
+	var e *Engine
+	if e.Workers() != 1 {
+		t.Fatalf("nil engine workers = %d", e.Workers())
+	}
+	var n int
+	e.Run(5, func(int) { n++ })
+	if n != 5 {
+		t.Fatalf("nil engine ran %d jobs", n)
+	}
+}
+
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				msg, ok := r.(string)
+				if workers == 1 {
+					// Sequential path re-panics the original value.
+					msg, ok = r.(error).Error(), true
+				}
+				if !ok || !strings.Contains(msg, "boom") {
+					t.Fatalf("workers=%d: unexpected panic %v", workers, r)
+				}
+			}()
+			New(workers).Run(20, func(i int) {
+				if i == 3 {
+					panic(errBoom{})
+				}
+			})
+		}()
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func TestRunZeroJobs(t *testing.T) {
+	New(4).Run(0, func(int) { t.Fatal("job ran") })
+}
