@@ -1,0 +1,21 @@
+#!/bin/sh
+# Record the event-engine throughput of a standard run into BENCH_engine.json
+# so the perf trajectory is tracked across PRs.
+#
+# Usage: bench/record.sh [output.json] [experiment] [scale]
+#
+# Defaults run the fig8 sweep at quick scale, which exercises the MPI
+# message layer, the task scheduler, and the DROM policies in a few
+# hundred milliseconds. Compare events_per_sec across commits; the
+# deterministic counters (events, fast_path_events, heap_pushes) must be
+# stable for a given experiment+scale regardless of host or parallelism.
+set -eu
+
+out=${1:-BENCH_engine.json}
+exp=${2:-fig8}
+scale=${3:-quick}
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/lbsim -exp "$exp" -scale "$scale" -enginestats -enginejson "$out" >/dev/null
+echo "bench: wrote $out"

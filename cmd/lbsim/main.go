@@ -6,18 +6,24 @@
 //	lbsim -list
 //	lbsim -exp fig8 [-scale quick|default|paper] [-format table|csv|markdown]
 //	lbsim -all [-scale ...] [-parallel N]
+//	lbsim -exp fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	lbsim -exp fig8 -enginestats -enginejson BENCH_engine.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/experiments"
+	"ompsscluster/internal/simtime"
 )
 
 func main() {
@@ -30,8 +36,41 @@ func main() {
 		talp     = flag.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
 		outDir   = flag.String("out", "", "also write each result as CSV into this directory")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
+
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		engineStats = flag.Bool("enginestats", false, "print per-experiment event-engine stats to stderr")
+		engineJSON  = flag.String("enginejson", "", "write aggregate event-engine stats as JSON to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the profile reflects live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
@@ -50,9 +89,13 @@ func main() {
 		fatal(err)
 	}
 	sc.Parallel = *parallel
-	// One graph store for the whole invocation: sweeps (and with -all,
-	// experiments) that reuse a layout generate its helper graph once.
+	// One graph store and one engine-stats collector for the whole
+	// invocation: sweeps (and with -all, experiments) that reuse a layout
+	// generate its helper graph once, and engine throughput aggregates
+	// across every run.
 	sc.Graphs = expander.NewStore("")
+	sc.Engine = simtime.NewStatsCollector()
+	report := &engineReport{Scale: *scale, Parallel: *parallel}
 	emit := func(r *experiments.Result) {
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -74,25 +117,105 @@ func main() {
 			fatal(fmt.Errorf("unknown format %q (table, csv, markdown)", *format))
 		}
 	}
-	switch {
-	case *all:
-		for _, id := range experiments.IDs() {
-			r, err := experiments.ByID(id, sc)
-			if err != nil {
-				fatal(err)
-			}
-			emit(r)
-		}
-	case *exp != "":
-		r, err := experiments.ByID(*exp, sc)
+	runOne := func(id string) {
+		before := sc.Engine.Totals()
+		start := time.Now()
+		r, err := experiments.ByID(id, sc)
 		if err != nil {
 			fatal(err)
 		}
+		wall := time.Since(start)
+		d := sc.Engine.Totals().Sub(before)
+		report.add(id, r.Engine, d, wall)
+		if *engineStats {
+			fmt.Fprintf(os.Stderr, "lbsim: %s: %d runs, %s events (%.0f%% fast-path), %s events/sec of run-host time, wall %v\n",
+				id, d.Runs, humanCount(d.Events), 100*d.FastPathFraction(),
+				humanCount(uint64(d.EventsPerSec())), wall.Round(time.Millisecond))
+		}
 		emit(r)
+	}
+	switch {
+	case *all:
+		for _, id := range experiments.IDs() {
+			runOne(id)
+		}
+	case *exp != "":
+		runOne(*exp)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *engineJSON != "" {
+		if err := report.write(*engineJSON, sc.Engine.Totals()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// engineReport accumulates the per-experiment engine numbers destined for
+// the -enginejson file (bench/record.sh writes it as BENCH_engine.json so
+// the perf trajectory is tracked across PRs).
+type engineReport struct {
+	Scale       string             `json:"scale"`
+	Parallel    int                `json:"parallel"`
+	Experiments []experimentReport `json:"experiments"`
+}
+
+type experimentReport struct {
+	ID           string  `json:"id"`
+	Runs         uint64  `json:"runs"`
+	Events       uint64  `json:"events"`
+	FastPath     uint64  `json:"fast_path_events"`
+	HeapPushes   uint64  `json:"heap_pushes"`
+	HostSeconds  float64 `json:"run_host_seconds"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func (er *engineReport) add(id string, e experiments.EngineStats, d simtime.RunTotals, wall time.Duration) {
+	er.Experiments = append(er.Experiments, experimentReport{
+		ID:           id,
+		Runs:         e.Runs,
+		Events:       e.Events,
+		FastPath:     e.FastPath,
+		HeapPushes:   e.HeapPushes,
+		HostSeconds:  d.Host.Seconds(),
+		WallSeconds:  wall.Seconds(),
+		EventsPerSec: d.EventsPerSec(),
+	})
+}
+
+func (er *engineReport) write(path string, total simtime.RunTotals) error {
+	out := struct {
+		*engineReport
+		Total experimentReport `json:"total"`
+	}{er, experimentReport{
+		ID:           "total",
+		Runs:         total.Runs,
+		Events:       total.Events,
+		FastPath:     total.FastPath,
+		HeapPushes:   total.HeapPushes,
+		HostSeconds:  total.Host.Seconds(),
+		EventsPerSec: total.EventsPerSec(),
+	}}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// humanCount renders n with a k/M/G suffix for the stderr stats line.
+func humanCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 func scaleByName(name string) (experiments.Scale, error) {

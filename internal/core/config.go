@@ -121,6 +121,12 @@ type Config struct {
 	Recorder     *trace.Recorder
 	SamplePeriod simtime.Duration
 
+	// EngineStats, when non-nil, receives the run's event-engine
+	// counters and host execution time once the simulation completes.
+	// Sweeps share one collector across runs (it is safe for concurrent
+	// use) to track aggregate engine throughput.
+	EngineStats *simtime.StatsCollector
+
 	// Dynamic enables dynamic work spreading: the helper graph grows at
 	// runtime under queue pressure instead of being fixed by Degree
 	// (§5.2's sketched extension). Typically used with Degree 1.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ompsscluster/internal/balance"
 	"ompsscluster/internal/dlb"
@@ -396,7 +397,10 @@ func (rt *ClusterRuntime) Run(main func(app *App)) error {
 
 // finishRun executes the simulation and checks the end-of-run invariants.
 func (rt *ClusterRuntime) finishRun() error {
-	if err := rt.env.Run(); err != nil {
+	start := time.Now()
+	err := rt.env.Run()
+	rt.cfg.EngineStats.Record(rt.env.EngineStats(), time.Since(start))
+	if err != nil {
 		return err
 	}
 	if live := rt.env.LiveProcs(); len(live) > 0 {

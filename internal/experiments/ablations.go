@@ -20,6 +20,7 @@ func ablationRun(sc Scale, nodes int, tweak func(*core.Config)) simtime.Duration
 		Machine:      m,
 		Degree:       4,
 		Graphs:       sc.Graphs,
+		EngineStats:  sc.Engine,
 		LeWI:         true,
 		DROM:         core.DROMGlobal,
 		GlobalPeriod: sc.GlobalPeriod,
@@ -154,6 +155,7 @@ func AblationIncentive(sc Scale) *Result {
 			Machine:      m,
 			Degree:       4,
 			Graphs:       sc.Graphs,
+			EngineStats:  sc.Engine,
 			LeWI:         true,
 			DROM:         core.DROMGlobal,
 			GlobalPeriod: sc.GlobalPeriod,

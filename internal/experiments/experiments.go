@@ -44,6 +44,23 @@ func (s Series) Lookup(x float64) (float64, bool) {
 	return 0, false
 }
 
+// EngineStats summarises the discrete-event engines of the simulator
+// runs behind one figure. Only deterministic counters live here — host
+// time and events/sec depend on the hardware and are reported by the
+// caller (cmd/lbsim) from the Scale's collector — so Results compare
+// equal across sweep parallelism levels.
+type EngineStats struct {
+	// Runs is the number of simulator runs the figure executed.
+	Runs uint64
+	// Events is the total number of engine events executed.
+	Events uint64
+	// FastPath counts events that bypassed the heap via the engine's
+	// same-timestamp FIFO.
+	FastPath uint64
+	// HeapPushes counts events that went through the future-event heap.
+	HeapPushes uint64
+}
+
 // Result is one reproduced figure.
 type Result struct {
 	ID     string
@@ -52,6 +69,10 @@ type Result struct {
 	YLabel string
 	Series []Series
 	Notes  []string
+	// Engine holds the engine counters of the runs behind the figure
+	// (populated by ByID; zero when a figure function is called
+	// directly without a collector).
+	Engine EngineStats
 }
 
 // Get returns the series with the given label.
@@ -205,6 +226,10 @@ type Scale struct {
 	// configurations with the same layout generate their helper graph
 	// once. Safe for concurrent use.
 	Graphs *expander.Store
+	// Engine, when non-nil, collects event-engine counters and host
+	// time from every simulator run (safe for concurrent use). ByID
+	// creates one per call when unset and summarises it on the Result.
+	Engine *simtime.StatsCollector
 }
 
 // SamplePeriodOrDefault returns the sampling period as a Time step.
@@ -352,7 +377,14 @@ func ByID(id string, sc Scale) (*Result, error) {
 		sort.Strings(ids)
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
 	}
-	return fn(sc), nil
+	if sc.Engine == nil {
+		sc.Engine = simtime.NewStatsCollector()
+	}
+	before := sc.Engine.Totals()
+	res := fn(sc)
+	d := sc.Engine.Totals().Sub(before)
+	res.Engine = EngineStats{Runs: d.Runs, Events: d.Events, FastPath: d.FastPath, HeapPushes: d.HeapPushes}
+	return res, nil
 }
 
 // IDs lists the available experiment ids.

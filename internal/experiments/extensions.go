@@ -89,6 +89,7 @@ func dynamicRun(sc Scale, nodes int, synCfg synthetic.Config) (simtime.Duration,
 		Machine:      m,
 		Degree:       1,
 		Graphs:       sc.Graphs,
+		EngineStats:  sc.Engine,
 		LeWI:         true,
 		DROM:         core.DROMGlobal,
 		GlobalPeriod: sc.GlobalPeriod,
@@ -179,6 +180,7 @@ func ExtDVFS(sc Scale) *Result {
 			Machine:      m,
 			Degree:       sp.degree,
 			Graphs:       sc.Graphs,
+			EngineStats:  sc.Engine,
 			LeWI:         sp.lewi,
 			DROM:         sp.drom,
 			GlobalPeriod: sc.GlobalPeriod,
@@ -214,6 +216,7 @@ func partitionedRun(sc Scale, nodes, partition int) simtime.Duration {
 		Machine:         m,
 		Degree:          4,
 		Graphs:          sc.Graphs,
+		EngineStats:     sc.Engine,
 		LeWI:            true,
 		DROM:            core.DROMGlobal,
 		GlobalPeriod:    sc.GlobalPeriod,

@@ -57,6 +57,7 @@ func mppRun(sc Scale, nodes, rpn, degree int, lewi bool, drom core.DROMMode, rec
 		AppranksPerNode: rpn,
 		Degree:          degree,
 		Graphs:          sc.Graphs,
+		EngineStats:     sc.Engine,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

@@ -64,6 +64,7 @@ func nbodyRun(sc Scale, nodes, degree int, lewi bool, drom core.DROMMode, slow, 
 		AppranksPerNode: rpn,
 		Degree:          degree,
 		Graphs:          sc.Graphs,
+		EngineStats:     sc.Engine,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

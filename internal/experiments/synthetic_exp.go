@@ -19,6 +19,7 @@ func synRun(sc Scale, m *cluster.Machine, synCfg synthetic.Config, degree int, l
 		Machine:      m,
 		Degree:       degree,
 		Graphs:       sc.Graphs,
+		EngineStats:  sc.Engine,
 		LeWI:         lewi,
 		DROM:         drom,
 		GlobalPeriod: sc.GlobalPeriod,
@@ -332,6 +333,7 @@ func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder) (*core.C
 		AppranksPerNode: 1,
 		Degree:          2,
 		Graphs:          sc.Graphs,
+		EngineStats:     sc.Engine,
 		LeWI:            true,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

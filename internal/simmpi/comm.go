@@ -73,7 +73,11 @@ func (cs *commState) commRankOf(global int) int {
 	}
 	cr, ok := cs.rankOf[global]
 	if !ok {
-		return AnySource
+		// Returning a sentinel here would alias the AnySource wildcard
+		// and silently corrupt matching; a rank outside the group is a
+		// program bug, so fail loudly.
+		panic(fmt.Sprintf("simmpi: global rank %d is not a member of this communicator (group %v)",
+			global, cs.group))
 	}
 	return cr
 }

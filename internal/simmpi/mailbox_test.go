@@ -1,0 +1,124 @@
+package simmpi
+
+import (
+	"strings"
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/simtime"
+)
+
+// The Post→Handle delivery path is the runtime's control-message
+// mechanism and runs once per offloaded task, so its allocation budget is
+// pinned: one message struct plus the delivery closure, with the mailbox
+// buckets reusing their backing arrays in steady state.
+func TestAllocsPerMessage(t *testing.T) {
+	env := simtime.NewEnv()
+	m := cluster.New(2, 4, cluster.DefaultNet())
+	w := NewWorld(env, m, []int{0, 1})
+	got := 0
+	w.Handle(1, func(src, tag int, data any, size int64) { got++ })
+	const batch = 256
+	warm := func() {
+		for i := 0; i < batch; i++ {
+			w.Post(0, 1, i%16, nil, 64)
+		}
+	}
+	warm()
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	allocs := testing.AllocsPerRun(50, func() {
+		warm()
+		if err := env.Run(); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if per := allocs / batch; per > 3.5 {
+		t.Errorf("allocs per message = %.2f (%.0f per %d messages), want <= 3.5", per, allocs, batch)
+	}
+}
+
+// Receiving in reverse tag order exercises every per-(src,tag) bucket:
+// each Recv must find its message while dozens of non-matching messages
+// sit in other buckets. The payloads verify no cross-bucket mixups.
+func TestBucketedReverseTagRecv(t *testing.T) {
+	const tags = 32
+	env, w := newTestWorld(2)
+	w.Spawn(0, func(c *Comm) {
+		for tag := 0; tag < tags; tag++ {
+			c.Send(1, tag, 100+tag, 8)
+		}
+	})
+	w.Spawn(1, func(c *Comm) {
+		c.Proc().Sleep(simtime.Second) // let every message arrive first
+		for tag := tags - 1; tag >= 0; tag-- {
+			v, st := c.Recv(0, tag)
+			if v.(int) != 100+tag || st.Tag != tag {
+				t.Errorf("tag %d: got %v (status %+v)", tag, v, st)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A wildcard Recv must match messages in ARRIVAL order, not post order.
+// Rank 1 posts first but with a large payload (slow transfer); rank 2
+// posts later with a tiny one that overtakes it on the wire. The receiver
+// waits for both and must see rank 2's message first — this is the
+// ordered fallback over the bucket heads, which selects the minimum
+// arrival stamp rather than iterating the map.
+func TestWildcardArrivalOrder(t *testing.T) {
+	env, w := newTestWorld(3)
+	w.Spawn(1, func(c *Comm) {
+		c.Send(0, 5, "slow", 1<<20) // 1 MiB: long transfer
+	})
+	w.Spawn(2, func(c *Comm) {
+		c.Proc().Sleep(simtime.Microsecond)
+		c.Send(0, 5, "fast", 8) // posted later, arrives earlier
+	})
+	w.Spawn(0, func(c *Comm) {
+		c.Proc().Sleep(60 * simtime.Second) // both are unexpected messages
+		v1, st1 := c.Recv(AnySource, AnyTag)
+		v2, st2 := c.Recv(AnySource, AnyTag)
+		if v1 != "fast" || st1.Source != 2 {
+			t.Errorf("first wildcard recv = %v from %d, want fast from 2", v1, st1.Source)
+		}
+		if v2 != "slow" || st2.Source != 1 {
+			t.Errorf("second wildcard recv = %v from %d, want slow from 1", v2, st2.Source)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A message from a rank outside the receiver's communicator must fail
+// loudly: translating the foreign global rank used to return the
+// AnySource sentinel, silently corrupting wildcard matching. Rank 1
+// sends on the world communicator while rank 0 receives on a singleton
+// sub-communicator that rank 1 does not belong to.
+func TestCommRankOfForeignRankPanics(t *testing.T) {
+	env, w := newTestWorld(2)
+	w.Spawn(0, func(c *Comm) {
+		sub := c.Split(0, 0) // {0} only
+		sub.Recv(AnySource, 7)
+	})
+	w.Spawn(1, func(c *Comm) {
+		c.Split(1, 0) // separate color: not a member of rank 0's sub-comm
+		c.Send(0, 7, nil, 8)
+	})
+	err := env.Run()
+	if err == nil {
+		t.Fatal("receiving a foreign rank's message did not fail")
+	}
+	if !strings.Contains(err.Error(), "not a member") {
+		t.Fatalf("error = %v, want mention of membership", err)
+	}
+}

@@ -50,12 +50,9 @@ func (c *Comm) Irecv(src, tag int) *Request {
 		panic("simmpi: Irecv on a rank with an event handler installed")
 	}
 	// Immediate match against already-arrived messages.
-	for i, msg := range mb.arrived {
-		if matches(gsrc, tag, msg) {
-			mb.arrived = append(mb.arrived[:i], mb.arrived[i+1:]...)
-			req.complete(c, msg)
-			return req
-		}
+	if msg := mb.takeArrived(gsrc, tag); msg != nil {
+		req.complete(c, msg)
+		return req
 	}
 	mb.irecvs = append(mb.irecvs, &pendingIrecv{src: gsrc, tag: tag, req: req, comm: c})
 	return req
@@ -86,10 +83,8 @@ func (c *Comm) Probe(src, tag int) Status {
 		gsrc = c.state.group[src]
 	}
 	mb := w.mail[c.rank]
-	for _, msg := range mb.arrived {
-		if matches(gsrc, tag, msg) {
-			return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}
-		}
+	if _, msg := mb.findArrived(gsrc, tag); msg != nil {
+		return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}
 	}
 	mb.probes = append(mb.probes, &pendingRecv{src: gsrc, tag: tag, proc: c.proc})
 	msg := c.proc.Park().(*message)
@@ -103,10 +98,8 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool) {
 	if src != AnySource {
 		gsrc = c.state.group[src]
 	}
-	for _, msg := range c.state.w.mail[c.rank].arrived {
-		if matches(gsrc, tag, msg) {
-			return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}, true
-		}
+	if _, msg := c.state.w.mail[c.rank].findArrived(gsrc, tag); msg != nil {
+		return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}, true
 	}
 	return Status{}, false
 }

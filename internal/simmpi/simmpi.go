@@ -41,7 +41,7 @@ type message struct {
 	tag  int
 	size int64
 	data any
-	seq  uint64
+	arr  uint64 // per-mailbox arrival stamp, set when queued as unexpected
 }
 
 // pendingRecv is a blocked receive posted by a process.
@@ -50,15 +50,116 @@ type pendingRecv struct {
 	proc     *simtime.Proc
 }
 
-// mailbox holds the per-rank unexpected-message queue, posted receives
+// mbKey identifies a wildcard-free message class within one mailbox.
+type mbKey struct{ src, tag int }
+
+// msgq is a FIFO of queued messages with O(1) pop: consumed entries
+// advance a head index instead of splicing, and the backing array is
+// reused once drained.
+type msgq struct {
+	msgs []*message
+	head int
+}
+
+func (q *msgq) len() int { return len(q.msgs) - q.head }
+
+func (q *msgq) peek() *message { return q.msgs[q.head] }
+
+func (q *msgq) push(m *message) { q.msgs = append(q.msgs, m) }
+
+func (q *msgq) pop() *message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = nil
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// mailbox holds the per-rank unexpected-message queues, posted receives
 // (blocking and nonblocking), probes, and an optional event-driven
 // handler.
+//
+// Unexpected messages are bucketed by (src, tag), so the wildcard-free
+// matching the workloads do almost exclusively is one map lookup instead
+// of a scan-and-splice over a single arrival list. Wildcard matching
+// (AnySource/AnyTag) falls back to comparing the arrival stamps of the
+// candidate bucket heads: each message is stamped with a per-mailbox
+// arrival sequence number when queued, so the earliest-arrival choice is
+// exactly the message the former ordered-list scan would have found,
+// independent of map iteration order.
 type mailbox struct {
-	arrived []*message
-	recvs   []*pendingRecv
-	irecvs  []*pendingIrecv
-	probes  []*pendingRecv
-	handler func(src, tag int, data any, size int64)
+	arrived  map[mbKey]*msgq
+	narrived int    // queued messages across all buckets
+	arrSeq   uint64 // next arrival stamp
+	recvs    []*pendingRecv
+	irecvs   []*pendingIrecv
+	probes   []*pendingRecv
+	handler  func(src, tag int, data any, size int64)
+}
+
+// enqueue stamps msg with its arrival order and queues it as unexpected.
+func (mb *mailbox) enqueue(msg *message) {
+	msg.arr = mb.arrSeq
+	mb.arrSeq++
+	k := mbKey{msg.src, msg.tag}
+	q := mb.arrived[k]
+	if q == nil {
+		if mb.arrived == nil {
+			mb.arrived = make(map[mbKey]*msgq)
+		}
+		q = &msgq{}
+		mb.arrived[k] = q
+	}
+	q.push(msg)
+	mb.narrived++
+}
+
+// findArrived returns the earliest-arrived queued message matching
+// (src, tag) and its bucket, or nil if none is queued. src and tag may be
+// wildcards.
+func (mb *mailbox) findArrived(src, tag int) (*msgq, *message) {
+	if mb.narrived == 0 {
+		return nil, nil
+	}
+	if src != AnySource && tag != AnyTag {
+		if q := mb.arrived[mbKey{src, tag}]; q != nil && q.len() > 0 {
+			return q, q.peek()
+		}
+		return nil, nil
+	}
+	// Wildcard fallback: earliest arrival among matching bucket heads.
+	// Arrival stamps are unique, so the winner is deterministic even
+	// though map iteration order is not.
+	var (
+		bq   *msgq
+		best *message
+	)
+	for k, q := range mb.arrived {
+		if q.len() == 0 {
+			continue
+		}
+		if (src == AnySource || src == k.src) && (tag == AnyTag || tag == k.tag) {
+			if m := q.peek(); best == nil || m.arr < best.arr {
+				bq, best = q, m
+			}
+		}
+	}
+	return bq, best
+}
+
+// takeArrived removes and returns the earliest queued message matching
+// (src, tag), or nil.
+func (mb *mailbox) takeArrived(src, tag int) *message {
+	q, m := mb.findArrived(src, tag)
+	if m == nil {
+		return nil
+	}
+	q.pop()
+	mb.narrived--
+	return m
 }
 
 // World is a set of ranks placed on machine nodes.
@@ -69,7 +170,6 @@ type World struct {
 	mail      []*mailbox
 	world     *commState
 	commCache map[string]*commState
-	seq       uint64
 }
 
 // NewWorld creates a world with len(placement) ranks; placement[r] is the
@@ -126,7 +226,7 @@ func (w *World) Spawn(rank int, main func(c *Comm)) *simtime.Proc {
 // messages. A rank with a handler must not also call Recv.
 func (w *World) Handle(rank int, fn func(src, tag int, data any, size int64)) {
 	mb := w.mail[rank]
-	if len(mb.arrived) > 0 {
+	if mb.narrived > 0 {
 		panic("simmpi: Handle installed after messages were queued")
 	}
 	mb.handler = fn
@@ -140,8 +240,7 @@ func (w *World) Post(src, dst, tag int, data any, size int64) {
 		panic(fmt.Sprintf("simmpi: Post with invalid ranks %d->%d", src, dst))
 	}
 	d := w.machine.Net.TransferTime(w.placement[src], w.placement[dst], size)
-	w.seq++
-	msg := &message{src: src, tag: tag, size: size, data: data, seq: w.seq}
+	msg := &message{src: src, tag: tag, size: size, data: data}
 	w.env.Schedule(d, func() { w.deliver(dst, msg) })
 }
 
@@ -178,7 +277,7 @@ func (w *World) deliver(dst int, msg *message) {
 			return
 		}
 	}
-	mb.arrived = append(mb.arrived, msg)
+	mb.enqueue(msg)
 }
 
 func matches(src, tag int, msg *message) bool {
@@ -191,11 +290,8 @@ func (w *World) recv(p *simtime.Proc, rank, src, tag int) *message {
 	if mb.handler != nil {
 		panic("simmpi: Recv on a rank with an event handler installed")
 	}
-	for i, msg := range mb.arrived {
-		if matches(src, tag, msg) {
-			mb.arrived = append(mb.arrived[:i], mb.arrived[i+1:]...)
-			return msg
-		}
+	if msg := mb.takeArrived(src, tag); msg != nil {
+		return msg
 	}
 	mb.recvs = append(mb.recvs, &pendingRecv{src: src, tag: tag, proc: p})
 	return p.Park().(*message)

@@ -1,6 +1,47 @@
 package simtime
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineHotPath models the engine's dominant workload: task
+// completion cascades that schedule follow-up events at the current
+// timestamp, mixed with a minority of timer-like events in the future.
+// It reports events/sec of host time, the number the profiling harness
+// (bench/record.sh) tracks across PRs.
+func BenchmarkEngineHotPath(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv()
+	n := 0
+	var cascade func()
+	cascade = func() {
+		n++
+		if n >= b.N {
+			return
+		}
+		// 7 of 8 events fire at the current time (completion cascades);
+		// the rest are future timers that go through the heap.
+		if n%8 == 0 {
+			e.Schedule(Duration(n%97+1), cascade)
+		} else {
+			e.Schedule(0, cascade)
+		}
+	}
+	// Seed a few independent cascades so the heap is never trivial.
+	for i := 0; i < 4 && i < b.N; i++ {
+		e.Schedule(Duration(i), cascade)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	host := time.Since(start).Seconds()
+	if host > 0 {
+		b.ReportMetric(float64(n)/host, "events/sec")
+	}
+}
 
 // BenchmarkScheduleAndRun measures raw callback-event throughput.
 func BenchmarkScheduleAndRun(b *testing.B) {

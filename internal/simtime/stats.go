@@ -1,0 +1,104 @@
+package simtime
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EngineStats are one environment's event-engine counters. All values are
+// deterministic functions of the simulated program: two runs of the same
+// program report identical stats.
+type EngineStats struct {
+	// Events is the number of events executed (same as Steps).
+	Events uint64
+	// FastPath counts events that ran through the same-timestamp FIFO,
+	// bypassing the heap.
+	FastPath uint64
+	// HeapPushes counts events that went through the future-event heap.
+	HeapPushes uint64
+}
+
+// EngineStats returns the environment's counters so far.
+func (e *Env) EngineStats() EngineStats {
+	return EngineStats{Events: e.nstep, FastPath: e.nfast, HeapPushes: e.npush}
+}
+
+// RunTotals aggregates engine counters and host execution time over a set
+// of simulator runs. The counters are deterministic; Host and the derived
+// EventsPerSec depend on the hardware and are reported separately from
+// experiment results.
+type RunTotals struct {
+	Runs       uint64
+	Events     uint64
+	FastPath   uint64
+	HeapPushes uint64
+	Host       time.Duration
+}
+
+// EventsPerSec reports engine throughput in events per second of host
+// time, or 0 if no host time was recorded.
+func (t RunTotals) EventsPerSec() float64 {
+	if t.Host <= 0 {
+		return 0
+	}
+	return float64(t.Events) / t.Host.Seconds()
+}
+
+// FastPathFraction reports the fraction of events that bypassed the heap.
+func (t RunTotals) FastPathFraction() float64 {
+	if t.Events == 0 {
+		return 0
+	}
+	return float64(t.FastPath) / float64(t.Events)
+}
+
+// Sub returns the totals accumulated since the snapshot prev.
+func (t RunTotals) Sub(prev RunTotals) RunTotals {
+	return RunTotals{
+		Runs:       t.Runs - prev.Runs,
+		Events:     t.Events - prev.Events,
+		FastPath:   t.FastPath - prev.FastPath,
+		HeapPushes: t.HeapPushes - prev.HeapPushes,
+		Host:       t.Host - prev.Host,
+	}
+}
+
+// StatsCollector accumulates RunTotals across simulator runs. It is safe
+// for concurrent use, so one collector can be shared by every run of a
+// parallel sweep.
+type StatsCollector struct {
+	runs       atomic.Uint64
+	events     atomic.Uint64
+	fastPath   atomic.Uint64
+	heapPushes atomic.Uint64
+	hostNS     atomic.Int64
+}
+
+// NewStatsCollector returns an empty collector.
+func NewStatsCollector() *StatsCollector { return &StatsCollector{} }
+
+// Record adds one run's engine counters and host execution time.
+func (c *StatsCollector) Record(st EngineStats, host time.Duration) {
+	if c == nil {
+		return
+	}
+	c.runs.Add(1)
+	c.events.Add(st.Events)
+	c.fastPath.Add(st.FastPath)
+	c.heapPushes.Add(st.HeapPushes)
+	c.hostNS.Add(host.Nanoseconds())
+}
+
+// Totals returns a snapshot of the accumulated totals.
+func (c *StatsCollector) Totals() RunTotals {
+	if c == nil {
+		return RunTotals{}
+	}
+	return RunTotals{
+		Runs:       c.runs.Load(),
+		Events:     c.events.Load(),
+		FastPath:   c.fastPath.Load(),
+		HeapPushes: c.heapPushes.Load(),
+		Host:       time.Duration(c.hostNS.Load()),
+	}
+}
