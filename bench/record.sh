@@ -1,21 +1,30 @@
 #!/bin/sh
 # Record the event-engine throughput of a standard run into BENCH_engine.json
-# so the perf trajectory is tracked across PRs.
+# and per-figure wall-clock timings of the full quick sweep into
+# BENCH_sim.json, so the perf trajectory is tracked across PRs.
 #
-# Usage: bench/record.sh [output.json] [experiment] [scale]
+# Usage: bench/record.sh [output.json] [experiment] [scale] [sim-output.json]
 #
 # Defaults run the fig8 sweep at quick scale, which exercises the MPI
 # message layer, the task scheduler, and the DROM policies in a few
 # hundred milliseconds. Compare events_per_sec across commits; the
-# deterministic counters (events, fast_path_events, heap_pushes) must be
-# stable for a given experiment+scale regardless of host or parallelism.
+# deterministic counters (events, fast_path_events, heap_pushes,
+# registry_hiwater) must be stable for a given experiment+scale
+# regardless of host or parallelism. The BENCH_sim.json pass runs every
+# figure at quick scale and records wall_seconds per figure — the
+# end-to-end simulator cost, host-dependent but comparable on one
+# machine across commits.
 set -eu
 
 out=${1:-BENCH_engine.json}
 exp=${2:-fig8}
 scale=${3:-quick}
+simout=${4:-BENCH_sim.json}
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/lbsim -exp "$exp" -scale "$scale" -enginestats -enginejson "$out" >/dev/null
 echo "bench: wrote $out"
+
+go run ./cmd/lbsim -all -scale quick -format csv -simjson "$simout" >/dev/null
+echo "bench: wrote $simout"

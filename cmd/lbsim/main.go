@@ -8,6 +8,7 @@
 //	lbsim -all [-scale ...] [-parallel N]
 //	lbsim -exp fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	lbsim -exp fig8 -enginestats -enginejson BENCH_engine.json
+//	lbsim -all -scale quick -simjson BENCH_sim.json
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		engineStats = flag.Bool("enginestats", false, "print per-experiment event-engine stats to stderr")
 		engineJSON  = flag.String("enginejson", "", "write aggregate event-engine stats as JSON to this file")
+		simJSON     = flag.String("simjson", "", "write per-experiment wall-clock timings as JSON to this file")
 	)
 	flag.Parse()
 
@@ -128,9 +130,10 @@ func main() {
 		d := sc.Engine.Totals().Sub(before)
 		report.add(id, r.Engine, d, wall)
 		if *engineStats {
-			fmt.Fprintf(os.Stderr, "lbsim: %s: %d runs, %s events (%.0f%% fast-path), %s events/sec of run-host time, wall %v\n",
+			fmt.Fprintf(os.Stderr, "lbsim: %s: %d runs, %s events (%.0f%% fast-path), %s events/sec of run-host time, registry hi-water %d intervals, wall %v\n",
 				id, d.Runs, humanCount(d.Events), 100*d.FastPathFraction(),
-				humanCount(uint64(d.EventsPerSec())), wall.Round(time.Millisecond))
+				humanCount(uint64(d.EventsPerSec())), d.RegistryHiWater,
+				wall.Round(time.Millisecond))
 		}
 		emit(r)
 	}
@@ -147,6 +150,11 @@ func main() {
 	}
 	if *engineJSON != "" {
 		if err := report.write(*engineJSON, sc.Engine.Totals()); err != nil {
+			fatal(err)
+		}
+	}
+	if *simJSON != "" {
+		if err := report.writeSim(*simJSON); err != nil {
 			fatal(err)
 		}
 	}
@@ -167,6 +175,7 @@ type experimentReport struct {
 	Events       uint64  `json:"events"`
 	FastPath     uint64  `json:"fast_path_events"`
 	HeapPushes   uint64  `json:"heap_pushes"`
+	RegHiWater   uint64  `json:"registry_hiwater"`
 	HostSeconds  float64 `json:"run_host_seconds"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -179,6 +188,7 @@ func (er *engineReport) add(id string, e experiments.EngineStats, d simtime.RunT
 		Events:       e.Events,
 		FastPath:     e.FastPath,
 		HeapPushes:   e.HeapPushes,
+		RegHiWater:   e.RegistryHiWater,
 		HostSeconds:  d.Host.Seconds(),
 		WallSeconds:  wall.Seconds(),
 		EventsPerSec: d.EventsPerSec(),
@@ -195,9 +205,36 @@ func (er *engineReport) write(path string, total simtime.RunTotals) error {
 		Events:       total.Events,
 		FastPath:     total.FastPath,
 		HeapPushes:   total.HeapPushes,
+		RegHiWater:   total.RegistryHiWater,
 		HostSeconds:  total.Host.Seconds(),
 		EventsPerSec: total.EventsPerSec(),
 	}}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeSim writes the per-experiment wall-clock summary (bench/record.sh
+// writes it as BENCH_sim.json so per-figure simulator wall time is
+// tracked across PRs alongside the engine counters).
+func (er *engineReport) writeSim(path string) error {
+	type simFigure struct {
+		ID          string  `json:"id"`
+		Runs        uint64  `json:"runs"`
+		WallSeconds float64 `json:"wall_seconds"`
+	}
+	out := struct {
+		Scale            string      `json:"scale"`
+		Parallel         int         `json:"parallel"`
+		TotalWallSeconds float64     `json:"total_wall_seconds"`
+		Figures          []simFigure `json:"figures"`
+	}{Scale: er.Scale, Parallel: er.Parallel}
+	for _, e := range er.Experiments {
+		out.Figures = append(out.Figures, simFigure{ID: e.ID, Runs: e.Runs, WallSeconds: e.WallSeconds})
+		out.TotalWallSeconds += e.WallSeconds
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

@@ -19,10 +19,11 @@ type Apprank struct {
 	home         int
 	workers      []*Worker // workers[0] is the home worker
 	graph        *nanos.TaskGraph
-	queue        []*nanos.Task // centrally held ready tasks (§5.5)
+	queue        taskFIFO // centrally held ready tasks (§5.5)
 	allocNext    uint64        // bump allocator for the apprank's address space
 	offloaded    int64         // tasks started away from home
 	pendingWaits []pendingWait // taskwait-on sentinels
+	locBuf       nanos.LocVec  // reusable location vector for the hot scheduling path
 }
 
 func newApprank(rt *ClusterRuntime, id, localRank, appIdx int, g *expander.Graph) *Apprank {
@@ -33,6 +34,7 @@ func newApprank(rt *ClusterRuntime, id, localRank, appIdx int, g *expander.Graph
 		appIdx:    appIdx,
 		home:      g.Home(localRank),
 		allocNext: 1 << 12,
+		locBuf:    nanos.NewLocVec(rt.cfg.Machine.NumNodes()),
 	}
 	for _, n := range g.Neighbors(localRank) {
 		ns := rt.nodes[n]
@@ -67,12 +69,15 @@ func (a *Apprank) onReady(t *nanos.Task) {
 		// Non-offloadable tasks bind to the home worker immediately;
 		// they must never sit in the central queue, which any worker
 		// (including helpers) may steal from.
-		a.assign(a.workers[0], t)
+		a.assign(a.workers[0], t, a.dataLocation(t))
 		return
 	}
-	best := a.localityBest(t)
+	// One registry walk serves the whole decision: the locality choice
+	// below and the transfer estimate inside assign both read loc.
+	loc := a.dataLocation(t)
+	best := a.localityBest(loc)
 	if best.underThreshold() {
-		a.assign(best, t)
+		a.assign(best, t, loc)
 		return
 	}
 	var alt *Worker
@@ -90,24 +95,31 @@ func (a *Apprank) onReady(t *nanos.Task) {
 		}
 	}
 	if alt != nil {
-		a.assign(alt, t)
+		a.assign(alt, t, loc)
 		return
 	}
-	a.queue = append(a.queue, t)
+	a.queue.Push(t)
+}
+
+// dataLocation fills the apprank's reusable location vector for the
+// task's input accesses, folding bytes of unknown location into the home
+// node. The returned vector aliases a.locBuf: it is valid only until the
+// next dataLocation call and must not be retained across events.
+func (a *Apprank) dataLocation(t *nanos.Task) nanos.LocVec {
+	a.graph.DataLocationInto(t.Accesses, a.locBuf)
+	loc := a.locBuf
+	loc[a.home+1] += loc[0]
+	loc[0] = 0
+	return loc
 }
 
 // localityBest picks the adjacent worker holding the most input bytes of
-// the task; data of unknown location counts as home-resident.
-func (a *Apprank) localityBest(t *nanos.Task) *Worker {
-	loc := a.graph.DataLocation(t.Accesses)
-	if unknown, ok := loc[-1]; ok {
-		loc[a.home] += unknown
-		delete(loc, -1)
-	}
+// the task per the location vector (unknown bytes already folded home).
+func (a *Apprank) localityBest(loc nanos.LocVec) *Worker {
 	best := a.workers[0]
-	bestBytes := loc[a.home]
+	bestBytes := loc.On(a.home)
 	for _, w := range a.workers[1:] {
-		if b := loc[w.ns.id]; b > bestBytes {
+		if b := loc.On(w.ns.id); b > bestBytes {
 			best, bestBytes = w, b
 		}
 	}
@@ -116,38 +128,36 @@ func (a *Apprank) localityBest(t *nanos.Task) *Worker {
 
 // transferDelay estimates the time to stage the task's input data on the
 // target node: parallel transfers from each holding node, so the maximum
-// single-source transfer time. It also accounts the moved bytes.
-func (a *Apprank) transferDelay(t *nanos.Task, target int) (delay int64) {
-	loc := a.graph.DataLocation(t.Accesses)
-	if unknown, ok := loc[-1]; ok {
-		loc[a.home] += unknown
-		delete(loc, -1)
-	}
-	maxD := int64(0)
-	moved := int64(0)
-	for node, bytes := range loc {
+// single-source transfer time. It is a pure estimator — speculative
+// callers are safe; the moved bytes are accounted by assign, the commit
+// point.
+func (a *Apprank) transferDelay(loc nanos.LocVec, target int) (delay, moved int64) {
+	for node := 0; node < loc.NumNodes(); node++ {
+		bytes := loc.On(node)
 		if node == target || bytes == 0 {
 			continue
 		}
 		moved += bytes
-		if d := int64(a.rt.cfg.Machine.Net.TransferTime(node, target, bytes)); d > maxD {
-			maxD = d
+		if d := int64(a.rt.cfg.Machine.Net.TransferTime(node, target, bytes)); d > delay {
+			delay = d
 		}
 	}
-	if moved > 0 {
-		a.rt.stats.BytesTransferred += moved
-		a.rt.stats.Transfers++
-	}
-	return maxD
+	return delay, moved
 }
 
 // assign hands a ready task to a worker. Offloading (and pulling remote
 // input data) costs a control message plus the data transfer; the task
 // becomes runnable at the worker when everything has arrived. Offload is
-// final: the task will execute on that worker's node (§5.5).
-func (a *Apprank) assign(w *Worker, t *nanos.Task) {
+// final: the task will execute on that worker's node (§5.5). loc is the
+// task's current location vector (from dataLocation); the transfer stats
+// are accounted here, when the placement is committed.
+func (a *Apprank) assign(w *Worker, t *nanos.Task, loc nanos.LocVec) {
 	rt := a.rt
-	dataDelay := a.transferDelay(t, w.ns.id)
+	dataDelay, moved := a.transferDelay(loc, w.ns.id)
+	if moved > 0 {
+		rt.stats.BytesTransferred += moved
+		rt.stats.Transfers++
+	}
 	if w.ns.id == a.home && dataDelay == 0 {
 		w.enqueue(t)
 		return
@@ -171,10 +181,9 @@ func (a *Apprank) refillAll() {
 // refill lets worker w steal centrally queued tasks while it is under the
 // scheduling threshold ("will be stolen as tasks complete", §5.5).
 func (a *Apprank) refill(w *Worker) {
-	for len(a.queue) > 0 && w.underThreshold() {
-		t := a.queue[0]
-		a.queue = a.queue[1:]
-		a.assign(w, t)
+	for a.queue.Len() > 0 && w.underThreshold() {
+		t := a.queue.Pop()
+		a.assign(w, t, a.dataLocation(t))
 	}
 }
 
@@ -186,17 +195,16 @@ func (a *Apprank) refill(w *Worker) {
 // mirroring the paper's observation that borrowed-core usage stays under
 // 100% because borrowed cores must not be taken for granted (§5.5).
 func (a *Apprank) borrowRefill(w *Worker) {
-	if len(a.queue) == 0 || !w.ns.arb.LeWIEnabled() {
+	if a.queue.Len() == 0 || !w.ns.arb.LeWIEnabled() {
 		return
 	}
 	target := w.running + w.ns.arb.IdleCores()
 	if c := w.capacity(); c > target {
 		target = c
 	}
-	for len(a.queue) > 0 && w.load() < target {
-		t := a.queue[0]
-		a.queue = a.queue[1:]
-		a.assign(w, t)
+	for a.queue.Len() > 0 && w.load() < target {
+		t := a.queue.Pop()
+		a.assign(w, t, a.dataLocation(t))
 	}
 }
 

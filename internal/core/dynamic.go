@@ -79,7 +79,7 @@ func (rt *ClusterRuntime) growStep() {
 	}
 	for _, a := range rt.appranks {
 		owned := 0
-		totalLoad := len(a.queue)
+		totalLoad := a.queue.Len()
 		totalCap := 0
 		for _, w := range a.workers {
 			owned += w.owned()

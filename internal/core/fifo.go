@@ -1,0 +1,40 @@
+package core
+
+import "ompsscluster/internal/nanos"
+
+// taskFIFO is a pop-from-front task queue that recycles its backing
+// array. The scheduler's queues churn constantly (central apprank queue,
+// per-worker runnable queues); popping by reslicing the head strands the
+// popped prefix, so every refill cycle reallocates. Here popping advances
+// a head index and pushing compacts the live tail back to the front when
+// the array fills, so steady-state churn allocates nothing.
+type taskFIFO struct {
+	buf  []*nanos.Task
+	head int
+}
+
+// Len returns the number of queued tasks.
+func (q *taskFIFO) Len() int { return len(q.buf) - q.head }
+
+// Push appends a task at the back.
+func (q *taskFIFO) Push(t *nanos.Task) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, t)
+}
+
+// Pop removes and returns the front task. It panics on an empty queue.
+func (q *taskFIFO) Pop() *nanos.Task {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil // release for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}

@@ -53,6 +53,9 @@ type nodeState struct {
 	workers []*Worker
 	rr      int // round-robin start index for fairness in dispatch
 	queued  bool
+	// dispatchFn is the deduplicated dispatch-pass callback, allocated
+	// once here instead of per scheduleDispatch call.
+	dispatchFn func()
 }
 
 // New builds a single-application runtime from the configuration. The
@@ -87,11 +90,16 @@ func newRuntime(cfg Config) (*ClusterRuntime, error) {
 		talp: dlb.NewTALP(),
 	}
 	for n := 0; n < cfg.Machine.NumNodes(); n++ {
-		rt.nodes = append(rt.nodes, &nodeState{
+		ns := &nodeState{
 			rt:  rt,
 			id:  n,
 			arb: dlb.NewNodeArbiter(n, cfg.Machine.Node(n).Cores, cfg.LeWI),
-		})
+		}
+		ns.dispatchFn = func() {
+			ns.queued = false
+			ns.dispatch()
+		}
+		rt.nodes = append(rt.nodes, ns)
 	}
 	return rt, nil
 }
@@ -400,6 +408,13 @@ func (rt *ClusterRuntime) finishRun() error {
 	start := time.Now()
 	err := rt.env.Run()
 	rt.cfg.EngineStats.Record(rt.env.EngineStats(), time.Since(start))
+	hiwater := 0
+	for _, a := range rt.appranks {
+		if hw := a.graph.RegistryHighWater(); hw > hiwater {
+			hiwater = hw
+		}
+	}
+	rt.cfg.EngineStats.RecordRegistryHiWater(uint64(hiwater))
 	if err != nil {
 		return err
 	}

@@ -17,8 +17,8 @@ type Worker struct {
 	app        *Apprank
 	ns         *nodeState
 	wid        dlb.WorkerID
-	queued     []*nanos.Task // runnable, waiting for a core
-	inflight   int           // assigned, input data still in transit
+	queued     taskFIFO // runnable, waiting for a core
+	inflight   int      // assigned, input data still in transit
 	running    int
 	busySmooth float64 // exponentially smoothed busy-core average
 }
@@ -43,14 +43,14 @@ func (w *Worker) capacity() int {
 }
 
 // load counts tasks bound to this worker in any pre-completion stage.
-func (w *Worker) load() int { return len(w.queued) + w.inflight + w.running }
+func (w *Worker) load() int { return w.queued.Len() + w.inflight + w.running }
 
 // underThreshold reports whether the scheduler may assign another task.
 func (w *Worker) underThreshold() bool { return w.load() < w.capacity() }
 
 // enqueue makes a task runnable at this worker and pokes the dispatcher.
 func (w *Worker) enqueue(t *nanos.Task) {
-	w.queued = append(w.queued, t)
+	w.queued.Push(t)
 	w.ns.scheduleDispatch()
 }
 
@@ -58,8 +58,7 @@ func (w *Worker) enqueue(t *nanos.Task) {
 func (w *Worker) start() {
 	rt := w.app.rt
 	now := rt.env.Now()
-	t := w.queued[0]
-	w.queued = w.queued[1:]
+	t := w.queued.Pop()
 	w.ns.arb.Start(w.wid, now)
 	w.running++
 	w.app.graph.MarkRunning(t, w.ns.id)
@@ -104,16 +103,14 @@ func (w *Worker) recordBusy() {
 }
 
 // scheduleDispatch arranges a dispatch pass for the node at the current
-// time (deduplicated, so event storms cost one pass).
+// time (deduplicated, so event storms cost one pass). The callback is
+// allocated once per node at construction, not per pass.
 func (ns *nodeState) scheduleDispatch() {
 	if ns.queued {
 		return
 	}
 	ns.queued = true
-	ns.rt.env.At(ns.rt.env.Now(), func() {
-		ns.queued = false
-		ns.dispatch()
-	})
+	ns.rt.env.At(ns.rt.env.Now(), ns.dispatchFn)
 }
 
 // dispatch greedily starts runnable tasks on the node: owners use their
@@ -129,7 +126,7 @@ func (ns *nodeState) dispatch() {
 		changed = false
 		for k := 0; k < n; k++ {
 			w := ns.workers[(ns.rr+k)%n]
-			for len(w.queued) > 0 && ns.arb.CanStartOwned(w.wid) {
+			for w.queued.Len() > 0 && ns.arb.CanStartOwned(w.wid) {
 				w.start()
 				changed = true
 			}
@@ -140,7 +137,7 @@ func (ns *nodeState) dispatch() {
 			// directly: this is how LeWI-borrowed cores keep receiving
 			// work beyond the owned-core threshold.
 			w.app.borrowRefill(w)
-			if len(w.queued) > 0 && ns.arb.CanBorrow(w.wid) {
+			if w.queued.Len() > 0 && ns.arb.CanBorrow(w.wid) {
 				w.start()
 				changed = true
 			}

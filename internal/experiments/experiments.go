@@ -59,6 +59,10 @@ type EngineStats struct {
 	FastPath uint64
 	// HeapPushes counts events that went through the future-event heap.
 	HeapPushes uint64
+	// RegistryHiWater is the maximum dependency-registry interval count
+	// any single run reached — the live-interval footprint after
+	// coalescing, which bounds the per-query walk cost.
+	RegistryHiWater uint64
 }
 
 // Result is one reproduced figure.
@@ -383,7 +387,13 @@ func ByID(id string, sc Scale) (*Result, error) {
 	before := sc.Engine.Totals()
 	res := fn(sc)
 	d := sc.Engine.Totals().Sub(before)
-	res.Engine = EngineStats{Runs: d.Runs, Events: d.Events, FastPath: d.FastPath, HeapPushes: d.HeapPushes}
+	res.Engine = EngineStats{
+		Runs:            d.Runs,
+		Events:          d.Events,
+		FastPath:        d.FastPath,
+		HeapPushes:      d.HeapPushes,
+		RegistryHiWater: d.RegistryHiWater,
+	}
 	return res, nil
 }
 

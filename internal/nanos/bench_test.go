@@ -33,7 +33,8 @@ func BenchmarkSubmitChained(b *testing.B) {
 }
 
 // BenchmarkDataLocation measures locality queries over a fragmented
-// registry.
+// registry on the scheduler's hot path (the allocation-free dense-vector
+// form); the benchmark is expected to report 0 allocs/op.
 func BenchmarkDataLocation(b *testing.B) {
 	g := NewTaskGraph(func(*Task) {})
 	for i := 0; i < 256; i++ {
@@ -44,8 +45,54 @@ func BenchmarkDataLocation(b *testing.B) {
 		g.Complete(t)
 	}
 	acc := []Access{{Region{0, 25600}, In}}
+	vec := NewLocVec(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DataLocationInto(acc, vec)
+	}
+}
+
+// BenchmarkDataLocationMap measures the map-shaped convenience form, for
+// comparison against the dense-vector hot path above.
+func BenchmarkDataLocationMap(b *testing.B) {
+	g := NewTaskGraph(func(*Task) {})
+	for i := 0; i < 256; i++ {
+		s := uint64(i) * 100
+		t := &Task{Accesses: []Access{{Region{s, s + 100}, Out}}}
+		g.Submit(t)
+		g.MarkRunning(t, i%8)
+		g.Complete(t)
+	}
+	acc := []Access{{Region{0, 25600}, In}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.DataLocation(acc)
+	}
+}
+
+// BenchmarkRegistryAddAccess measures the steady-state write path over a
+// fragmented registry: span rebuild plus single splice, expected to
+// report 0 allocs/op once the buffers have reached the workload's
+// footprint.
+func BenchmarkRegistryAddAccess(b *testing.B) {
+	var r registry
+	const regions = 256
+	tasks := make([]*Task, regions)
+	for i := range tasks {
+		tasks[i] = &Task{ID: int64(i + 1), state: Running, ExecNode: i % 8}
+	}
+	for i := 0; i < 2*regions; i++ {
+		k := i % regions
+		s := uint64(k) * 128
+		r.addAccess(tasks[k], Access{Region{s, s + 128}, Out})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % regions
+		s := uint64(k) * 128
+		r.addAccess(tasks[k], Access{Region{s, s + 128}, Out})
 	}
 }

@@ -117,6 +117,7 @@ type Task struct {
 	succs     []*Task // tasks depending on this one
 	announced bool    // readiness callback delivered
 	depMark   int64   // dedup marker: last task that added an edge to us
+	queryMark int64   // dedup marker: last writers() query that saw us
 
 	// ExecNode records where the task ran; set by the runtime at start.
 	// It feeds the data-location registry for locality decisions.
@@ -246,12 +247,52 @@ func (g *TaskGraph) Writers(r Region) []*Task {
 	return g.reg.writers(r)
 }
 
+// LocVec is a dense data-location vector: slot 0 counts bytes of unknown
+// location (never written, or whose writer has not started), slot n+1
+// counts bytes resident on node n. Node counts are small and fixed at
+// startup, so one vector per apprank is allocated once and reused for
+// every locality query — the scheduler's hot path allocates nothing.
+type LocVec []int64
+
+// NewLocVec returns a zeroed vector with room for numNodes nodes.
+func NewLocVec(numNodes int) LocVec { return make(LocVec, numNodes+1) }
+
+// Reset zeroes the vector for reuse.
+func (v LocVec) Reset() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Unknown returns the bytes whose location is unknown.
+func (v LocVec) Unknown() int64 { return v[0] }
+
+// On returns the bytes resident on the given node; node -1 is unknown.
+func (v LocVec) On(node int) int64 { return v[node+1] }
+
+// NumNodes returns the node capacity of the vector.
+func (v LocVec) NumNodes() int { return len(v) - 1 }
+
+// DataLocationInto accumulates, for the read portions (In and InOut) of
+// the given accesses, the number of bytes currently residing on each node
+// into dst, which is reset first. This is the allocation-free form of
+// DataLocation the runtime uses for the locality-first scheduling
+// decision of §5.5 and for data-transfer cost estimation.
+func (g *TaskGraph) DataLocationInto(accesses []Access, dst LocVec) {
+	dst.Reset()
+	for _, a := range accesses {
+		if a.Mode == Out {
+			continue
+		}
+		g.reg.locationVec(a.Region, dst)
+	}
+}
+
 // DataLocation returns, for the read portions (In and InOut) of the given
 // accesses, the number of bytes currently residing on each node, keyed by
-// node id. Bytes whose location is unknown (never written, or whose
-// writer has not started) are keyed under -1. The runtime uses this for
-// the locality-first scheduling decision of §5.5 and for data-transfer
-// cost estimation.
+// node id. Bytes whose location is unknown are keyed under -1. It is the
+// map-shaped convenience form of DataLocationInto (which the scheduler's
+// hot path uses instead, as this one allocates its result).
 func (g *TaskGraph) DataLocation(accesses []Access) map[int]int64 {
 	loc := make(map[int]int64)
 	for _, a := range accesses {
@@ -262,3 +303,9 @@ func (g *TaskGraph) DataLocation(accesses []Access) map[int]int64 {
 	}
 	return loc
 }
+
+// RegistryHighWater reports the maximum interval count the dependency
+// registry ever held — the figure of merit for interval coalescing, since
+// every locality query and access walk is linear in the live interval
+// count.
+func (g *TaskGraph) RegistryHighWater() int { return g.reg.highWater() }

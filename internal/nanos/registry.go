@@ -16,42 +16,39 @@ type interval struct {
 }
 
 // registry is a sorted list of disjoint intervals covering every byte
-// range accessed so far. Lookups are binary searches; splits keep the
-// structure canonical. Completed tasks are dropped lazily whenever an
-// interval is touched, so memory tracks the live task set, not history.
+// range accessed so far. Lookups go through a last-hit cursor (workloads
+// sweep regions in address order) with a binary-search fallback; each
+// access rebuilds the affected span with a single splice; adjacent
+// intervals left with identical history are coalesced, so the structure
+// shrinks back as regions are rewritten. Completed tasks are dropped
+// lazily whenever an interval is touched, so memory tracks the live task
+// set, not history.
 type registry struct {
-	ivs []interval
+	ivs     []interval
+	scratch []interval // reusable span-rebuild buffer for addAccess
+	cursor  int        // last findFirst hit, a hint only
+	hiwater int        // maximum len(ivs) ever reached
+	qgen    int64      // writers() query generation for O(n) dedup
 }
 
-// findFirst returns the index of the first interval with end > addr.
+// findFirst returns the index of the first interval with end > addr. The
+// cursor exploits spatial locality: sweeps in address order hit the same
+// or the next interval, skipping the binary search.
 func (r *registry) findFirst(addr uint64) int {
-	return sort.Search(len(r.ivs), func(i int) bool { return r.ivs[i].end > addr })
-}
-
-// insertAt inserts iv at index i.
-func (r *registry) insertAt(i int, iv interval) {
-	r.ivs = append(r.ivs, interval{})
-	copy(r.ivs[i+1:], r.ivs[i:])
-	r.ivs[i] = iv
-}
-
-// split ensures an interval boundary exists at addr if addr falls strictly
-// inside an interval; returns the index of the interval starting at or
-// after addr.
-func (r *registry) split(addr uint64) {
-	i := r.findFirst(addr)
-	if i == len(r.ivs) || r.ivs[i].start >= addr {
-		return
+	n := len(r.ivs)
+	if c := r.cursor; c < n {
+		if r.ivs[c].end > addr {
+			if c == 0 || r.ivs[c-1].end <= addr {
+				return c
+			}
+		} else if c+1 < n && r.ivs[c+1].end > addr {
+			r.cursor = c + 1
+			return c + 1
+		}
 	}
-	iv := r.ivs[i]
-	left := iv
-	left.end = addr
-	right := iv
-	right.start = addr
-	right.readers = append([]*Task(nil), iv.readers...)
-	right.concurrents = append([]*Task(nil), iv.concurrents...)
-	r.ivs[i] = left
-	r.insertAt(i+1, right)
+	i := sort.Search(n, func(i int) bool { return r.ivs[i].end > addr })
+	r.cursor = i
+	return i
 }
 
 // scrub drops completed tasks from an interval's history, preserving the
@@ -83,39 +80,173 @@ func (iv *interval) scrub() {
 	}
 }
 
+// liveNode resolves the node currently holding an interval's bytes: the
+// writer's execution node once it started (or the recorded node if the
+// writer was already released), -1 while the location is unknown.
+func (iv *interval) liveNode() int {
+	if iv.lastWriter != nil {
+		if s := iv.lastWriter.state; s == Completed || s == Running {
+			return iv.lastWriter.ExecNode
+		}
+		return -1
+	}
+	return iv.writerNode
+}
+
+// sameHistory reports whether two intervals carry identical access
+// history, so that adjacent ones may merge without changing semantics.
+func sameHistory(a, b *interval) bool {
+	if a.lastWriter != b.lastWriter || a.writerNode != b.writerNode ||
+		len(a.readers) != len(b.readers) || len(a.concurrents) != len(b.concurrents) {
+		return false
+	}
+	for i := range a.readers {
+		if a.readers[i] != b.readers[i] {
+			return false
+		}
+	}
+	for i := range a.concurrents {
+		if a.concurrents[i] != b.concurrents[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendMerged appends iv to span, extending the previous element instead
+// when it is adjacent with identical history. This is what keeps the
+// registry from growing monotonically: a write access leaves every piece
+// it touched with the same fresh history, so the whole span collapses
+// back into one interval.
+func appendMerged(span []interval, iv interval) []interval {
+	if n := len(span); n > 0 && span[n-1].end == iv.start && sameHistory(&span[n-1], &iv) {
+		span[n-1].end = iv.end
+		return span
+	}
+	return append(span, iv)
+}
+
+func copyTasks(ts []*Task) []*Task {
+	if len(ts) == 0 {
+		return nil
+	}
+	return append([]*Task(nil), ts...)
+}
+
 // addAccess records task t's access a, adding dependency edges against the
-// current interval history and updating it.
+// current interval history and updating it. The affected span of the
+// interval list is rebuilt in a scratch buffer — partial head/tail
+// overlaps split, gaps filled, touched intervals scrubbed and updated,
+// identical-history neighbours coalesced — and spliced back with one
+// copy, instead of one O(n) memmove per created interval.
 func (r *registry) addAccess(t *Task, a Access) {
-	if a.Region.Start >= a.Region.End {
+	start, end := a.Region.Start, a.Region.End
+	if start >= end {
 		return // empty access
 	}
-	r.split(a.Region.Start)
-	r.split(a.Region.End)
-	pos := a.Region.Start
-	i := r.findFirst(pos)
-	for pos < a.Region.End {
-		// Gap before the next interval (or no interval at all): cover it.
-		var gapEnd uint64
-		if i == len(r.ivs) || r.ivs[i].start >= a.Region.End {
-			gapEnd = a.Region.End
-		} else if r.ivs[i].start > pos {
-			gapEnd = r.ivs[i].start
-		}
-		if gapEnd > pos {
-			iv := interval{start: pos, end: gapEnd, writerNode: -1}
-			r.applyAccess(&iv, t, a.Mode)
-			r.insertAt(i, iv)
-			i++
-			pos = gapEnd
-			continue
-		}
-		// Existing interval fully inside [pos, End) thanks to split.
-		iv := &r.ivs[i]
-		iv.scrub()
-		r.applyAccess(iv, t, a.Mode)
-		pos = iv.end
+	lo := r.findFirst(start)
+	span := r.scratch[:0]
+	pos := start
+	i := lo
+	// An interval straddling start keeps its head piece unchanged; the
+	// remainder re-enters the walk with a private copy of the history.
+	if i < len(r.ivs) && r.ivs[i].start < start {
+		head := r.ivs[i]
+		rest := head
+		head.end = start
+		rest.start = start
+		rest.readers = copyTasks(head.readers)
+		rest.concurrents = copyTasks(head.concurrents)
+		span = append(span, head)
+		span = r.applyOverlapped(span, rest, t, a.Mode, end)
+		pos = min64(rest.end, end)
 		i++
 	}
+	for pos < end {
+		if i == len(r.ivs) || r.ivs[i].start >= end {
+			// Trailing gap: cover it.
+			iv := interval{start: pos, end: end, writerNode: -1}
+			r.applyAccess(&iv, t, a.Mode)
+			span = appendMerged(span, iv)
+			pos = end
+			break
+		}
+		next := r.ivs[i]
+		if next.start > pos {
+			// Gap before the next interval: cover it.
+			gap := interval{start: pos, end: next.start, writerNode: -1}
+			r.applyAccess(&gap, t, a.Mode)
+			span = appendMerged(span, gap)
+			pos = next.start
+		}
+		span = r.applyOverlapped(span, next, t, a.Mode, end)
+		pos = min64(next.end, end)
+		i++
+	}
+	r.splice(lo, i, span)
+}
+
+// applyOverlapped scrubs and applies the access to an existing interval
+// known to start inside [_, end); an interval extending past end is split,
+// its tail keeping a private, untouched copy of the history.
+func (r *registry) applyOverlapped(span []interval, iv interval, t *Task, mode AccessMode, end uint64) []interval {
+	if iv.end > end {
+		tail := iv
+		tail.start = end
+		tail.readers = copyTasks(iv.readers)
+		tail.concurrents = copyTasks(iv.concurrents)
+		iv.end = end
+		iv.scrub()
+		r.applyAccess(&iv, t, mode)
+		span = appendMerged(span, iv)
+		return append(span, tail)
+	}
+	iv.scrub()
+	r.applyAccess(&iv, t, mode)
+	return appendMerged(span, iv)
+}
+
+// splice replaces r.ivs[lo:hi] with span in a single copy, after widening
+// the window to absorb boundary neighbours that coalesce with the span's
+// edges. The scratch buffer is recycled for the next access.
+func (r *registry) splice(lo, hi int, span []interval) {
+	if len(span) > 0 {
+		if lo > 0 && r.ivs[lo-1].end == span[0].start && sameHistory(&r.ivs[lo-1], &span[0]) {
+			lo--
+			span[0].start = r.ivs[lo].start
+		}
+		if last := &span[len(span)-1]; hi < len(r.ivs) && r.ivs[hi].start == last.end && sameHistory(&r.ivs[hi], last) {
+			last.end = r.ivs[hi].end
+			hi++
+		}
+	}
+	old := hi - lo
+	switch {
+	case len(span) == old:
+		copy(r.ivs[lo:hi], span)
+	case len(span) < old:
+		copy(r.ivs[lo:], span)
+		n := lo + len(span) + copy(r.ivs[lo+len(span):], r.ivs[hi:])
+		clear(r.ivs[n:]) // release task pointers past the new end
+		r.ivs = r.ivs[:n]
+	default:
+		grow := len(span) - old
+		for k := 0; k < grow; k++ {
+			r.ivs = append(r.ivs, interval{})
+		}
+		copy(r.ivs[hi+grow:], r.ivs[hi:len(r.ivs)-grow])
+		copy(r.ivs[lo:], span)
+	}
+	if len(r.ivs) > r.hiwater {
+		r.hiwater = len(r.ivs)
+	}
+	// Point the cursor at the span's tail: the next access or locality
+	// query usually continues right after this one.
+	if c := lo + len(span) - 1; c >= 0 {
+		r.cursor = c
+	}
+	clear(span) // drop stale task pointers held by the scratch buffer
+	r.scratch = span[:0]
 }
 
 // applyAccess adds dependency edges from the interval's history to t and
@@ -165,9 +296,37 @@ func (r *registry) applyAccess(iv *interval, t *Task, mode AccessMode) {
 	}
 }
 
+// locationVec accumulates, into dst, the bytes of region reg residing on
+// each node according to the last writers: dst[0] counts bytes of unknown
+// location, dst[n+1] the bytes on node n. The walk allocates nothing.
+func (r *registry) locationVec(reg Region, dst LocVec) {
+	if reg.Start >= reg.End {
+		return
+	}
+	pos := reg.Start
+	i := r.findFirst(pos)
+	for pos < reg.End {
+		if i == len(r.ivs) || r.ivs[i].start >= reg.End {
+			dst[0] += int64(reg.End - pos)
+			return
+		}
+		iv := &r.ivs[i]
+		if iv.start > pos {
+			dst[0] += int64(iv.start - pos)
+			pos = iv.start
+		}
+		end := min64(iv.end, reg.End)
+		dst[iv.liveNode()+1] += int64(end - pos)
+		pos = end
+		r.cursor = i
+		i++
+	}
+}
+
 // location accumulates, into dst, the bytes of region reg residing on each
-// node according to the last writers. Bytes with unknown location count
-// under node -1.
+// node according to the last writers, keyed by node id. Bytes with unknown
+// location count under node -1. This is the map-shaped convenience used by
+// DataLocation; the scheduler's hot path uses locationVec.
 func (r *registry) location(reg Region, dst map[int]int64) {
 	if reg.Start >= reg.End {
 		return
@@ -184,17 +343,10 @@ func (r *registry) location(reg Region, dst map[int]int64) {
 			dst[-1] += int64(iv.start - pos)
 			pos = iv.start
 		}
-		node := iv.writerNode
-		if iv.lastWriter != nil {
-			if iv.lastWriter.state == Completed || iv.lastWriter.state == Running {
-				node = iv.lastWriter.ExecNode
-			} else {
-				node = -1
-			}
-		}
 		end := min64(iv.end, reg.End)
-		dst[node] += int64(end - pos)
+		dst[iv.liveNode()] += int64(end - pos)
 		pos = end
+		r.cursor = i
 		i++
 	}
 }
@@ -209,25 +361,21 @@ func min64(a, b uint64) uint64 {
 // numIntervals reports the interval count (for tests).
 func (r *registry) numIntervals() int { return len(r.ivs) }
 
+// highWater reports the maximum interval count the registry ever held.
+func (r *registry) highWater() int { return r.hiwater }
+
 // writers returns the distinct live last-writer tasks overlapping reg.
+// Dedup is O(1) per interval via a per-query generation mark on the task.
 func (r *registry) writers(reg Region) []*Task {
+	r.qgen++
 	var out []*Task
-	i := r.findFirst(reg.Start)
-	for ; i < len(r.ivs) && r.ivs[i].start < reg.End; i++ {
+	for i := r.findFirst(reg.Start); i < len(r.ivs) && r.ivs[i].start < reg.End; i++ {
 		w := r.ivs[i].lastWriter
-		if w == nil || !reg.Overlaps(Region{r.ivs[i].start, r.ivs[i].end}) {
+		if w == nil || w.queryMark == r.qgen {
 			continue
 		}
-		dup := false
-		for _, o := range out {
-			if o == w {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, w)
-		}
+		w.queryMark = r.qgen
+		out = append(out, w)
 	}
 	return out
 }

