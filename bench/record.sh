@@ -3,7 +3,7 @@
 # and per-figure wall-clock timings of the full quick sweep into
 # BENCH_sim.json, so the perf trajectory is tracked across PRs.
 #
-# Usage: bench/record.sh [output.json] [experiment] [scale] [sim-output.json]
+# Usage: bench/record.sh [output.json] [experiment] [scale] [sim-output.json] [obs-output.json]
 #
 # Defaults run the fig8 sweep at quick scale, which exercises the MPI
 # message layer, the task scheduler, and the DROM policies in a few
@@ -13,13 +13,16 @@
 # regardless of host or parallelism. The BENCH_sim.json pass runs every
 # figure at quick scale and records wall_seconds per figure — the
 # end-to-end simulator cost, host-dependent but comparable on one
-# machine across commits.
+# machine across commits. The BENCH_obs.json pass times a quick fig9 run
+# with structured tracing off and on, recording the observability
+# overhead and the exported trace size.
 set -eu
 
 out=${1:-BENCH_engine.json}
 exp=${2:-fig8}
 scale=${3:-quick}
 simout=${4:-BENCH_sim.json}
+obsout=${5:-BENCH_obs.json}
 
 cd "$(dirname "$0")/.."
 
@@ -28,3 +31,22 @@ echo "bench: wrote $out"
 
 go run ./cmd/lbsim -all -scale quick -format csv -simjson "$simout" >/dev/null
 echo "bench: wrote $simout"
+
+# Build once so both timed runs measure the simulator, not the compiler.
+go build -o /tmp/lbsim_bench ./cmd/lbsim
+t0=$(date +%s.%N)
+/tmp/lbsim_bench -exp fig9 -scale quick >/dev/null
+t1=$(date +%s.%N)
+/tmp/lbsim_bench -exp fig9 -scale quick \
+    -trace /tmp/bench_obs_trace.json -metricsjson /tmp/bench_obs_metrics.json
+t2=$(date +%s.%N)
+tracebytes=$(wc -c < /tmp/bench_obs_trace.json)
+awk -v off="$t0 $t1" -v on="$t1 $t2" -v bytes="$tracebytes" 'BEGIN {
+    split(off, a, " "); split(on, b, " ");
+    printf "{\n  \"experiment\": \"fig9\",\n  \"scale\": \"quick\",\n";
+    printf "  \"tracing_off_seconds\": %.3f,\n", a[2] - a[1];
+    printf "  \"tracing_on_seconds\": %.3f,\n", b[2] - b[1];
+    printf "  \"trace_bytes\": %d\n}\n", bytes;
+}' > "$obsout"
+rm -f /tmp/lbsim_bench /tmp/bench_obs_trace.json /tmp/bench_obs_metrics.json
+echo "bench: wrote $obsout"

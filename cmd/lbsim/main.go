@@ -9,6 +9,7 @@
 //	lbsim -exp fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	lbsim -exp fig8 -enginestats -enginejson BENCH_engine.json
 //	lbsim -all -scale quick -simjson BENCH_sim.json
+//	lbsim -exp fig9 -scale quick -trace fig9.json -metricsjson fig9_metrics.json
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/experiments"
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 )
 
@@ -43,6 +45,8 @@ func main() {
 		engineStats = flag.Bool("enginestats", false, "print per-experiment event-engine stats to stderr")
 		engineJSON  = flag.String("enginejson", "", "write aggregate event-engine stats as JSON to this file")
 		simJSON     = flag.String("simjson", "", "write per-experiment wall-clock timings as JSON to this file")
+		traceOut    = flag.String("trace", "", "run the traced variant of -exp (fig5 or fig9) and write a Chrome/Perfetto trace JSON to this file")
+		metricsOut  = flag.String("metricsjson", "", "with the traced variant of -exp, write the aggregated metrics registry as JSON to this file")
 	)
 	flag.Parse()
 
@@ -97,6 +101,15 @@ func main() {
 	// across every run.
 	sc.Graphs = expander.NewStore("")
 	sc.Engine = simtime.NewStatsCollector()
+	if *traceOut != "" || *metricsOut != "" {
+		if *all || *exp == "" {
+			fatal(fmt.Errorf("-trace/-metricsjson need a single -exp with a traced variant (fig5 or fig9)"))
+		}
+		if err := writeTraces(*exp, sc, *traceOut, *metricsOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	report := &engineReport{Scale: *scale, Parallel: *parallel}
 	emit := func(r *experiments.Result) {
 		if *outDir != "" {
@@ -240,6 +253,52 @@ func (er *engineReport) writeSim(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTraces runs the traced variant of an experiment once and writes
+// whichever outputs were requested: a Chrome/Perfetto trace (one process
+// group per configuration) and/or the merged metrics registry.
+func writeTraces(id string, sc experiments.Scale, tracePath, metricsPath string) error {
+	bundles, err := experiments.TraceBundles(id, sc)
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		recs := make([]*obs.Recorder, len(bundles))
+		labels := make([]string, len(bundles))
+		for i, b := range bundles {
+			recs[i], labels[i] = b.Obs, b.Label
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChrome(f, recs, labels); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		m, err := experiments.BuildMetrics(bundles)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // humanCount renders n with a k/M/G suffix for the stderr stats line.

@@ -1,28 +1,35 @@
 // Command traceview runs the trace-producing experiments (Figures 5 and
-// 9) and renders their busy-core timelines as ASCII, or dumps them as
-// CSV for plotting.
+// 9) and renders their busy-core timelines as ASCII, dumps them as CSV
+// for plotting, emits simplified Paraver records, or exports a Chrome
+// trace JSON loadable in Perfetto (https://ui.perfetto.dev).
 //
 // Usage:
 //
 //	traceview -exp fig9 [-scale quick|default|paper] [-width 100] [-csv]
+//	traceview -exp fig5 -prv -o fig5.prv
+//	traceview -exp fig9 -chrome -o fig9.json
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ompsscluster/internal/experiments"
-	"ompsscluster/internal/trace"
+	"ompsscluster/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "fig9", "which traces to produce: fig9")
-		scale = flag.String("scale", "quick", "scale: quick, default, or paper")
-		width = flag.Int("width", 100, "timeline width in characters")
-		csv   = flag.Bool("csv", false, "emit CSV instead of ASCII art")
-		prv   = flag.Bool("prv", false, "emit simplified Paraver (.prv) records")
+		exp    = flag.String("exp", "fig9", "which traces to produce: fig5 or fig9")
+		scale  = flag.String("scale", "quick", "scale: quick, default, or paper")
+		width  = flag.Int("width", 100, "timeline width in characters")
+		csv    = flag.Bool("csv", false, "emit CSV instead of ASCII art")
+		prv    = flag.Bool("prv", false, "emit simplified Paraver (.prv) records")
+		chrome = flag.Bool("chrome", false, "emit Chrome trace JSON (open in Perfetto)")
+		oFlag  = flag.String("o", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -38,27 +45,53 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
 
-	var recs []*trace.Recorder
-	var labels []string
-	switch *exp {
-	case "fig9":
-		recs, labels = experiments.Fig9Traces(sc)
-	case "fig5":
-		recs, labels = experiments.Fig5Traces(sc)
-	default:
-		fatal(fmt.Errorf("unknown experiment %q (try fig5 or fig9)", *exp))
+	bundles, err := experiments.TraceBundles(*exp, sc)
+	if err != nil {
+		fatal(err)
 	}
-	for i, rec := range recs {
-		fmt.Printf("== %s ==\n", labels[i])
+
+	var out io.Writer = os.Stdout
+	if *oFlag != "" {
+		f, err := os.Create(*oFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		bw := bufio.NewWriter(f)
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = bw
+	}
+
+	if *chrome {
+		recs := make([]*obs.Recorder, len(bundles))
+		labels := make([]string, len(bundles))
+		for i, b := range bundles {
+			recs[i], labels[i] = b.Obs, b.Label
+		}
+		if err := obs.WriteChrome(out, recs, labels); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, b := range bundles {
+		fmt.Fprintf(out, "== %s ==\n", b.Label)
 		switch {
 		case *csv:
-			fmt.Print(rec.CSV())
+			fmt.Fprint(out, b.Trace.CSV())
 		case *prv:
-			fmt.Print(rec.Paraver())
+			fmt.Fprint(out, b.Trace.Paraver())
 		default:
-			fmt.Print(rec.Render(*width, 0))
+			fmt.Fprint(out, b.Trace.Render(*width, 0))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/obs"
 )
 
 // Apprank is one application rank: a home worker plus helper workers on
@@ -19,7 +20,7 @@ type Apprank struct {
 	home         int
 	workers      []*Worker // workers[0] is the home worker
 	graph        *nanos.TaskGraph
-	queue        taskFIFO // centrally held ready tasks (§5.5)
+	queue        taskFIFO      // centrally held ready tasks (§5.5)
 	allocNext    uint64        // bump allocator for the apprank's address space
 	offloaded    int64         // tasks started away from home
 	pendingWaits []pendingWait // taskwait-on sentinels
@@ -41,8 +42,10 @@ func newApprank(rt *ClusterRuntime, id, localRank, appIdx int, g *expander.Graph
 		w := &Worker{app: a, ns: ns, wid: ns.arb.AddWorker()}
 		ns.workers = append(ns.workers, w)
 		a.workers = append(a.workers, w)
+		rt.cfg.Obs.RegisterWorker(ns.id, int(w.wid), a.id)
 	}
 	a.graph = nanos.NewTaskGraph(a.onReady)
+	a.graph.SetObs(rt.cfg.Obs, a.id)
 	return a
 }
 
@@ -77,6 +80,7 @@ func (a *Apprank) onReady(t *nanos.Task) {
 	loc := a.dataLocation(t)
 	best := a.localityBest(loc)
 	if best.underThreshold() {
+		a.schedDecision(t, best, loc, obs.SchedBest)
 		a.assign(best, t, loc)
 		return
 	}
@@ -95,10 +99,36 @@ func (a *Apprank) onReady(t *nanos.Task) {
 		}
 	}
 	if alt != nil {
+		a.schedDecision(t, alt, loc, obs.SchedAlt)
 		a.assign(alt, t, loc)
 		return
 	}
+	a.schedDecision(t, nil, loc, obs.SchedQueued)
 	a.queue.Push(t)
+}
+
+// schedDecision reports one scheduler choice to the structured recorder:
+// the candidate-set size (workers currently under the threshold), the
+// winning worker's node, and the task input bytes already resident there.
+// Gated on the recorder so the candidate count is never computed when
+// tracing is off.
+func (a *Apprank) schedDecision(t *nanos.Task, w *Worker, loc nanos.LocVec, outcome int) {
+	o := a.rt.cfg.Obs
+	if o == nil {
+		return
+	}
+	candidates := 0
+	for _, cw := range a.workers {
+		if cw.underThreshold() {
+			candidates++
+		}
+	}
+	node, bytes := -1, int64(0)
+	if w != nil {
+		node = w.ns.id
+		bytes = loc.On(node)
+	}
+	o.SchedDecision(a.id, t.ID, node, candidates, bytes, outcome)
 }
 
 // dataLocation fills the apprank's reusable location vector for the
@@ -154,6 +184,7 @@ func (a *Apprank) transferDelay(loc nanos.LocVec, target int) (delay, moved int6
 func (a *Apprank) assign(w *Worker, t *nanos.Task, loc nanos.LocVec) {
 	rt := a.rt
 	dataDelay, moved := a.transferDelay(loc, w.ns.id)
+	rt.cfg.Obs.TaskScheduled(a.id, t.ID, w.ns.id, moved, simtimeDuration(dataDelay))
 	if moved > 0 {
 		rt.stats.BytesTransferred += moved
 		rt.stats.Transfers++

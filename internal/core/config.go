@@ -18,6 +18,7 @@ import (
 	"ompsscluster/internal/balance"
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/expander"
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 	"ompsscluster/internal/trace"
 )
@@ -120,6 +121,14 @@ type Config struct {
 	// node-imbalance series (SamplePeriod, default 50ms).
 	Recorder     *trace.Recorder
 	SamplePeriod simtime.Duration
+
+	// Obs, when non-nil, receives the structured runtime event stream
+	// (task lifecycle, messages, DLB ownership, scheduler decisions) for
+	// Chrome-trace export and metrics aggregation. When either Obs or
+	// Recorder is set the runtime routes the busy/owned timelines through
+	// the event stream, so the two views can never disagree; when both
+	// are nil the hot paths stay allocation-free.
+	Obs *obs.Recorder
 
 	// EngineStats, when non-nil, receives the run's event-engine
 	// counters and host execution time once the simulation completes.

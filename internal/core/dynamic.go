@@ -151,7 +151,8 @@ func (rt *ClusterRuntime) addHelper(a *Apprank, node int) *Worker {
 	w := &Worker{app: a, ns: ns, wid: ns.arb.AddWorker()}
 	ns.workers = append(ns.workers, w)
 	a.workers = append(a.workers, w)
-	ns.recordOwned()
+	rt.cfg.Obs.RegisterWorker(node, int(w.wid), a.id)
+	ns.arb.EmitOwnership()
 	// Let it pull queued work right away (via LeWI borrow if any core
 	// on the node is idle).
 	a.refill(w)

@@ -121,6 +121,9 @@ func (rt *ClusterRuntime) addApp(spec AppSpec) error {
 		graph: g,
 		world: simmpi.NewWorld(rt.env, cfg.Machine, placement),
 	}
+	// World ranks are application-local; the event stream identifies
+	// ranks by global apprank id, so offset by the ids already assigned.
+	st.world.SetObs(cfg.Obs, len(rt.appranks))
 	for local := 0; local < nApp; local++ {
 		a := newApprank(rt, len(rt.appranks), local, len(rt.apps), g)
 		rt.appranks = append(rt.appranks, a)

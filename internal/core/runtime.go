@@ -8,8 +8,10 @@ import (
 	"ompsscluster/internal/dlb"
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/metrics"
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simmpi"
 	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/trace"
 )
 
 // ClusterRuntime is one simulated execution of one or more
@@ -89,12 +91,29 @@ func newRuntime(cfg Config) (*ClusterRuntime, error) {
 		env:  simtime.NewEnv(),
 		talp: dlb.NewTALP(),
 	}
+	// Observability: when either view is requested, both are driven from
+	// the one event stream — the structured recorder emits, and a tap
+	// reconstructs the legacy busy/owned step series, so the Paraver/CSV
+	// exports and the Chrome/metrics exports can never disagree. When
+	// neither is requested, rt.cfg.Obs stays nil and every emit site is a
+	// free nil check.
+	if rt.cfg.Obs != nil || rt.cfg.Recorder != nil {
+		if rt.cfg.Obs == nil {
+			rt.cfg.Obs = obs.NewRecorder(0) // tap-only: feed the trace, retain nothing
+		}
+		if rt.cfg.Recorder == nil {
+			rt.cfg.Recorder = trace.NewRecorder()
+		}
+		rt.cfg.Obs.BindClock(rt.env.Now)
+		rt.cfg.Obs.AddTap(obs.TraceTap(rt.cfg.Recorder))
+	}
 	for n := 0; n < cfg.Machine.NumNodes(); n++ {
 		ns := &nodeState{
 			rt:  rt,
 			id:  n,
 			arb: dlb.NewNodeArbiter(n, cfg.Machine.Node(n).Cores, cfg.LeWI),
 		}
+		ns.arb.SetObs(rt.cfg.Obs)
 		ns.dispatchFn = func() {
 			ns.queued = false
 			ns.dispatch()
@@ -159,7 +178,6 @@ func (rt *ClusterRuntime) installInitialOwnership() {
 			owned[i] = share
 		}
 		ns.arb.SetOwned(owned)
-		ns.recordOwned()
 	}
 }
 
@@ -233,7 +251,6 @@ func (rt *ClusterRuntime) runPolicy(pol Allocator) {
 			}
 		}
 		ns.arb.SetOwned(owned)
-		ns.recordOwned()
 	}
 	// Capacity changed: pull queued work and dispatch everywhere.
 	for _, a := range rt.appranks {
@@ -313,7 +330,6 @@ func (rt *ClusterRuntime) runGlobalPartitioned(pol balance.GlobalPolicy) {
 					}
 				}
 				ns.arb.SetOwned(owned)
-				ns.recordOwned()
 			}
 			for _, a := range rt.appranks {
 				a.refillAll()
@@ -347,24 +363,16 @@ func (rt *ClusterRuntime) sampleImbalance() {
 		}
 		loads[i] = total
 	}
-	rt.cfg.Recorder.RecordCustom("node_imbalance", now, metrics.Imbalance(loads))
-}
-
-// recordOwned mirrors the node's ownership vector into the trace.
-func (ns *nodeState) recordOwned() {
-	if ns.rt.cfg.Recorder == nil {
-		return
-	}
-	now := ns.rt.env.Now()
-	for i, w := range ns.workers {
-		ns.rt.cfg.Recorder.RecordOwned(now, ns.id, w.app.id, float64(ns.arb.OwnedAll()[i]))
-	}
+	v := metrics.Imbalance(loads)
+	rt.cfg.Recorder.RecordCustom("node_imbalance", now, v)
+	rt.cfg.Obs.Imbalance(v)
 }
 
 // sendCtl models a runtime control message from one node to another,
 // invoking fn on arrival.
 func (rt *ClusterRuntime) sendCtl(from, to int, bytes int64, fn func()) {
 	rt.stats.CtlMessages++
+	rt.cfg.Obs.CtlMsg(from, to, bytes)
 	d := rt.cfg.Machine.Net.TransferTime(from, to, bytes)
 	rt.env.Schedule(d, fn)
 }

@@ -65,7 +65,7 @@ func (w *Worker) start() {
 	if !w.isHome() {
 		w.app.offloaded++
 	}
-	w.recordBusy()
+	rt.cfg.Obs.ExecStart(w.ns.id, w.app.id, t.ID, int(w.wid), w.running > w.owned(), t.Label)
 	// Occupied time: compute plus runtime overhead, both scaled by node
 	// speed, plus a fixed overhead.
 	work := t.Work + simtime.Duration(rt.cfg.OverheadFrac*float64(t.Work))
@@ -80,7 +80,7 @@ func (w *Worker) complete(t *nanos.Task) {
 	now := rt.env.Now()
 	w.ns.arb.Finish(w.wid, now)
 	w.running--
-	w.recordBusy()
+	rt.cfg.Obs.ExecEnd(w.ns.id, w.app.id, t.ID, int(w.wid), t.Label)
 	a := w.app
 	if w.isHome() {
 		a.finishTask(t)
@@ -93,13 +93,6 @@ func (w *Worker) complete(t *nanos.Task) {
 	// stolen as tasks complete", §5.5).
 	a.refill(w)
 	w.ns.scheduleDispatch()
-}
-
-// recordBusy mirrors the worker's running count into the trace.
-func (w *Worker) recordBusy() {
-	if rec := w.app.rt.cfg.Recorder; rec != nil {
-		rec.RecordBusy(w.app.rt.env.Now(), w.ns.id, w.app.id, float64(w.running))
-	}
 }
 
 // scheduleDispatch arranges a dispatch pass for the node at the current

@@ -28,6 +28,7 @@ package dlb
 import (
 	"fmt"
 
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 )
 
@@ -54,7 +55,13 @@ type NodeArbiter struct {
 	lewi         bool
 	workers      []workerState
 	totalRunning int
+	obs          *obs.Recorder
 }
+
+// SetObs attaches the structured event recorder. Ownership changes and
+// LeWI borrow/return transitions are emitted through it; a nil recorder
+// (the default) costs nothing.
+func (a *NodeArbiter) SetObs(rec *obs.Recorder) { a.obs = rec }
 
 // NewNodeArbiter creates an arbiter for a node with the given core count.
 // lewi enables borrowing of idle cores.
@@ -103,7 +110,22 @@ func (a *NodeArbiter) SetOwned(owned []int) {
 		panic(fmt.Sprintf("dlb: ownership sums to %d, node has %d cores", sum, a.cores))
 	}
 	for i := range a.workers {
+		old := a.workers[i].owned
 		a.workers[i].owned = owned[i]
+		a.obs.OwnershipSet(a.node, i, old, owned[i])
+	}
+}
+
+// EmitOwnership re-emits the current ownership of every worker as OwnSet
+// events (old == new). The runtime calls it when the worker set changes
+// without a reassignment — e.g. a dynamically grown helper joining with
+// zero cores — so ownership timelines gain a sample for the new worker.
+func (a *NodeArbiter) EmitOwnership() {
+	if a.obs == nil {
+		return
+	}
+	for i := range a.workers {
+		a.obs.OwnershipSet(a.node, i, a.workers[i].owned, a.workers[i].owned)
 	}
 }
 
@@ -153,6 +175,9 @@ func (a *NodeArbiter) Start(w WorkerID, now simtime.Time) {
 	a.accumulate(w, now)
 	a.workers[w].running++
 	a.totalRunning++
+	if ws := &a.workers[w]; ws.running > ws.owned {
+		a.obs.CoreBorrow(a.node, int(w), ws.running)
+	}
 }
 
 // Finish accounts a task completion for w at virtual time now.
@@ -161,8 +186,12 @@ func (a *NodeArbiter) Finish(w WorkerID, now simtime.Time) {
 		panic(fmt.Sprintf("dlb: node %d worker %d finish with nothing running", a.node, w))
 	}
 	a.accumulate(w, now)
+	borrowed := a.workers[w].running > a.workers[w].owned
 	a.workers[w].running--
 	a.totalRunning--
+	if borrowed {
+		a.obs.CoreReturn(a.node, int(w), a.workers[w].running)
+	}
 }
 
 // accumulate folds the busy integral forward to now.

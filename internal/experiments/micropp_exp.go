@@ -5,6 +5,7 @@ import (
 
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 	"ompsscluster/internal/sweep"
 	"ompsscluster/internal/trace"
@@ -49,7 +50,7 @@ func mppProblem(sc Scale, appranks, coresPerApprank int) *micropp.Problem {
 // of timesteps. The paper's runs are long enough that warm-up is
 // negligible; normalising removes the same transient from these scaled
 // runs.
-func mppRun(sc Scale, nodes, rpn, degree int, lewi bool, drom core.DROMMode, rec *trace.Recorder) (simtime.Duration, *core.ClusterRuntime) {
+func mppRun(sc Scale, nodes, rpn, degree int, lewi bool, drom core.DROMMode, rec *trace.Recorder, ob *obs.Recorder) (simtime.Duration, *core.ClusterRuntime) {
 	m := cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet())
 	p := mppProblem(sc, nodes*rpn, sc.CoresPerNode/rpn)
 	rt := core.MustNew(core.Config{
@@ -64,6 +65,7 @@ func mppRun(sc Scale, nodes, rpn, degree int, lewi bool, drom core.DROMMode, rec
 		LocalPeriod:     sc.LocalPeriod,
 		Seed:            sc.Seed,
 		Recorder:        rec,
+		Obs:             ob,
 	})
 	if err := rt.Run(p.Main()); err != nil {
 		panic(fmt.Sprintf("experiments: micropp run failed: %v", err))
@@ -99,13 +101,13 @@ func figMicroPP(id, title string, sc Scale, rpn int, drom core.DROMMode) *Result
 	for _, n := range nodes {
 		x := float64(n)
 		specs = append(specs, runSpec{baseline, x, func() float64 {
-			t, _ := mppRun(sc, n, rpn, 1, false, core.DROMOff, nil)
+			t, _ := mppRun(sc, n, rpn, 1, false, core.DROMOff, nil, nil)
 			return t.Seconds()
 		}})
 		// Single-node DLB: LeWI plus the local DROM policy among the
 		// processes of each node.
 		specs = append(specs, runSpec{dlbOnly, x, func() float64 {
-			t, _ := mppRun(sc, n, rpn, 1, true, core.DROMLocal, nil)
+			t, _ := mppRun(sc, n, rpn, 1, true, core.DROMLocal, nil, nil)
 			return t.Seconds()
 		}})
 		for i, d := range degrees {
@@ -113,7 +115,7 @@ func figMicroPP(id, title string, sc Scale, rpn int, drom core.DROMMode) *Result
 				continue
 			}
 			specs = append(specs, runSpec{degSeries[i], x, func() float64 {
-				t, _ := mppRun(sc, n, rpn, d, true, drom, nil)
+				t, _ := mppRun(sc, n, rpn, d, true, drom, nil, nil)
 				return t.Seconds()
 			}})
 		}
@@ -170,7 +172,7 @@ func Fig9(sc Scale) *Result {
 		YLabel: "execution time (s)",
 	}
 	times := sweep.Map(sc.engine(), fig9Configs(), func(cfg fig9Config) simtime.Duration {
-		t, _ := mppRun(sc, 4, 1, cfg.degree, cfg.lewi, cfg.drom, nil)
+		t, _ := mppRun(sc, 4, 1, cfg.degree, cfg.lewi, cfg.drom, nil, nil)
 		return t
 	})
 	for i, cfg := range fig9Configs() {
@@ -209,16 +211,25 @@ func fig9Configs() []fig9Config {
 // and returns the recorders (busy and owned timelines per node/apprank)
 // with their labels.
 func Fig9Traces(sc Scale) ([]*trace.Recorder, []string) {
-	recs := sweep.Map(sc.engine(), fig9Configs(), func(cfg fig9Config) *trace.Recorder {
-		rec := trace.NewRecorder()
-		mppRun(sc, 4, 1, cfg.degree, cfg.lewi, cfg.drom, rec)
-		return rec
-	})
-	var labels []string
-	for _, cfg := range fig9Configs() {
-		labels = append(labels, cfg.label)
+	bundles := Fig9TraceBundles(sc)
+	recs := make([]*trace.Recorder, len(bundles))
+	labels := make([]string, len(bundles))
+	for i, b := range bundles {
+		recs[i], labels[i] = b.Trace, b.Label
 	}
 	return recs, labels
+}
+
+// Fig9TraceBundles runs the four Figure-9 configurations with both the
+// legacy timeline recorder and the structured event recorder attached,
+// driven from the same event stream.
+func Fig9TraceBundles(sc Scale) []TraceBundle {
+	return sweep.Map(sc.engine(), fig9Configs(), func(cfg fig9Config) TraceBundle {
+		rec := trace.NewRecorder()
+		ob := obs.NewRecorder(-1)
+		mppRun(sc, 4, 1, cfg.degree, cfg.lewi, cfg.drom, rec, ob)
+		return TraceBundle{Label: cfg.label, Obs: ob, Trace: rec}
+	})
 }
 
 // TALPReport runs MicroPP on four nodes with the full mechanism and
@@ -228,7 +239,7 @@ func Fig9Traces(sc Scale) ([]*trace.Recorder, []string) {
 // DROM reassignment may span several nodes.
 func TALPReport(sc Scale) string {
 	rec := trace.NewRecorder()
-	_, rt := mppRun(sc, 4, 1, 2, true, core.DROMGlobal, rec)
+	_, rt := mppRun(sc, 4, 1, 2, true, core.DROMGlobal, rec, nil)
 	end := rec.End()
 	avgCores := map[int]float64{}
 	for a := 0; a < rt.NumAppranks(); a++ {

@@ -5,6 +5,7 @@ import (
 
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 	"ompsscluster/internal/sweep"
 	"ompsscluster/internal/trace"
@@ -265,7 +266,7 @@ func Fig5(sc Scale) *Result {
 	}
 	outs := sweep.Map(sc.engine(), fig5Policies(), func(pol fig5Policy) fig5Out {
 		rec := trace.NewRecorder()
-		_, phase2Start := runFig5Workload(sc, pol.drom, rec)
+		_, phase2Start := runFig5Workload(sc, pol.drom, rec, nil)
 		end := rec.End()
 		var out fig5Out
 		// Busy timelines, sampled.
@@ -312,21 +313,30 @@ func fig5Policies() []fig5Policy {
 // Fig5Traces runs the two-phase workload under both policies with trace
 // recording and returns the recorders with their labels, for traceview.
 func Fig5Traces(sc Scale) ([]*trace.Recorder, []string) {
-	recs := sweep.Map(sc.engine(), fig5Policies(), func(pol fig5Policy) *trace.Recorder {
-		rec := trace.NewRecorder()
-		runFig5Workload(sc, pol.drom, rec)
-		return rec
-	})
-	var labels []string
-	for _, pol := range fig5Policies() {
-		labels = append(labels, pol.label)
+	bundles := Fig5TraceBundles(sc)
+	recs := make([]*trace.Recorder, len(bundles))
+	labels := make([]string, len(bundles))
+	for i, b := range bundles {
+		recs[i], labels[i] = b.Trace, b.Label
 	}
 	return recs, labels
 }
 
+// Fig5TraceBundles runs the two-phase workload under both policies with
+// both the legacy timeline recorder and the structured event recorder
+// attached, driven from the same event stream.
+func Fig5TraceBundles(sc Scale) []TraceBundle {
+	return sweep.Map(sc.engine(), fig5Policies(), func(pol fig5Policy) TraceBundle {
+		rec := trace.NewRecorder()
+		ob := obs.NewRecorder(-1)
+		runFig5Workload(sc, pol.drom, rec, ob)
+		return TraceBundle{Label: pol.label, Obs: ob, Trace: rec}
+	})
+}
+
 // runFig5Workload runs the two-phase workload and returns the runtime
 // and the virtual time at which the balanced phase began.
-func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder) (*core.ClusterRuntime, simtime.Time) {
+func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder, ob *obs.Recorder) (*core.ClusterRuntime, simtime.Time) {
 	m := cluster.New(2, sc.CoresPerNode, cluster.DefaultNet())
 	rt := core.MustNew(core.Config{
 		Machine:         m,
@@ -340,6 +350,7 @@ func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder) (*core.C
 		LocalPeriod:     sc.LocalPeriod,
 		Seed:            sc.Seed,
 		Recorder:        rec,
+		Obs:             ob,
 	})
 	var phase2Start simtime.Time
 	iters := sc.Iterations

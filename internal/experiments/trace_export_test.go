@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ompsscluster/internal/obs"
+)
+
+func fig9Chrome(t *testing.T, parallel int) []byte {
+	t.Helper()
+	sc := qs()
+	sc.Parallel = parallel
+	bundles := Fig9TraceBundles(sc)
+	recs := make([]*obs.Recorder, len(bundles))
+	labels := make([]string, len(bundles))
+	for i, b := range bundles {
+		recs[i], labels[i] = b.Obs, b.Label
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChrome(&buf, recs, labels); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestFig9ChromeExport covers the quick-scale Figure-9 export end to
+// end: the trace is structurally valid, carries task slices, message and
+// collective events, and DLB ownership instants on distinct tracks, and
+// is byte-identical whether the four configurations ran sequentially or
+// concurrently.
+func TestFig9ChromeExport(t *testing.T) {
+	seq := fig9Chrome(t, 1)
+	par := fig9Chrome(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatal("fig9 Chrome trace differs between -parallel 1 and -parallel 8")
+	}
+	if err := obs.ValidateChrome(seq); err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Pid  int64  `json:"pid"`
+			Tid  int64  `json:"tid"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(seq, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	type track struct{ pid, tid int64 }
+	taskTracks := map[track]bool{}
+	ownTracks := map[track]bool{}
+	msgTracks := map[track]bool{}
+	var collectives, ctl int
+	for _, e := range doc.TraceEvents {
+		tr := track{e.Pid, e.Tid}
+		switch {
+		case e.Ph == "B":
+			taskTracks[tr] = true
+		case e.Ph == "i" && e.Tid == 999:
+			ownTracks[tr] = true
+		case e.Ph == "b":
+			msgTracks[tr] = true
+		case e.Ph == "X":
+			collectives++
+		case e.Ph == "i" && e.Tid == 997:
+			ctl++
+		}
+	}
+	if len(taskTracks) == 0 {
+		t.Fatal("no task execution slices")
+	}
+	if len(ownTracks) == 0 {
+		t.Fatal("no DLB ownership instants")
+	}
+	if len(msgTracks) == 0 && collectives == 0 {
+		t.Fatal("no message or collective events")
+	}
+	if collectives == 0 {
+		t.Fatal("no collective events")
+	}
+	if ctl == 0 {
+		t.Fatal("no control-message instants")
+	}
+	for tr := range ownTracks {
+		if taskTracks[tr] {
+			t.Fatalf("ownership and task events share track %+v", tr)
+		}
+	}
+	for tr := range msgTracks {
+		if taskTracks[tr] {
+			t.Fatalf("message and task events share track %+v", tr)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ompsscluster/internal/obs"
+	"ompsscluster/internal/trace"
+)
+
+// TraceBundle is one traced run's complete observability output: the
+// structured event recorder (Chrome trace export, metrics registry) and
+// the legacy timeline recorder (Paraver/CSV export). Both are fed from
+// the same event stream by the runtime, so the two views agree by
+// construction.
+type TraceBundle struct {
+	Label string
+	Obs   *obs.Recorder
+	Trace *trace.Recorder
+}
+
+// TraceBundles runs the traced variant of the given experiment and
+// returns one bundle per configuration. Supported ids: fig5, fig9.
+func TraceBundles(id string, sc Scale) ([]TraceBundle, error) {
+	switch id {
+	case "fig5":
+		return Fig5TraceBundles(sc), nil
+	case "fig9":
+		return Fig9TraceBundles(sc), nil
+	}
+	return nil, fmt.Errorf("experiments: no traced variant of %q (have fig5, fig9)", id)
+}
+
+// BuildMetrics aggregates the bundles' event streams into one merged
+// metrics registry (counters add, histograms merge bucket-wise).
+func BuildMetrics(bundles []TraceBundle) (*obs.Metrics, error) {
+	var merged *obs.Metrics
+	for _, b := range bundles {
+		m := obs.BuildMetrics(b.Obs)
+		if merged == nil {
+			merged = m
+			continue
+		}
+		if err := merged.Merge(m); err != nil {
+			return nil, fmt.Errorf("experiments: merging %s metrics: %w", b.Label, err)
+		}
+	}
+	return merged, nil
+}

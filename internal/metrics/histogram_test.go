@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zero-valued: count=%d sum=%v mean=%v q50=%v",
+			h.Count(), h.Sum(), h.Mean(), h.Quantile(0.5))
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 3, 9, 100} {
+		h.Observe(v)
+	}
+	if got, want := h.Count(), uint64(6); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), 115.0; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if got, want := h.Min(), 0.5; got != want {
+		t.Errorf("Min = %v, want %v", got, want)
+	}
+	if got, want := h.Max(), 100.0; got != want {
+		t.Errorf("Max = %v, want %v", got, want)
+	}
+	if got, want := h.Mean(), 115.0/6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Buckets: (-inf,1] = {0.5, 1}; (1,2] = {1.5}; (2,4] = {3};
+	// (4,8] = {}; overflow = {9, 100}.
+	want := []uint64{2, 1, 1, 0, 2}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("BucketCounts len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	// Upper bounds are inclusive.
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(2.0000001)
+	got := h.BucketCounts()
+	want := []uint64{1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (edges must be inclusive)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	a := NewHistogram(bounds)
+	b := NewHistogram(bounds)
+	for _, v := range []float64{0.5, 5, 50} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{500, 0.1} {
+		b.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != 5 {
+		t.Errorf("merged Count = %d, want 5", a.Count())
+	}
+	if got, want := a.Sum(), 555.6; math.Abs(got-want) > 1e-9 {
+		t.Errorf("merged Sum = %v, want %v", got, want)
+	}
+	if a.Min() != 0.1 || a.Max() != 500 {
+		t.Errorf("merged Min/Max = %v/%v, want 0.1/500", a.Min(), a.Max())
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.BucketCounts()
+	if err := a.Merge(NewHistogram(bounds)); err != nil {
+		t.Fatalf("Merge empty: %v", err)
+	}
+	after := a.BucketCounts()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("empty merge changed bucket %d: %d -> %d", i, before[i], after[i])
+		}
+	}
+	// Mismatched bounds are rejected.
+	if err := a.Merge(NewHistogram([]float64{1, 10})); err == nil {
+		t.Error("Merge with fewer bounds: want error, got nil")
+	}
+	if err := a.Merge(NewHistogram([]float64{1, 10, 99})); err == nil {
+		t.Error("Merge with different bounds: want error, got nil")
+	}
+}
+
+func TestHistogramQuantileExact(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 100))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	// With one observation per unit bucket, interpolation is near-exact.
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0, 1, 0},
+		{0.5, 50, 1},
+		{0.9, 90, 1},
+		{0.99, 99, 1},
+		{1, 100, 0},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v +/- %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestBucketBuilders(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	wantExp := []float64{1, 2, 4, 8}
+	for i := range wantExp {
+		if exp[i] != wantExp[i] {
+			t.Errorf("ExpBuckets[%d] = %v, want %v", i, exp[i], wantExp[i])
+		}
+	}
+	lin := LinearBuckets(0.5, 0.25, 3)
+	wantLin := []float64{0.5, 0.75, 1.0}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Errorf("LinearBuckets[%d] = %v, want %v", i, lin[i], wantLin[i])
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v): want panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// genValues draws a bounded value set for the quickcheck properties.
+func genValues(rnd *rand.Rand) []float64 {
+	n := 1 + rnd.Intn(200)
+	out := make([]float64, n)
+	for i := range out {
+		// Span several orders of magnitude, including sub-bucket values.
+		out[i] = math.Exp(rnd.Float64()*12 - 3)
+	}
+	return out
+}
+
+// TestHistogramProperties checks the core invariants over random value
+// sets: counts are conserved, the bucket that holds each value respects
+// its bounds, and quantiles are monotone within [min, max].
+func TestHistogramProperties(t *testing.T) {
+	bounds := ExpBuckets(0.1, 2, 16)
+	prop := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		vals := genValues(rnd)
+		h := NewHistogram(bounds)
+		sum := 0.0
+		for _, v := range vals {
+			h.Observe(v)
+			sum += v
+		}
+		if h.Count() != uint64(len(vals)) {
+			t.Logf("count mismatch: %d vs %d", h.Count(), len(vals))
+			return false
+		}
+		if math.Abs(h.Sum()-sum) > 1e-9*math.Abs(sum) {
+			t.Logf("sum mismatch: %v vs %v", h.Sum(), sum)
+			return false
+		}
+		var total uint64
+		for _, c := range h.BucketCounts() {
+			total += c
+		}
+		if total != h.Count() {
+			t.Logf("bucket counts do not sum to count: %d vs %d", total, h.Count())
+			return false
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+			t.Logf("min/max mismatch")
+			return false
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			est := h.Quantile(q)
+			if est < h.Min() || est > h.Max() {
+				t.Logf("Quantile(%v) = %v outside [%v, %v]", q, est, h.Min(), h.Max())
+				return false
+			}
+			if est < prev {
+				t.Logf("Quantile not monotone at %v: %v < %v", q, est, prev)
+				return false
+			}
+			prev = est
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeProperty checks that merging two histograms equals
+// observing the concatenation of their value sets.
+func TestHistogramMergeProperty(t *testing.T) {
+	bounds := ExpBuckets(0.1, 2, 16)
+	prop := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		va, vb := genValues(rnd), genValues(rnd)
+		a, b, both := NewHistogram(bounds), NewHistogram(bounds), NewHistogram(bounds)
+		for _, v := range va {
+			a.Observe(v)
+			both.Observe(v)
+		}
+		for _, v := range vb {
+			b.Observe(v)
+			both.Observe(v)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Logf("Merge: %v", err)
+			return false
+		}
+		if a.Count() != both.Count() || a.Min() != both.Min() || a.Max() != both.Max() {
+			return false
+		}
+		if math.Abs(a.Sum()-both.Sum()) > 1e-9*math.Abs(both.Sum()) {
+			return false
+		}
+		ac, bc := a.BucketCounts(), both.BucketCounts()
+		for i := range ac {
+			if ac[i] != bc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramQuantileBracket checks the interpolation stays within the
+// bracketing bucket's true value range on a known distribution.
+func TestHistogramQuantileBracket(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(25) // all in third bucket
+	}
+	// q=0.25 is inside the first bucket: estimate must lie in [min, 10].
+	if got := h.Quantile(0.25); got < 5 || got > 10 {
+		t.Errorf("Quantile(0.25) = %v, want within [5, 10]", got)
+	}
+	// q=0.75 is inside the (20,30] bucket: estimate in [20, 25]⊂[20, 30],
+	// clamped to max 25.
+	if got := h.Quantile(0.75); got < 20 || got > 25 {
+		t.Errorf("Quantile(0.75) = %v, want within [20, 25]", got)
+	}
+}

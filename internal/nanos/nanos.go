@@ -17,6 +17,7 @@ package nanos
 import (
 	"fmt"
 
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 )
 
@@ -140,6 +141,16 @@ type TaskGraph struct {
 	reg         registry
 	submitted   int64
 	completed   int64
+	obs         *obs.Recorder
+	obsApprank  int
+}
+
+// SetObs attaches the structured event recorder, attributing this
+// graph's task-lifecycle events to the given apprank. A nil recorder
+// (the default) keeps Submit and announce allocation-free.
+func (g *TaskGraph) SetObs(rec *obs.Recorder, apprank int) {
+	g.obs = rec
+	g.obsApprank = apprank
 }
 
 // NewTaskGraph creates an empty graph. onReady is invoked for every task
@@ -172,6 +183,13 @@ func (g *TaskGraph) Submit(t *Task) {
 		}
 		g.reg.addAccess(t, a)
 	}
+	if g.obs != nil {
+		bytes := int64(0)
+		for _, a := range t.Accesses {
+			bytes += a.Region.Size()
+		}
+		g.obs.TaskCreated(g.obsApprank, t.ID, t.Label, bytes)
+	}
 	if t.ndeps == 0 {
 		g.announce(t)
 	}
@@ -180,6 +198,7 @@ func (g *TaskGraph) Submit(t *Task) {
 func (g *TaskGraph) announce(t *Task) {
 	t.state = Ready
 	t.announced = true
+	g.obs.TaskReady(g.obsApprank, t.ID)
 	g.onReady(t)
 }
 

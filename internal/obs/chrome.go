@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Chrome Trace Format export: one JSON document loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Track layout, per
+// recorder i with pid base i*10000:
+//
+//   - pid base+node        — execution on that node. One thread lane per
+//     concurrently running task slot ("core N"), assigned greedily so a
+//     lane never holds two overlapping slices; task executions are B/E
+//     duration slices. tid 999 is the DLB ownership track (own_set /
+//     core_borrow / core_return instants) and tid 997 the runtime
+//     control-message track.
+//   - pid base+5000+rank   — per-apprank causality. tid 0: task
+//     lifecycle instants (created, ready, scheduled); tid 1: scheduler
+//     decisions; tid 2: message events (matched sends as async b/e
+//     spans named by tag, deliveries as instants); tid 3: collectives
+//     as complete "X" slices spanning entry to exit.
+//   - pid base+9000        — sampled gauges as "C" counter events
+//     (imbalance).
+//
+// Timestamps are virtual nanoseconds divided by 1000 (the format wants
+// microseconds) with three decimals, so nothing is rounded away.
+
+const (
+	chromeApprankPid = 5000
+	chromeCounterPid = 9000
+	chromeDlbTid     = 999
+	chromeCtlTid     = 997
+	pidStride        = 10000
+)
+
+// chromeWriter accumulates trace-event JSON objects plus the metadata
+// naming their tracks, then writes metadata first so viewers label
+// every track.
+type chromeWriter struct {
+	events []string
+	meta   map[string]struct{} // metadata lines, deduped
+}
+
+func (cw *chromeWriter) event(line string)    { cw.events = append(cw.events, line) }
+func (cw *chromeWriter) metadata(line string) { cw.meta[line] = struct{}{} }
+func (cw *chromeWriter) processName(pid int, name string) {
+	cw.metadata(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`, pid, strconv.Quote(name)))
+}
+func (cw *chromeWriter) threadName(pid, tid int, name string) {
+	cw.metadata(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`, pid, tid, strconv.Quote(name)))
+}
+
+// ts renders virtual nanoseconds as microseconds with nanosecond
+// precision preserved.
+func ts(ns int64) string { return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64) }
+
+// laneTable assigns overlapping task executions on one node to stable
+// "core" lanes: ExecStart takes the lowest free lane, ExecEnd frees it.
+type laneTable struct {
+	busy  []bool
+	byKey map[int64]int // (apprank<<32|taskID-ish) -> lane
+}
+
+func newLaneTable() *laneTable { return &laneTable{byKey: make(map[int64]int)} }
+
+func laneKey(e *Event) int64 { return int64(e.Apprank)<<40 ^ e.ID }
+
+func (lt *laneTable) start(e *Event) int {
+	for i, b := range lt.busy {
+		if !b {
+			lt.busy[i] = true
+			lt.byKey[laneKey(e)] = i
+			return i
+		}
+	}
+	lt.busy = append(lt.busy, true)
+	i := len(lt.busy) - 1
+	lt.byKey[laneKey(e)] = i
+	return i
+}
+
+func (lt *laneTable) end(e *Event) (int, bool) {
+	i, ok := lt.byKey[laneKey(e)]
+	if !ok {
+		return 0, false
+	}
+	delete(lt.byKey, laneKey(e))
+	lt.busy[i] = false
+	return i, true
+}
+
+// WriteChrome exports the recorders' retained events as one Chrome
+// trace. labels (one per recorder, optional) prefix the process names so
+// multi-configuration bundles — e.g. fig9's baseline/LeWI/DROM runs —
+// stay distinguishable in a single Perfetto view.
+func WriteChrome(w io.Writer, recs []*Recorder, labels []string) error {
+	cw := &chromeWriter{meta: make(map[string]struct{})}
+	for ri, r := range recs {
+		if r == nil {
+			continue
+		}
+		label := ""
+		if ri < len(labels) {
+			label = labels[ri]
+		}
+		writeRecorder(cw, ri, label, r)
+	}
+	lines := make([]string, 0, len(cw.meta)+len(cw.events))
+	meta := make([]string, 0, len(cw.meta))
+	for m := range cw.meta {
+		meta = append(meta, m)
+	}
+	sort.Strings(meta)
+	lines = append(lines, meta...)
+	lines = append(lines, cw.events...)
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, strings.Join(lines, ",\n")); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+func writeRecorder(cw *chromeWriter, ri int, label string, r *Recorder) {
+	events := r.Events()
+	pidBase := ri * pidStride
+	prefix := ""
+	if label != "" {
+		prefix = label + "/"
+	}
+
+	// Prepass: messages that were eventually matched become async spans;
+	// unmatched ones stay instants (a span with no end would dangle).
+	matched := make(map[int64]bool)
+	opened := make(map[int64]bool) // posts whose "b" span was actually emitted
+	maxT := int64(0)
+	for i := range events {
+		e := &events[i]
+		if e.Kind == KindMsgMatch {
+			matched[e.ID] = true
+		}
+		if int64(e.T) > maxT {
+			maxT = int64(e.T)
+		}
+	}
+
+	lanes := make(map[int32]*laneTable)
+	lane := func(node int32) *laneTable {
+		lt, ok := lanes[node]
+		if !ok {
+			lt = newLaneTable()
+			lanes[node] = lt
+		}
+		return lt
+	}
+	nodePid := func(node int32) int { return pidBase + int(node) }
+	rankPid := func(rank int32) int { return pidBase + chromeApprankPid + int(rank) }
+	// Async-span ids must be unique across recorders sharing the file.
+	msgID := func(id int64) string { return fmt.Sprintf("\"%d.%d\"", ri, id) }
+
+	// openStarts tracks (pid, tid) of unterminated B slices so the export
+	// can close them at trace end and keep B/E balanced even if a run is
+	// cut short mid-task.
+	type openSlice struct {
+		pid, tid int
+		label    string
+	}
+	open := make(map[int64]openSlice)
+
+	for i := range events {
+		e := &events[i]
+		t := ts(int64(e.T))
+		switch e.Kind {
+		case KindExecStart:
+			pid := nodePid(e.Node)
+			tid := lane(e.Node).start(e)
+			cw.processName(pid, fmt.Sprintf("%snode%d", prefix, e.Node))
+			cw.threadName(pid, tid, fmt.Sprintf("core %d", tid))
+			borrowed := "false"
+			if e.B != 0 {
+				borrowed = "true"
+			}
+			name := e.Label
+			if name == "" {
+				name = fmt.Sprintf("task %d", e.ID)
+			}
+			cw.event(fmt.Sprintf(`{"ph":"B","pid":%d,"tid":%d,"ts":%s,"name":%s,"cat":"task","args":{"apprank":%d,"task":%d,"worker":%d,"borrowed":%s}}`,
+				pid, tid, t, strconv.Quote(name), e.Apprank, e.ID, e.A, borrowed))
+			open[int64(pid)<<20|int64(tid)] = openSlice{pid, tid, name}
+		case KindExecEnd:
+			pid := nodePid(e.Node)
+			tid, ok := lane(e.Node).end(e)
+			if !ok {
+				continue // end without a recorded start (ring wrapped)
+			}
+			cw.event(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":%d,"ts":%s}`, pid, tid, t))
+			delete(open, int64(pid)<<20|int64(tid))
+		case KindOwnSet, KindCoreBorrow, KindCoreReturn:
+			pid := nodePid(e.Node)
+			cw.processName(pid, fmt.Sprintf("%snode%d", prefix, e.Node))
+			cw.threadName(pid, chromeDlbTid, "dlb ownership")
+			var name, args string
+			switch e.Kind {
+			case KindOwnSet:
+				name = fmt.Sprintf("own core%d: %d->%d", e.A, e.B, e.C)
+				args = fmt.Sprintf(`{"apprank":%d,"worker":%d,"old_owned":%d,"new_owned":%d}`, e.Apprank, e.A, e.B, e.C)
+			case KindCoreBorrow:
+				name = fmt.Sprintf("borrow core%d", e.A)
+				args = fmt.Sprintf(`{"apprank":%d,"worker":%d,"running":%d}`, e.Apprank, e.A, e.B)
+			default:
+				name = fmt.Sprintf("return core%d", e.A)
+				args = fmt.Sprintf(`{"apprank":%d,"worker":%d,"running":%d}`, e.Apprank, e.A, e.B)
+			}
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":%s,"cat":"dlb","args":%s}`,
+				pid, chromeDlbTid, t, strconv.Quote(name), args))
+		case KindTaskCreated, KindTaskReady, KindTaskScheduled:
+			pid := rankPid(e.Apprank)
+			cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.Apprank))
+			cw.threadName(pid, 0, "task lifecycle")
+			var name, args string
+			switch e.Kind {
+			case KindTaskCreated:
+				name = fmt.Sprintf("created %d", e.ID)
+				args = fmt.Sprintf(`{"task":%d,"access_bytes":%d}`, e.ID, e.A)
+			case KindTaskReady:
+				name = fmt.Sprintf("ready %d", e.ID)
+				args = fmt.Sprintf(`{"task":%d}`, e.ID)
+			default:
+				name = fmt.Sprintf("scheduled %d -> node%d", e.ID, e.Node)
+				args = fmt.Sprintf(`{"task":%d,"node":%d,"moved_bytes":%d,"transfer_ns":%d}`, e.ID, e.Node, e.A, e.B)
+			}
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"s":"t","name":%s,"cat":"lifecycle","args":%s}`,
+				pid, t, strconv.Quote(name), args))
+		case KindSchedDecision:
+			pid := rankPid(e.Apprank)
+			cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.Apprank))
+			cw.threadName(pid, 1, "scheduler")
+			outcome := [...]string{"best", "alt", "queued"}[e.D]
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":1,"ts":%s,"s":"t","name":%s,"cat":"sched","args":{"task":%d,"winner_node":%d,"candidates":%d,"local_bytes":%d,"outcome":%s}}`,
+				pid, t, strconv.Quote("sched "+outcome), e.ID, e.A, e.B, e.C, strconv.Quote(outcome)))
+		case KindMsgPost:
+			pid := rankPid(int32(e.B))
+			cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.B))
+			cw.threadName(pid, 2, "messages")
+			if matched[e.ID] {
+				opened[e.ID] = true
+				cw.event(fmt.Sprintf(`{"ph":"b","pid":%d,"tid":2,"ts":%s,"cat":"msg","id":%s,"name":%s,"args":{"src":%d,"dst":%d,"tag":%d,"bytes":%d}}`,
+					pid, t, msgID(e.ID), strconv.Quote(fmt.Sprintf("msg tag%d", e.C)), e.A, e.B, e.C, e.D))
+			} else {
+				cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":2,"ts":%s,"s":"t","name":%s,"cat":"msg","args":{"src":%d,"dst":%d,"tag":%d,"bytes":%d}}`,
+					pid, t, strconv.Quote(fmt.Sprintf("post tag%d", e.C)), e.A, e.B, e.C, e.D))
+			}
+		case KindMsgDeliver:
+			pid := rankPid(int32(e.B))
+			cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.B))
+			cw.threadName(pid, 2, "messages")
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":2,"ts":%s,"s":"t","name":%s,"cat":"msg","args":{"src":%d,"dst":%d,"tag":%d,"bytes":%d}}`,
+				pid, t, strconv.Quote(fmt.Sprintf("deliver tag%d", e.C)), e.A, e.B, e.C, e.D))
+		case KindMsgMatch:
+			if !opened[e.ID] {
+				continue // the post fell off the ring; no span to close
+			}
+			pid := rankPid(int32(e.B))
+			cw.event(fmt.Sprintf(`{"ph":"e","pid":%d,"tid":2,"ts":%s,"cat":"msg","id":%s,"args":{"queue_wait_ns":%d,"inflight_ns":%d}}`,
+				pid, t, msgID(e.ID), e.C, e.D))
+		case KindCtlMsg:
+			pid := nodePid(e.Node)
+			cw.processName(pid, fmt.Sprintf("%snode%d", prefix, e.Node))
+			cw.threadName(pid, chromeCtlTid, "ctl messages")
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":"ctl","cat":"msg","args":{"from_node":%d,"to_node":%d,"bytes":%d}}`,
+				pid, chromeCtlTid, t, e.A, e.B, e.C))
+		case KindCollective:
+			pid := rankPid(e.Apprank)
+			cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.Apprank))
+			cw.threadName(pid, 3, "collectives")
+			dur := int64(e.T) - e.A
+			if dur < 0 {
+				dur = 0
+			}
+			cw.event(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":3,"ts":%s,"dur":%s,"name":%s,"cat":"coll","args":{"bytes":%d,"ranks":%d}}`,
+				pid, ts(e.A), ts(dur), strconv.Quote(e.Label), e.B, e.C))
+		case KindImbalance:
+			pid := pidBase + chromeCounterPid
+			cw.processName(pid, prefix+"metrics")
+			cw.event(fmt.Sprintf(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":"imbalance","args":{"imbalance":%g}}`,
+				pid, t, e.ImbalanceValue()))
+		}
+	}
+
+	// Close any slice still open at trace end so B/E stay balanced.
+	closes := make([]openSlice, 0, len(open))
+	for _, s := range open {
+		closes = append(closes, s)
+	}
+	sort.Slice(closes, func(i, j int) bool {
+		if closes[i].pid != closes[j].pid {
+			return closes[i].pid < closes[j].pid
+		}
+		return closes[i].tid < closes[j].tid
+	})
+	for _, s := range closes {
+		cw.event(fmt.Sprintf(`{"ph":"E","pid":%d,"tid":%d,"ts":%s}`, s.pid, s.tid, ts(maxT)))
+	}
+}
+
+// chromeEvent is the subset of fields ValidateChrome inspects.
+type chromeEvent struct {
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Cat  string  `json:"cat"`
+	ID   string  `json:"id"`
+	Name string  `json:"name"`
+}
+
+// ValidateChrome checks structural invariants of a Chrome trace produced
+// by WriteChrome: every event has a known phase, timestamps are
+// non-decreasing within each (pid, tid) track, B/E duration slices are
+// balanced per track, and async b/e spans are balanced per (cat, id).
+func ValidateChrome(data []byte) error {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("chrome trace: not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("chrome trace: no events")
+	}
+	type track struct{ pid, tid int }
+	lastTs := make(map[track]float64)
+	depth := make(map[track]int)
+	asyncOpen := make(map[string]int)
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "B", "E", "X", "i", "b", "e", "C":
+		default:
+			return fmt.Errorf("chrome trace: event %d: unknown phase %q", i, e.Ph)
+		}
+		k := track{e.Pid, e.Tid}
+		if last, ok := lastTs[k]; ok && e.Ts < last {
+			return fmt.Errorf("chrome trace: event %d: ts %v before %v on pid=%d tid=%d",
+				i, e.Ts, last, e.Pid, e.Tid)
+		}
+		lastTs[k] = e.Ts
+		switch e.Ph {
+		case "B":
+			depth[k]++
+		case "E":
+			depth[k]--
+			if depth[k] < 0 {
+				return fmt.Errorf("chrome trace: event %d: E without B on pid=%d tid=%d", i, e.Pid, e.Tid)
+			}
+		case "b":
+			asyncOpen[e.Cat+"/"+e.ID]++
+		case "e":
+			key := e.Cat + "/" + e.ID
+			asyncOpen[key]--
+			if asyncOpen[key] < 0 {
+				return fmt.Errorf("chrome trace: event %d: async e without b for %s", i, key)
+			}
+		case "X":
+			if e.Dur < 0 {
+				return fmt.Errorf("chrome trace: event %d: negative duration %v", i, e.Dur)
+			}
+		}
+	}
+	for k, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("chrome trace: unbalanced B/E (depth %d) on pid=%d tid=%d", d, k.pid, k.tid)
+		}
+	}
+	for id, d := range asyncOpen {
+		if d != 0 {
+			return fmt.Errorf("chrome trace: unbalanced async span %s (depth %d)", id, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"ompsscluster/internal/trace"
+)
+
+// TraceTap returns a tap that reconstructs the legacy trace.Recorder
+// busy/owned step series from the structured event stream. The core
+// runtime used to write those series directly from the worker start /
+// complete and arbiter SetOwned paths; routing them through the tap
+// instead guarantees the Paraver/CSV exports and the structured
+// exporters are views of the same events and can never disagree.
+//
+// Equivalence contract: each (node, apprank) hosts exactly one worker,
+// so a running-task count maintained from ExecStart/ExecEnd equals the
+// worker's running counter at the same emit sites, and OwnershipSet's
+// new-owned payload equals what recordOwned used to write. Emits happen
+// at the same virtual times and in the same order as the old direct
+// calls, so the resulting series — and the figure CSVs derived from
+// them — are byte-identical.
+func TraceTap(tr *trace.Recorder) func(*Event) {
+	running := make(map[trace.Key]float64)
+	return func(e *Event) {
+		switch e.Kind {
+		case KindExecStart:
+			k := trace.Key{Node: int(e.Node), Apprank: int(e.Apprank)}
+			running[k]++
+			tr.RecordBusy(e.T, k.Node, k.Apprank, running[k])
+		case KindExecEnd:
+			k := trace.Key{Node: int(e.Node), Apprank: int(e.Apprank)}
+			running[k]--
+			tr.RecordBusy(e.T, k.Node, k.Apprank, running[k])
+		case KindOwnSet:
+			if e.Apprank >= 0 {
+				tr.RecordOwned(e.T, int(e.Node), int(e.Apprank), float64(e.C))
+			}
+		}
+	}
+}

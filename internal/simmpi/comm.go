@@ -133,6 +133,7 @@ type collOp struct {
 	waiters []*simtime.Proc
 	widx    []int // comm rank of each waiter
 	size    int64
+	entered []simtime.Time // by comm rank, only when observability is on
 }
 
 // collective runs one collective step: all ranks of the communicator must
@@ -145,6 +146,9 @@ func (c *Comm) collective(kind string, contrib any, size int64, finish func(vals
 	op, ok := cs.colls[seq]
 	if !ok {
 		op = &collOp{kind: kind, vals: make([]any, len(cs.group)), size: size}
+		if cs.w.obs != nil {
+			op.entered = make([]simtime.Time, len(cs.group))
+		}
 		cs.colls[seq] = op
 	}
 	if op.kind != kind {
@@ -153,6 +157,9 @@ func (c *Comm) collective(kind string, contrib any, size int64, finish func(vals
 	}
 	cr := c.Rank()
 	op.vals[cr] = contrib
+	if op.entered != nil {
+		op.entered[cr] = cs.w.env.Now()
+	}
 	op.arrived++
 	if size > op.size {
 		op.size = size
@@ -167,7 +174,16 @@ func (c *Comm) collective(kind string, contrib any, size int64, finish func(vals
 	w := cs.w
 	cost := w.hopCost(len(cs.group), op.size)
 	done := w.env.NewEvent()
-	w.env.Schedule(cost, func() { done.Trigger(nil) })
+	w.env.Schedule(cost, func() {
+		if op.entered != nil {
+			// One event per participating rank, spanning its entry to the
+			// shared completion instant.
+			for cri, g := range cs.group {
+				w.obs.Collective(w.rankBase+g, kind, op.entered[cri], op.size, len(cs.group))
+			}
+		}
+		done.Trigger(nil)
+	})
 	for i, p := range op.waiters {
 		p := p
 		cri := op.widx[i]

@@ -51,6 +51,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	}
 	// Immediate match against already-arrived messages.
 	if msg := mb.takeArrived(gsrc, tag); msg != nil {
+		w.obsMatch(c.rank, msg)
 		req.complete(c, msg)
 		return req
 	}

@@ -19,6 +19,7 @@ import (
 	"math/bits"
 
 	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 )
 
@@ -42,6 +43,14 @@ type message struct {
 	size int64
 	data any
 	arr  uint64 // per-mailbox arrival stamp, set when queued as unexpected
+
+	// Observability stamps, populated only when the world's recorder is
+	// attached: a world-unique message id plus the post and delivery
+	// times, from which match events derive queue-wait and in-flight
+	// latency.
+	obsID    int64
+	postT    simtime.Time
+	deliverT simtime.Time
 }
 
 // pendingRecv is a blocked receive posted by a process.
@@ -170,6 +179,31 @@ type World struct {
 	mail      []*mailbox
 	world     *commState
 	commCache map[string]*commState
+
+	obs      *obs.Recorder
+	rankBase int   // global apprank id of this world's rank 0
+	msgSeq   int64 // next message id for observability stamps
+}
+
+// SetObs attaches the structured event recorder. Message events carry
+// rankBase + world rank so several worlds (co-scheduled applications)
+// report globally unique apprank ids. A nil recorder (the default) keeps
+// the messaging paths free of any observability work.
+func (w *World) SetObs(rec *obs.Recorder, rankBase int) {
+	w.obs = rec
+	w.rankBase = rankBase
+}
+
+// obsMatch emits the match event for a message being consumed by dst at
+// the current time. deliverT equals the match time when a receiver was
+// already waiting (queue wait zero).
+func (w *World) obsMatch(dst int, msg *message) {
+	if w.obs == nil {
+		return
+	}
+	now := w.env.Now()
+	w.obs.MsgMatch(msg.obsID, w.rankBase+msg.src, w.rankBase+dst,
+		simtime.Duration(now-msg.deliverT), simtime.Duration(now-msg.postT))
 }
 
 // NewWorld creates a world with len(placement) ranks; placement[r] is the
@@ -241,6 +275,12 @@ func (w *World) Post(src, dst, tag int, data any, size int64) {
 	}
 	d := w.machine.Net.TransferTime(w.placement[src], w.placement[dst], size)
 	msg := &message{src: src, tag: tag, size: size, data: data}
+	if w.obs != nil {
+		msg.obsID = w.msgSeq
+		w.msgSeq++
+		msg.postT = w.env.Now()
+		w.obs.MsgPost(msg.obsID, w.rankBase+src, w.rankBase+dst, tag, size)
+	}
 	w.env.Schedule(d, func() { w.deliver(dst, msg) })
 }
 
@@ -249,7 +289,12 @@ func (w *World) Post(src, dst, tag int, data any, size int64) {
 // invoking the rank's handler.
 func (w *World) deliver(dst int, msg *message) {
 	mb := w.mail[dst]
+	if w.obs != nil {
+		msg.deliverT = w.env.Now()
+		w.obs.MsgDeliver(msg.obsID, w.rankBase+msg.src, w.rankBase+dst, msg.tag, msg.size)
+	}
 	if mb.handler != nil {
+		w.obsMatch(dst, msg)
 		mb.handler(msg.src, msg.tag, msg.data, msg.size)
 		return
 	}
@@ -266,6 +311,7 @@ func (w *World) deliver(dst int, msg *message) {
 	for i, pr := range mb.recvs {
 		if matches(pr.src, pr.tag, msg) {
 			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
+			w.obsMatch(dst, msg)
 			w.env.WakeProc(pr.proc, msg)
 			return
 		}
@@ -273,6 +319,7 @@ func (w *World) deliver(dst int, msg *message) {
 	for i, ir := range mb.irecvs {
 		if matches(ir.src, ir.tag, msg) {
 			mb.irecvs = append(mb.irecvs[:i], mb.irecvs[i+1:]...)
+			w.obsMatch(dst, msg)
 			ir.req.complete(ir.comm, msg)
 			return
 		}
@@ -291,6 +338,7 @@ func (w *World) recv(p *simtime.Proc, rank, src, tag int) *message {
 		panic("simmpi: Recv on a rank with an event handler installed")
 	}
 	if msg := mb.takeArrived(src, tag); msg != nil {
+		w.obsMatch(rank, msg)
 		return msg
 	}
 	mb.recvs = append(mb.recvs, &pendingRecv{src: src, tag: tag, proc: p})
