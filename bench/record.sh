@@ -3,7 +3,7 @@
 # and per-figure wall-clock timings of the full quick sweep into
 # BENCH_sim.json, so the perf trajectory is tracked across PRs.
 #
-# Usage: bench/record.sh [output.json] [experiment] [scale] [sim-output.json] [obs-output.json]
+# Usage: bench/record.sh [output.json] [experiment] [scale] [sim-output.json] [obs-output.json] [faults-output.json]
 #
 # Defaults run the fig8 sweep at quick scale, which exercises the MPI
 # message layer, the task scheduler, and the DROM policies in a few
@@ -15,7 +15,9 @@
 # end-to-end simulator cost, host-dependent but comparable on one
 # machine across commits. The BENCH_obs.json pass times a quick fig9 run
 # with structured tracing off and on, recording the observability
-# overhead and the exported trace size.
+# overhead and the exported trace size. The BENCH_faults.json pass times
+# the quick resilience sweep against the fault-free fig8 point — the
+# wall-clock cost of the fault machinery end to end.
 set -eu
 
 out=${1:-BENCH_engine.json}
@@ -23,6 +25,7 @@ exp=${2:-fig8}
 scale=${3:-quick}
 simout=${4:-BENCH_sim.json}
 obsout=${5:-BENCH_obs.json}
+faultsout=${6:-BENCH_faults.json}
 
 cd "$(dirname "$0")/.."
 
@@ -48,5 +51,16 @@ awk -v off="$t0 $t1" -v on="$t1 $t2" -v bytes="$tracebytes" 'BEGIN {
     printf "  \"tracing_on_seconds\": %.3f,\n", b[2] - b[1];
     printf "  \"trace_bytes\": %d\n}\n", bytes;
 }' > "$obsout"
-rm -f /tmp/lbsim_bench /tmp/bench_obs_trace.json /tmp/bench_obs_metrics.json
+rm -f /tmp/bench_obs_trace.json /tmp/bench_obs_metrics.json
 echo "bench: wrote $obsout"
+
+t3=$(date +%s.%N)
+/tmp/lbsim_bench -exp resilience -scale quick >/dev/null
+t4=$(date +%s.%N)
+awk -v sweep="$t3 $t4" 'BEGIN {
+    split(sweep, s, " ");
+    printf "{\n  \"experiment\": \"resilience\",\n  \"scale\": \"quick\",\n";
+    printf "  \"sweep_wall_seconds\": %.3f\n}\n", s[2] - s[1];
+}' > "$faultsout"
+rm -f /tmp/lbsim_bench
+echo "bench: wrote $faultsout"

@@ -6,6 +6,8 @@
 //	lbsim -list
 //	lbsim -exp fig8 [-scale quick|default|paper] [-format table|csv|markdown]
 //	lbsim -all [-scale ...] [-parallel N]
+//	lbsim -faults storm [-scale quick]
+//	lbsim -faults plan.json -format csv
 //	lbsim -exp fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	lbsim -exp fig8 -enginestats -enginejson BENCH_engine.json
 //	lbsim -all -scale quick -simjson BENCH_sim.json
@@ -16,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,38 +28,58 @@ import (
 
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/experiments"
+	"ompsscluster/internal/faults"
 	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 )
 
 func main() {
-	var (
-		exp      = flag.String("exp", "", "experiment id (see -list)")
-		all      = flag.Bool("all", false, "run every experiment")
-		list     = flag.Bool("list", false, "list experiment ids")
-		scale    = flag.String("scale", "default", "scale: quick, default, or paper")
-		format   = flag.String("format", "table", "output format: table, csv, or markdown")
-		talp     = flag.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
-		outDir   = flag.String("out", "", "also write each result as CSV into this directory")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
-		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		engineStats = flag.Bool("enginestats", false, "print per-experiment event-engine stats to stderr")
-		engineJSON  = flag.String("enginejson", "", "write aggregate event-engine stats as JSON to this file")
-		simJSON     = flag.String("simjson", "", "write per-experiment wall-clock timings as JSON to this file")
-		traceOut    = flag.String("trace", "", "run the traced variant of -exp (fig5 or fig9) and write a Chrome/Perfetto trace JSON to this file")
-		metricsOut  = flag.String("metricsjson", "", "with the traced variant of -exp, write the aggregated metrics registry as JSON to this file")
+// run is main with its dependencies injected: flags are parsed from
+// args, output goes to the given writers, and every failure (bad flag,
+// unknown scale or experiment, unreadable plan file) is an error message
+// on stderr plus a non-zero return — never a panic or log.Fatal — so
+// the whole command line surface is unit-testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp       = fs.String("exp", "", "experiment id (see -list)")
+		all       = fs.Bool("all", false, "run every experiment")
+		list      = fs.Bool("list", false, "list experiment ids")
+		scale     = fs.String("scale", "default", "scale: quick, default, or paper")
+		format    = fs.String("format", "table", "output format: table, csv, or markdown")
+		talp      = fs.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
+		outDir    = fs.String("out", "", "also write each result as CSV into this directory")
+		parallel  = fs.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
+		faultPlan = fs.String("faults", "", "run the synthetic workload under this fault plan (JSON file or preset; see faults presets: "+strings.Join(faults.PresetNames(), ", ")+")")
+
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		engineStats = fs.Bool("enginestats", false, "print per-experiment event-engine stats to stderr")
+		engineJSON  = fs.String("enginejson", "", "write aggregate event-engine stats as JSON to this file")
+		simJSON     = fs.String("simjson", "", "write per-experiment wall-clock timings as JSON to this file")
+		traceOut    = fs.String("trace", "", "run the traced variant of -exp (fig5 or fig9) and write a Chrome/Perfetto trace JSON to this file")
+		metricsOut  = fs.String("metricsjson", "", "with the traced variant of -exp, write the aggregated metrics registry as JSON to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2 // the FlagSet already printed the problem and usage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lbsim:", err)
+		return 1
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -69,30 +92,27 @@ func main() {
 		}
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "lbsim:", err)
+			return
 		}
 		defer f.Close()
 		runtime.GC() // settle allocations so the profile reflects live heap
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "lbsim:", err)
 		}
 	}()
 
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
-		return
-	}
-	if *talp {
-		sc, err := scaleByName(*scale)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.TALPReport(sc))
-		return
+		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
+		return 0
 	}
 	sc, err := scaleByName(*scale)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	if *talp {
+		fmt.Fprint(stdout, experiments.TALPReport(sc))
+		return 0
 	}
 	sc.Parallel = *parallel
 	// One graph store and one engine-stats collector for the whole
@@ -101,76 +121,102 @@ func main() {
 	// across every run.
 	sc.Graphs = expander.NewStore("")
 	sc.Engine = simtime.NewStatsCollector()
-	if *traceOut != "" || *metricsOut != "" {
-		if *all || *exp == "" {
-			fatal(fmt.Errorf("-trace/-metricsjson need a single -exp with a traced variant (fig5 or fig9)"))
-		}
-		if err := writeTraces(*exp, sc, *traceOut, *metricsOut); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	report := &engineReport{Scale: *scale, Parallel: *parallel}
-	emit := func(r *experiments.Result) {
+
+	emit := func(r *experiments.Result) error {
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatal(err)
+				return err
 			}
 			path := filepath.Join(*outDir, r.ID+".csv")
 			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		switch *format {
 		case "table":
-			fmt.Println(r.Table())
+			fmt.Fprintln(stdout, r.Table())
 		case "csv":
-			fmt.Print(r.CSV())
+			fmt.Fprint(stdout, r.CSV())
 		case "markdown", "md":
-			fmt.Println(r.Markdown())
+			fmt.Fprintln(stdout, r.Markdown())
 		default:
-			fatal(fmt.Errorf("unknown format %q (table, csv, markdown)", *format))
+			return fmt.Errorf("unknown format %q (table, csv, markdown)", *format)
 		}
+		return nil
 	}
-	runOne := func(id string) {
+
+	if *faultPlan != "" {
+		plan, err := faults.Load(*faultPlan)
+		if err != nil {
+			return fail(err)
+		}
+		r := experiments.FaultDemo(sc, plan)
+		if emitErr := emit(r); emitErr != nil {
+			return fail(emitErr)
+		}
+		if r.Err != nil {
+			// The plan aborted the application (e.g. a crash event).
+			// The demo itself succeeded — the notes show the typed
+			// error — but flag it for scripts.
+			fmt.Fprintln(stderr, "lbsim: fault plan terminated the run:", r.Err)
+		}
+		return 0
+	}
+
+	if *traceOut != "" || *metricsOut != "" {
+		if *all || *exp == "" {
+			return fail(fmt.Errorf("-trace/-metricsjson need a single -exp with a traced variant (fig5 or fig9)"))
+		}
+		if err := writeTraces(*exp, sc, *traceOut, *metricsOut); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	report := &engineReport{Scale: *scale, Parallel: *parallel}
+	runOne := func(id string) error {
 		before := sc.Engine.Totals()
 		start := time.Now()
 		r, err := experiments.ByID(id, sc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		wall := time.Since(start)
 		d := sc.Engine.Totals().Sub(before)
 		report.add(id, r.Engine, d, wall)
 		if *engineStats {
-			fmt.Fprintf(os.Stderr, "lbsim: %s: %d runs, %s events (%.0f%% fast-path), %s events/sec of run-host time, registry hi-water %d intervals, wall %v\n",
+			fmt.Fprintf(stderr, "lbsim: %s: %d runs, %s events (%.0f%% fast-path), %s events/sec of run-host time, registry hi-water %d intervals, wall %v\n",
 				id, d.Runs, humanCount(d.Events), 100*d.FastPathFraction(),
 				humanCount(uint64(d.EventsPerSec())), d.RegistryHiWater,
 				wall.Round(time.Millisecond))
 		}
-		emit(r)
+		return emit(r)
 	}
 	switch {
 	case *all:
 		for _, id := range experiments.IDs() {
-			runOne(id)
+			if err := runOne(id); err != nil {
+				return fail(err)
+			}
 		}
 	case *exp != "":
-		runOne(*exp)
+		if err := runOne(*exp); err != nil {
+			return fail(err)
+		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	if *engineJSON != "" {
 		if err := report.write(*engineJSON, sc.Engine.Totals()); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *simJSON != "" {
 		if err := report.writeSim(*simJSON); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
+	return 0
 }
 
 // engineReport accumulates the per-experiment engine numbers destined for
@@ -324,9 +370,4 @@ func scaleByName(name string) (experiments.Scale, error) {
 		return experiments.PaperScale(), nil
 	}
 	return experiments.Scale{}, fmt.Errorf("unknown scale %q (quick, default, paper)", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lbsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exec runs the command line and captures exit code, stdout, and stderr.
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	code, _, stderr := exec(t, "-no-such-flag")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Errorf("stderr missing flag diagnostic: %q", stderr)
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	code, _, stderr := exec(t, "-exp", "fig8", "-scale", "huge")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown scale "huge"`) {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	code, _, stderr := exec(t, "-exp", "nope", "-scale", "quick")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown id "nope"`) {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestRunUnreadableFaultPlan(t *testing.T) {
+	code, _, stderr := exec(t, "-faults", "/no/such/plan.json", "-scale", "quick")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "neither a readable plan file") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestRunMalformedFaultPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"events": [{"kind": "slow", "at": "not-a-duration"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := exec(t, "-faults", path, "-scale", "quick")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad at duration") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestRunNoModeShowsUsage(t *testing.T) {
+	code, _, stderr := exec(t)
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-exp") {
+		t.Errorf("usage not printed: %q", stderr)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	code, stdout, _ := exec(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, id := range []string{"fig8", "headline", "resilience"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list missing %q", id)
+		}
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	code, _, stderr := exec(t, "-faults", "drainhelper", "-scale", "quick", "-format", "xml", "-parallel", "2")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown format "xml"`) {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+// TestRunFaultPreset is the quickstart path: a preset plan runs the
+// demo and prints both policies.
+func TestRunFaultPreset(t *testing.T) {
+	code, stdout, stderr := exec(t, "-faults", "drainhelper", "-scale", "quick", "-format", "csv", "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "static") || !strings.Contains(stdout, "lewi+global") {
+		t.Errorf("demo output missing series:\n%s", stdout)
+	}
+}

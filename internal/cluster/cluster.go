@@ -108,6 +108,18 @@ func (m *Machine) SetSpeed(node int, speed float64) {
 	m.Nodes[node].Speed = speed
 }
 
+// RemoveCores permanently removes k cores from a node (fault injection:
+// a partial hardware failure). At least one core always remains.
+func (m *Machine) RemoveCores(node, k int) {
+	if k <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive core removal %d on node %d", k, node))
+	}
+	if remaining := m.Nodes[node].Cores - k; remaining < 1 {
+		panic(fmt.Sprintf("cluster: removing %d cores from node %d leaves %d", k, node, remaining))
+	}
+	m.Nodes[node].Cores -= k
+}
+
 // TotalCores returns the total number of physical cores in the machine.
 func (m *Machine) TotalCores() int {
 	total := 0

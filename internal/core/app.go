@@ -101,6 +101,7 @@ func (app *App) Submit(spec TaskSpec) {
 func (app *App) TaskWait() {
 	ev := app.rt.env.NewEvent()
 	app.apprank.graph.OnQuiescent(func() { ev.Trigger(nil) })
+	app.comm.Proc().SetBlockReason("taskwait", int64(app.apprank.id), 0)
 	app.comm.Proc().Wait(ev)
 }
 
@@ -112,6 +113,7 @@ func (app *App) TaskWaitOn(accesses []nanos.Access) {
 	ev := app.rt.env.NewEvent()
 	sentinel := &nanos.Task{Label: "taskwait-on", Accesses: accesses}
 	app.apprank.waitOn(sentinel, func() { ev.Trigger(nil) })
+	app.comm.Proc().SetBlockReason("taskwait", int64(app.apprank.id), 1)
 	app.comm.Proc().Wait(ev)
 }
 

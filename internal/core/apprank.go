@@ -6,6 +6,7 @@ import (
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/nanos"
 	"ompsscluster/internal/obs"
+	"ompsscluster/internal/simtime"
 )
 
 // Apprank is one application rank: a home worker plus helper workers on
@@ -25,6 +26,14 @@ type Apprank struct {
 	offloaded    int64         // tasks started away from home
 	pendingWaits []pendingWait // taskwait-on sentinels
 	locBuf       nanos.LocVec  // reusable location vector for the hot scheduling path
+
+	// Fault-plan state (nil/zero on fault-free runs).
+	proc         *simtime.Proc          // the rank's main process, for crash kill
+	aborted      bool                   // application aborted by a node crash
+	finishedMain bool                   // main returned (its implicit taskwait passed)
+	stalled      bool                   // dispatch frozen by a stall fault
+	offRecs      []*offloadRec          // offload records in placement order
+	offByTask    map[*nanos.Task]*offloadRec
 }
 
 func newApprank(rt *ClusterRuntime, id, localRank, appIdx int, g *expander.Graph) *Apprank {
@@ -65,6 +74,9 @@ func (a *Apprank) workerOn(node int) *Worker {
 // threshold; otherwise hold centrally (tasks are then stolen as others
 // complete).
 func (a *Apprank) onReady(t *nanos.Task) {
+	if a.aborted {
+		return
+	}
 	if len(a.pendingWaits) > 0 && a.resolveWait(t) {
 		return
 	}
@@ -87,7 +99,7 @@ func (a *Apprank) onReady(t *nanos.Task) {
 	var alt *Worker
 	bestRatio := math.Inf(1)
 	for _, w := range a.workers {
-		if w == best || !w.underThreshold() {
+		if w == best || w.dead || !w.underThreshold() {
 			continue
 		}
 		cap := w.capacity()
@@ -149,6 +161,9 @@ func (a *Apprank) localityBest(loc nanos.LocVec) *Worker {
 	best := a.workers[0]
 	bestBytes := loc.On(a.home)
 	for _, w := range a.workers[1:] {
+		if w.dead {
+			continue
+		}
 		if b := loc.On(w.ns.id); b > bestBytes {
 			best, bestBytes = w, b
 		}
@@ -190,11 +205,20 @@ func (a *Apprank) assign(w *Worker, t *nanos.Task, loc nanos.LocVec) {
 		rt.stats.Transfers++
 	}
 	if w.ns.id == a.home && dataDelay == 0 {
+		if rt.flt != nil {
+			// A task pulled back home (recovery's local fallback, or a
+			// plain home assignment) no longer needs tracking.
+			a.retireOffload(t)
+		}
 		w.enqueue(t)
 		return
 	}
 	ctl := int64(rt.cfg.Machine.Net.TransferTime(a.home, w.ns.id, rt.cfg.CtlMsgBytes))
 	w.inflight++
+	if rt.flt != nil {
+		a.dispatchOffload(w, t, simtimeDuration(ctl+dataDelay))
+		return
+	}
 	rt.env.Schedule(simtimeDuration(ctl+dataDelay), func() {
 		w.inflight--
 		w.enqueue(t)
@@ -212,6 +236,9 @@ func (a *Apprank) refillAll() {
 // refill lets worker w steal centrally queued tasks while it is under the
 // scheduling threshold ("will be stolen as tasks complete", §5.5).
 func (a *Apprank) refill(w *Worker) {
+	if w.dead || a.aborted {
+		return
+	}
 	for a.queue.Len() > 0 && w.underThreshold() {
 		t := a.queue.Pop()
 		a.assign(w, t, a.dataLocation(t))
@@ -242,6 +269,12 @@ func (a *Apprank) borrowRefill(w *Worker) {
 // finishTask runs at the apprank's home when a task completion becomes
 // visible there, releasing successors in the dependency graph.
 func (a *Apprank) finishTask(t *nanos.Task) {
+	if a.rt.flt != nil {
+		if a.aborted {
+			return
+		}
+		a.retireOffload(t)
+	}
 	a.graph.Complete(t)
 }
 

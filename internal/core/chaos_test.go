@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/faults"
 	"ompsscluster/internal/nanos"
 	"ompsscluster/internal/simtime"
 )
@@ -102,6 +104,151 @@ func TestQuickChaos(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPlan builds a random but valid fault plan: a mix of slowdowns,
+// link episodes, core losses, stalls, and drains (no crashes — those
+// abort by design and are exercised separately).
+func randomPlan(rng *rand.Rand, nodes, appranks int) *faults.Plan {
+	p := &faults.Plan{Name: "chaos"}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		at := simtime.Duration(5+rng.Intn(60)) * simtime.Millisecond
+		until := at + simtime.Duration(10+rng.Intn(80))*simtime.Millisecond
+		switch rng.Intn(5) {
+		case 0:
+			p.Events = append(p.Events, faults.Event{
+				Kind: faults.Slow, At: at, Until: until,
+				Node: rng.Intn(nodes), Speed: 0.25 + rng.Float64()*0.7,
+			})
+		case 1:
+			a := rng.Intn(nodes)
+			b := (a + 1 + rng.Intn(nodes-1)) % nodes
+			p.Events = append(p.Events, faults.Event{
+				Kind: faults.Link, At: at, Until: until, Node: a, NodeB: b,
+				Delay:  simtime.Duration(rng.Intn(3)) * simtime.Millisecond,
+				Jitter: simtime.Duration(rng.Intn(1000)) * simtime.Microsecond,
+				Drop:   rng.Float64() * 0.3,
+			})
+		case 2:
+			p.Events = append(p.Events, faults.Event{
+				Kind: faults.CoreLoss, At: at, Node: rng.Intn(nodes), Cores: 1 + rng.Intn(2),
+			})
+		case 3:
+			p.Events = append(p.Events, faults.Event{
+				Kind: faults.Stall, At: at, Until: until, Apprank: rng.Intn(appranks),
+			})
+		case 4:
+			p.Events = append(p.Events, faults.Event{
+				Kind: faults.Drain, At: at, Node: rng.Intn(nodes),
+			})
+		}
+	}
+	return p
+}
+
+// TestQuickFaultChaos runs randomized configurations under randomized
+// fault plans and checks, after every injected fault edge and at the
+// end, that the arbiters and dependency graphs stay consistent, the run
+// terminates, and no task is lost.
+func TestQuickFaultChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 3 + rng.Intn(3)
+		cores := 3 + rng.Intn(4)
+		degree := 2 + rng.Intn(2)
+		if degree > nodes {
+			degree = nodes
+		}
+		for degree > cores {
+			degree--
+		}
+		cfg := Config{
+			Machine:      cluster.New(nodes, cores, cluster.DefaultNet()),
+			Degree:       degree,
+			LeWI:         rng.Intn(2) == 0,
+			DROM:         DROMMode(rng.Intn(3)),
+			GlobalPeriod: simtime.Duration(10+rng.Intn(50)) * simtime.Millisecond,
+			LocalPeriod:  simtime.Duration(5+rng.Intn(30)) * simtime.Millisecond,
+			Seed:         seed,
+			Faults:       randomPlan(rng, nodes, nodes),
+		}
+		var rt *ClusterRuntime
+		checkInvariants := func() error {
+			for _, ns := range rt.nodes {
+				if ns.dead {
+					continue
+				}
+				if err := ns.arb.CheckInvariants(); err != nil {
+					return err
+				}
+			}
+			for _, a := range rt.appranks {
+				if a.aborted {
+					continue
+				}
+				sub, comp, out := a.graph.Stats()
+				if sub != comp+int64(out) {
+					return fmt.Errorf("apprank %d: submitted %d != completed %d + outstanding %d",
+						a.id, sub, comp, out)
+				}
+			}
+			return nil
+		}
+		var faultErr error
+		cfg.OnFault = func(ev faults.Event, phase faults.Phase) {
+			if faultErr == nil {
+				if err := checkInvariants(); err != nil {
+					faultErr = fmt.Errorf("after %s/%d: %w", ev.Kind, phase, err)
+				}
+			}
+		}
+		rt, err := New(cfg)
+		if err != nil {
+			t.Logf("seed %d: config rejected: %v", seed, err)
+			return false
+		}
+		var wantTasks int64
+		perRank := make([]int, nodes)
+		for a := range perRank {
+			perRank[a] = rng.Intn(30)
+			wantTasks += int64(perRank[a])
+		}
+		seedBase := seed
+		err = rt.Run(func(app *App) {
+			r := rand.New(rand.NewSource(seedBase + int64(app.Rank())))
+			for i := 0; i < perRank[app.Rank()]; i++ {
+				reg := app.Alloc(1 << 10)
+				app.Submit(TaskSpec{
+					Label:       "chaos",
+					Work:        simtime.Duration(r.Intn(8)+1) * simtime.Millisecond,
+					Accesses:    []nanos.Access{{Region: reg, Mode: nanos.InOut}},
+					Offloadable: r.Intn(5) != 0,
+				})
+			}
+			app.TaskWait()
+		})
+		if faultErr != nil {
+			t.Logf("seed %d: invariant broken %v", seed, faultErr)
+			return false
+		}
+		if err != nil {
+			t.Logf("seed %d: run failed: %v", seed, err)
+			return false
+		}
+		if err := checkInvariants(); err != nil {
+			t.Logf("seed %d: final invariants: %v", seed, err)
+			return false
+		}
+		if got := rt.TotalTasks(); got != wantTasks {
+			t.Logf("seed %d: completed %d tasks, want %d", seed, got, wantTasks)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"ompsscluster/internal/balance"
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/expander"
+	"ompsscluster/internal/faults"
 	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 	"ompsscluster/internal/trace"
@@ -141,6 +142,28 @@ type Config struct {
 	// (§5.2's sketched extension). Typically used with Degree 1.
 	Dynamic DynamicConfig
 
+	// Faults, when non-nil, arms a deterministic fault plan on the run:
+	// node slowdowns, core loss, flaky links, apprank stalls, node
+	// crashes and helper drains, all at fixed virtual times (the plan is
+	// bound to Seed, so probabilistic link decisions are reproducible).
+	// When nil — the default — every resilience code path is bypassed
+	// and the schedule is byte-identical to a build without this
+	// subsystem.
+	Faults *faults.Plan
+	// FaultRetryBudget is how many times an offloaded task is re-placed
+	// on another helper after a deadline expiry or target death before
+	// falling back to local execution at home. Default 3.
+	FaultRetryBudget int
+	// OffloadDeadline is the completion deadline carried by offloaded
+	// tasks under a fault plan. Zero derives a per-task deadline from
+	// the task's work. Deadlines are health-checked, not preemptive: a
+	// task observed running on a live node has its deadline extended.
+	OffloadDeadline simtime.Duration
+	// OnFault, when non-nil, is invoked synchronously after every fault
+	// event application (both edges). Tests use it to check invariants
+	// at each transition.
+	OnFault func(ev faults.Event, phase faults.Phase)
+
 	// CustomPolicy, when non-nil, replaces the built-in DROM policies
 	// with a user-provided core allocator, invoked every LocalPeriod
 	// with the smoothed busy measurements (DROM is ignored). This is the
@@ -206,6 +229,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SamplePeriod == 0 {
 		c.SamplePeriod = 50 * simtime.Millisecond
+	}
+	if c.FaultRetryBudget == 0 {
+		c.FaultRetryBudget = 3
+	}
+	if c.FaultRetryBudget < 0 {
+		return c, fmt.Errorf("core: negative FaultRetryBudget")
+	}
+	if c.OffloadDeadline < 0 {
+		return c, fmt.Errorf("core: negative OffloadDeadline")
 	}
 	// Every worker must be able to own one core: workers per node =
 	// AppranksPerNode * Degree.

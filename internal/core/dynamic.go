@@ -78,6 +78,9 @@ func (rt *ClusterRuntime) growStep() {
 		threshold = 1.0
 	}
 	for _, a := range rt.appranks {
+		if a.aborted || a.stalled {
+			continue
+		}
 		owned := 0
 		totalLoad := a.queue.Len()
 		totalCap := 0
@@ -125,7 +128,7 @@ func (rt *ClusterRuntime) growStep() {
 func (rt *ClusterRuntime) bestGrowthNode(a *Apprank) int {
 	best, bestIdle := -1, -1
 	for _, ns := range rt.nodes {
-		if a.workerOn(ns.id) != nil {
+		if ns.dead || a.workerOn(ns.id) != nil {
 			continue
 		}
 		if len(ns.workers) >= ns.arb.Cores() {

@@ -38,3 +38,30 @@ func (q *taskFIFO) Pop() *nanos.Task {
 	}
 	return t
 }
+
+// Remove deletes the first occurrence of t, preserving FIFO order, and
+// reports whether it was present (the fault-recovery path pulls a task
+// out of a dead worker's queue).
+func (q *taskFIFO) Remove(t *nanos.Task) bool {
+	for i := q.head; i < len(q.buf); i++ {
+		if q.buf[i] != t {
+			continue
+		}
+		copy(q.buf[i:], q.buf[i+1:])
+		q.buf[len(q.buf)-1] = nil
+		q.buf = q.buf[:len(q.buf)-1]
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+		}
+		return true
+	}
+	return false
+}
+
+// Clear empties the queue.
+func (q *taskFIFO) Clear() {
+	clear(q.buf)
+	q.buf = q.buf[:0]
+	q.head = 0
+}

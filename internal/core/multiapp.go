@@ -86,7 +86,9 @@ func NewMulti(cfg Config, specs []AppSpec) (*ClusterRuntime, error) {
 			return nil, err
 		}
 	}
-	rt.finishConstruction()
+	if err := rt.finishConstruction(); err != nil {
+		return nil, err
+	}
 	return rt, nil
 }
 
@@ -147,11 +149,12 @@ func (rt *ClusterRuntime) RunAll() error {
 		st := st
 		for _, a := range st.ranks {
 			a := a
-			st.world.Spawn(a.localRank, func(c *simmpi.Comm) {
+			a.proc = st.world.Spawn(a.localRank, func(c *simmpi.Comm) {
 				app := &App{rt: rt, apprank: a, comm: c}
 				rt.talp.StartApp(a.id, rt.env.Now())
 				st.spec.Main(app)
 				app.TaskWait()
+				a.finishedMain = true
 				rt.activeApps--
 				if rt.activeApps == 0 {
 					rt.finishedAt = rt.env.Now()

@@ -28,6 +28,7 @@ type ClusterRuntime struct {
 	started    bool
 	finishedAt simtime.Time
 	dyn        *dynamicState
+	flt        *faultState // nil unless Config.Faults is set
 	stats      RunStats
 }
 
@@ -45,6 +46,10 @@ type RunStats struct {
 	// OwnershipChanges counts workers whose core ownership changed in a
 	// policy application.
 	OwnershipChanges int64
+	// FaultEvents counts applied fault-plan edges (inject + recover).
+	FaultEvents int64
+	// Reoffloads counts recovery re-placements of offloaded tasks.
+	Reoffloads int64
 }
 
 // nodeState groups the per-node runtime structures.
@@ -53,7 +58,8 @@ type nodeState struct {
 	id      int
 	arb     *dlb.NodeArbiter
 	workers []*Worker
-	rr      int // round-robin start index for fairness in dispatch
+	rr      int  // round-robin start index for fairness in dispatch
+	dead    bool // crashed by a fault plan
 	queued  bool
 	// dispatchFn is the deduplicated dispatch-pass callback, allocated
 	// once here instead of per scheduleDispatch call.
@@ -76,7 +82,9 @@ func New(cfg Config) (*ClusterRuntime, error) {
 	}); err != nil {
 		return nil, err
 	}
-	rt.finishConstruction()
+	if err := rt.finishConstruction(); err != nil {
+		return nil, err
+	}
 	return rt, nil
 }
 
@@ -123,14 +131,19 @@ func newRuntime(cfg Config) (*ClusterRuntime, error) {
 	return rt, nil
 }
 
-// finishConstruction installs ownership, policies, and (when enabled)
-// dynamic spreading, once every application's workers are registered.
-func (rt *ClusterRuntime) finishConstruction() {
+// finishConstruction installs ownership, policies, (when enabled)
+// dynamic spreading, and the fault plan, once every application's
+// workers are registered.
+func (rt *ClusterRuntime) finishConstruction() error {
 	rt.installInitialOwnership()
 	rt.installPolicies()
 	if rt.cfg.Dynamic.Enabled {
 		rt.installDynamicSpreading()
 	}
+	if rt.cfg.Faults != nil {
+		return rt.armFaults()
+	}
+	return nil
 }
 
 // MustNew is New, panicking on error.
@@ -226,8 +239,14 @@ func (rt *ClusterRuntime) runPolicy(pol Allocator) {
 	alpha := rt.cfg.BusyEMA
 	prob := &balance.Problem{}
 	for _, ns := range rt.nodes {
+		if ns.dead || ns.liveWorkers() == 0 {
+			continue // crashed or fully drained: nothing to allocate
+		}
 		prob.Nodes = append(prob.Nodes, balance.NodeInfo{ID: ns.id, Cores: ns.arb.Cores()})
 		for _, w := range ns.workers {
+			if w.dead {
+				continue
+			}
 			sample := ns.arb.TakeBusyAverage(w.wid, now)
 			w.busySmooth = alpha*sample + (1-alpha)*w.busySmooth
 			prob.Workers = append(prob.Workers, balance.WorkerLoad{
@@ -243,8 +262,14 @@ func (rt *ClusterRuntime) runPolicy(pol Allocator) {
 		panic(fmt.Sprintf("core: policy failed at %v: %v", now, err))
 	}
 	for _, ns := range rt.nodes {
+		if ns.dead || ns.liveWorkers() == 0 {
+			continue
+		}
 		owned := make([]int, len(ns.workers))
 		for i, w := range ns.workers {
+			if w.dead {
+				continue // retired workers keep zero ownership
+			}
 			owned[i] = alloc[balance.WorkerKey{Apprank: w.app.id, Node: ns.id}]
 			if owned[i] != ns.arb.Owned(w.wid) {
 				rt.stats.OwnershipChanges++
@@ -304,8 +329,14 @@ func (rt *ClusterRuntime) runGlobalPartitioned(pol balance.GlobalPolicy) {
 		grp := grp
 		prob := &balance.Problem{}
 		for _, ns := range grp {
+			if ns.dead || ns.liveWorkers() == 0 {
+				continue
+			}
 			prob.Nodes = append(prob.Nodes, balance.NodeInfo{ID: ns.id, Cores: ns.arb.Cores()})
 			for _, w := range ns.workers {
+				if w.dead {
+					continue
+				}
 				sample := ns.arb.TakeBusyAverage(w.wid, now)
 				w.busySmooth = alpha*sample + (1-alpha)*w.busySmooth
 				prob.Workers = append(prob.Workers, balance.WorkerLoad{
@@ -315,6 +346,9 @@ func (rt *ClusterRuntime) runGlobalPartitioned(pol balance.GlobalPolicy) {
 				})
 			}
 		}
+		if len(prob.Nodes) == 0 {
+			continue
+		}
 		apply := func() {
 			rt.stats.PolicyRuns++
 			alloc, err := pol.Allocate(prob)
@@ -322,8 +356,14 @@ func (rt *ClusterRuntime) runGlobalPartitioned(pol balance.GlobalPolicy) {
 				panic(fmt.Sprintf("core: global policy failed at %v: %v", rt.env.Now(), err))
 			}
 			for _, ns := range grp {
+				if ns.dead || ns.liveWorkers() == 0 {
+					continue
+				}
 				owned := make([]int, len(ns.workers))
 				for i, w := range ns.workers {
+					if w.dead {
+						continue
+					}
 					owned[i] = alloc[balance.WorkerKey{Apprank: w.app.id, Node: ns.id}]
 					if owned[i] != ns.arb.Owned(w.wid) {
 						rt.stats.OwnershipChanges++
@@ -374,6 +414,10 @@ func (rt *ClusterRuntime) sendCtl(from, to int, bytes int64, fn func()) {
 	rt.stats.CtlMessages++
 	rt.cfg.Obs.CtlMsg(from, to, bytes)
 	d := rt.cfg.Machine.Net.TransferTime(from, to, bytes)
+	if rt.flt != nil {
+		rt.scheduleLinked(from, to, d, fn)
+		return
+	}
 	rt.env.Schedule(d, fn)
 }
 
@@ -396,12 +440,13 @@ func (rt *ClusterRuntime) Run(main func(app *App)) error {
 	rt.activeApps = len(st.ranks)
 	for _, a := range st.ranks {
 		a := a
-		st.world.Spawn(a.localRank, func(c *simmpi.Comm) {
+		a.proc = st.world.Spawn(a.localRank, func(c *simmpi.Comm) {
 			app := &App{rt: rt, apprank: a, comm: c}
 			rt.talp.StartApp(a.id, rt.env.Now())
 			main(app)
 			// Implicit taskwait at the end of main, as in OmpSs-2.
 			app.TaskWait()
+			a.finishedMain = true
 			rt.activeApps--
 			if rt.activeApps == 0 {
 				rt.finishedAt = rt.env.Now()
@@ -426,10 +471,16 @@ func (rt *ClusterRuntime) finishRun() error {
 	if err != nil {
 		return err
 	}
-	if live := rt.env.LiveProcs(); len(live) > 0 {
-		return fmt.Errorf("core: deadlock, processes still blocked: %v", live)
+	if rt.flt != nil && rt.flt.abortErr != nil {
+		return rt.flt.abortErr
+	}
+	if dl := rt.env.Deadlock(); dl != nil {
+		return dl
 	}
 	for _, a := range rt.appranks {
+		if a.aborted {
+			continue
+		}
 		if _, _, out := a.graph.Stats(); out != 0 {
 			return fmt.Errorf("core: apprank %d finished with %d tasks outstanding", a.id, out)
 		}

@@ -21,6 +21,12 @@ type Worker struct {
 	inflight   int      // assigned, input data still in transit
 	running    int
 	busySmooth float64 // exponentially smoothed busy-core average
+
+	// Fault-plan state (zero on fault-free runs): a dead worker's node
+	// runtime died (drain/crash); epoch stamps in-flight completion
+	// closures so a death invalidates them.
+	dead  bool
+	epoch uint64
 }
 
 // isHome reports whether this is the apprank's main worker.
@@ -71,6 +77,19 @@ func (w *Worker) start() {
 	work := t.Work + simtime.Duration(rt.cfg.OverheadFrac*float64(t.Work))
 	exec := rt.cfg.Machine.ExecTime(w.ns.id, work) + rt.cfg.OverheadFixed
 	rt.talp.AddUseful(w.app.id, float64(exec))
+	if rt.flt != nil {
+		// The completion closure is only valid while the worker lives:
+		// if the node dies mid-task the recovery path force-finishes and
+		// re-places the task, and this closure must become a no-op.
+		epoch := w.epoch
+		rt.env.Schedule(exec, func() {
+			if w.epoch != epoch {
+				return
+			}
+			w.complete(t)
+		})
+		return
+	}
 	rt.env.Schedule(exec, func() { w.complete(t) })
 }
 
@@ -87,6 +106,9 @@ func (w *Worker) complete(t *nanos.Task) {
 	} else {
 		// The completion notification travels back to the apprank's home
 		// node before successors are released there.
+		if rt.flt != nil {
+			a.markCompletedRemote(t)
+		}
 		rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, func() { a.finishTask(t) })
 	}
 	// Steal centrally held tasks now that this worker has room ("will be
@@ -119,6 +141,9 @@ func (ns *nodeState) dispatch() {
 		changed = false
 		for k := 0; k < n; k++ {
 			w := ns.workers[(ns.rr+k)%n]
+			if w.dead || w.app.stalled {
+				continue
+			}
 			for w.queued.Len() > 0 && ns.arb.CanStartOwned(w.wid) {
 				w.start()
 				changed = true
@@ -126,6 +151,9 @@ func (ns *nodeState) dispatch() {
 		}
 		for k := 0; k < n; k++ {
 			w := ns.workers[(ns.rr+k)%n]
+			if w.dead || w.app.stalled {
+				continue
+			}
 			// An idle lent core polls the apprank's central queue
 			// directly: this is how LeWI-borrowed cores keep receiving
 			// work beyond the owned-core threshold.

@@ -55,7 +55,11 @@ type NodeArbiter struct {
 	lewi         bool
 	workers      []workerState
 	totalRunning int
-	obs          *obs.Recorder
+	// overbooked counts tasks still running on cores revoked by SetCores
+	// (tasks are non-preemptive, so a core loss takes full effect only
+	// as the running tasks drain at their boundaries).
+	overbooked int
+	obs        *obs.Recorder
 }
 
 // SetObs attaches the structured event recorder. Ownership changes and
@@ -116,6 +120,38 @@ func (a *NodeArbiter) SetOwned(owned []int) {
 	}
 }
 
+// SetCores shrinks the node's physical core count after a fault removes
+// cores (growth is not modelled). Tasks already running on revoked
+// cores are not preempted; they are accounted as overbooked and the
+// excess drains at task boundaries (Finish). The caller must follow up
+// with SetOwned so ownership sums to the new core count.
+func (a *NodeArbiter) SetCores(cores int) {
+	if cores < 0 || cores > a.cores {
+		panic(fmt.Sprintf("dlb: SetCores %d on node %d with %d cores (shrink only)", cores, a.node, a.cores))
+	}
+	a.cores = cores
+	if over := a.totalRunning - a.cores; over > a.overbooked {
+		a.overbooked = over
+	}
+}
+
+// Shutdown retires the node entirely: zero cores, zero ownership. The
+// caller must have drained all running tasks first. A dead node's
+// invariants hold trivially (sums of zero), so fleet-wide checks need
+// no special case.
+func (a *NodeArbiter) Shutdown() {
+	if a.totalRunning != 0 {
+		panic(fmt.Sprintf("dlb: shutdown of node %d with %d tasks running", a.node, a.totalRunning))
+	}
+	a.cores = 0
+	a.overbooked = 0
+	for i := range a.workers {
+		old := a.workers[i].owned
+		a.workers[i].owned = 0
+		a.obs.OwnershipSet(a.node, i, old, 0)
+	}
+}
+
 // EmitOwnership re-emits the current ownership of every worker as OwnSet
 // events (old == new). The runtime calls it when the worker set changes
 // without a reassignment — e.g. a dynamically grown helper joining with
@@ -147,8 +183,14 @@ func (a *NodeArbiter) Running(w WorkerID) int { return a.workers[w].running }
 // TotalRunning returns the number of busy cores on the node.
 func (a *NodeArbiter) TotalRunning() int { return a.totalRunning }
 
-// IdleCores returns the number of idle cores on the node.
-func (a *NodeArbiter) IdleCores() int { return a.cores - a.totalRunning }
+// IdleCores returns the number of idle cores on the node (zero while
+// revoked cores are still draining their last tasks).
+func (a *NodeArbiter) IdleCores() int {
+	if idle := a.cores - a.totalRunning; idle > 0 {
+		return idle
+	}
+	return 0
+}
 
 // CanStartOwned reports whether w may start a task on a core it owns: it
 // is below its ownership and a physical core is free. (If it is below its
@@ -189,6 +231,15 @@ func (a *NodeArbiter) Finish(w WorkerID, now simtime.Time) {
 	borrowed := a.workers[w].running > a.workers[w].owned
 	a.workers[w].running--
 	a.totalRunning--
+	if a.overbooked > 0 {
+		// A revoked core just freed up; the overbooking debt shrinks
+		// toward whatever excess remains.
+		if over := a.totalRunning - a.cores; over < 0 {
+			a.overbooked = 0
+		} else if over < a.overbooked {
+			a.overbooked = over
+		}
+	}
 	if borrowed {
 		a.obs.CoreReturn(a.node, int(w), a.workers[w].running)
 	}
@@ -263,8 +314,9 @@ func (a *NodeArbiter) CheckInvariants() error {
 	if sumRunning != a.totalRunning {
 		return fmt.Errorf("dlb: running sum %d != total %d", sumRunning, a.totalRunning)
 	}
-	if a.totalRunning > a.cores {
-		return fmt.Errorf("dlb: node %d oversubscribed: %d running on %d cores", a.node, a.totalRunning, a.cores)
+	if a.totalRunning > a.cores+a.overbooked {
+		return fmt.Errorf("dlb: node %d oversubscribed: %d running on %d cores (+%d overbooked)",
+			a.node, a.totalRunning, a.cores, a.overbooked)
 	}
 	if sumOwned != a.cores && sumOwned != 0 {
 		return fmt.Errorf("dlb: ownership sum %d != %d cores", sumOwned, a.cores)

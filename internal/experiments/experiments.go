@@ -77,6 +77,12 @@ type Result struct {
 	// (populated by ByID; zero when a figure function is called
 	// directly without a collector).
 	Engine EngineStats
+	// Err records the first typed runtime error any run behind the
+	// figure surfaced (a simtime.DeadlockError, a core.AbortError from a
+	// crash fault, ...) instead of panicking; the affected runs simply
+	// contribute no point. Figures that tolerate failing runs (the
+	// resilience sweep, FaultDemo) populate it.
+	Err error
 }
 
 // Get returns the series with the given label.
@@ -345,6 +351,7 @@ func All(sc Scale) []*Result {
 		Fig11(sc),
 		Fig9(sc),
 		Headline(sc),
+		Resilience(sc),
 	}
 }
 
@@ -362,6 +369,7 @@ func ByID(id string, sc Scale) (*Result, error) {
 		"fig10":               Fig10,
 		"fig11":               Fig11,
 		"headline":            Headline,
+		"resilience":          Resilience,
 		"ablation-taskspc":    AblationTasksPerCore,
 		"ablation-borrowed":   AblationCountBorrowed,
 		"ablation-graphshape": AblationGraphShape,
@@ -400,7 +408,7 @@ func ByID(id string, sc Scale) (*Result, error) {
 // IDs lists the available experiment ids.
 func IDs() []string {
 	return []string{"fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "headline",
+		"fig10", "fig11", "headline", "resilience",
 		"ablation-taskspc", "ablation-borrowed", "ablation-graphshape",
 		"ablation-period", "ablation-incentive", "ablation-orbweights",
 		"ext-dynamic", "ext-partition", "ext-dvfs"}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/faults"
+)
+
+// TestResilienceSweep sanity-checks the sweep: both series cover every
+// intensity, no run fails, and the fault-free point matches between the
+// two policies' baselines being distinct runs (static is slower or equal
+// under faults than fault-free — faults cost time).
+func TestResilienceSweep(t *testing.T) {
+	res := Resilience(qs())
+	if res.Err != nil {
+		t.Fatalf("sweep reported error: %v", res.Err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("series %q has %d points, want 5", s.Label, len(s.Points))
+		}
+		base, ok := s.Lookup(0)
+		if !ok || base <= 0 {
+			t.Fatalf("series %q missing fault-free baseline", s.Label)
+		}
+		worst, ok := s.Lookup(2.0)
+		if !ok {
+			t.Fatalf("series %q missing intensity 2 point", s.Label)
+		}
+		if worst < base {
+			t.Errorf("series %q: full fault intensity faster than fault-free (%v < %v)",
+				s.Label, worst, base)
+		}
+	}
+}
+
+// TestResilienceCSVDeterminism pins satellite 6: the resilience CSV is
+// byte-identical between a sequential sweep and a parallel one, so the
+// fault machinery (hashed link decisions, per-run bound plans) is free
+// of cross-run state.
+func TestResilienceCSVDeterminism(t *testing.T) {
+	seq := qs()
+	seq.Parallel = 1
+	par := qs()
+	par.Parallel = 8
+	a := Resilience(seq)
+	b := Resilience(par)
+	if a.CSV() != b.CSV() {
+		t.Errorf("resilience CSV differs between -parallel 1 and -parallel 8:\nseq:\n%s\npar:\n%s",
+			a.CSV(), b.CSV())
+	}
+}
+
+// TestFaultDemoCrashSurfacesTypedError: a crash plan aborts the run by
+// design; FaultDemo must report the typed error on Result.Err instead
+// of panicking, and still emit a note per policy.
+func TestFaultDemoCrashSurfacesTypedError(t *testing.T) {
+	plan, ok := faults.Preset("crashnode")
+	if !ok {
+		t.Fatal("crashnode preset missing")
+	}
+	res := FaultDemo(qs(), plan)
+	var abort *core.AbortError
+	if !errors.As(res.Err, &abort) {
+		t.Fatalf("Result.Err = %v, want core.AbortError", res.Err)
+	}
+	if len(res.Notes) != 2 {
+		t.Fatalf("got %d notes, want 2 (one per policy)", len(res.Notes))
+	}
+}
+
+// TestFaultDemoPreset runs the drain preset end to end: both policies
+// finish, and the notes carry the fault and re-offload counters.
+func TestFaultDemoPreset(t *testing.T) {
+	plan, ok := faults.Preset("drainhelper")
+	if !ok {
+		t.Fatal("drainhelper preset missing")
+	}
+	res := FaultDemo(qs(), plan)
+	if res.Err != nil {
+		t.Fatalf("FaultDemo failed: %v", res.Err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(res.Series))
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "fault events") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("notes missing fault counters")
+	}
+}

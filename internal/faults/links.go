@@ -1,0 +1,110 @@
+package faults
+
+import "ompsscluster/internal/simtime"
+
+// splitmix64 is the finaliser of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash64 folds the words into a single uniform uint64, mixing after
+// every word so field order matters.
+func Hash64(words ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return h
+}
+
+// Uniform01 maps a hash onto [0,1) with 53-bit resolution.
+func Uniform01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// Salts separating the hash domains of independent decisions.
+const (
+	saltDrop   = 0x11
+	saltJitter = 0x22
+)
+
+// Links conditions point-to-point traffic according to the link
+// episodes of a bound plan. It is stateless apart from the episode
+// list, so concurrent runs (one Links each) never interact.
+type Links struct {
+	seed        uint64
+	episodes    []Event // Kind == Link only
+	maxAttempts int
+	backoff     simtime.Duration
+}
+
+// NewLinks extracts the link episodes from a bound plan. Returns nil
+// when the plan has none, so callers can nil-check to skip conditioning
+// entirely.
+func NewLinks(p *Plan) *Links {
+	var eps []Event
+	for _, ev := range p.Events {
+		if ev.Kind == Link {
+			eps = append(eps, ev)
+		}
+	}
+	if len(eps) == 0 {
+		return nil
+	}
+	return &Links{seed: p.Seed, episodes: eps, maxAttempts: p.MaxAttempts, backoff: p.Backoff}
+}
+
+// matches reports whether the episode conditions traffic between a and
+// b (either direction) at virtual time now.
+func (ev *Event) matches(now simtime.Time, a, b int) bool {
+	if simtime.Time(ev.At) > now || now >= simtime.Time(ev.Until) {
+		return false
+	}
+	return (ev.Node == a && ev.NodeB == b) || (ev.Node == b && ev.NodeB == a)
+}
+
+// Condition returns the extra latency for one delivery attempt of
+// message seq between nodes a and b at virtual time now, and whether
+// the attempt is dropped. Both are pure functions of (seed, seq,
+// attempt) so replays and parallel sweeps agree bit-for-bit.
+func (l *Links) Condition(now simtime.Time, a, b int, seq uint64, attempt int) (extra simtime.Duration, drop bool) {
+	for i := range l.episodes {
+		ev := &l.episodes[i]
+		if !ev.matches(now, a, b) {
+			continue
+		}
+		extra += ev.Delay
+		if ev.Jitter > 0 {
+			h := Hash64(l.seed, saltJitter, uint64(i), seq, uint64(attempt))
+			extra += simtime.Duration(Uniform01(h) * float64(ev.Jitter))
+		}
+		if ev.Drop > 0 {
+			h := Hash64(l.seed, saltDrop, uint64(i), seq, uint64(attempt))
+			if Uniform01(h) < ev.Drop {
+				drop = true
+			}
+		}
+	}
+	return extra, drop
+}
+
+// MaxAttempts is the send-attempt budget before a message is abandoned
+// (the deadlock detector then names the receiver left blocked).
+func (l *Links) MaxAttempts() int { return l.maxAttempts }
+
+// BackoffDelay is the exponential resend backoff before attempt n
+// (n ≥ 1): base << (n-1), capped to keep the shift sane.
+func (l *Links) BackoffDelay(attempt int) simtime.Duration {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16
+	}
+	return l.backoff << uint(shift)
+}

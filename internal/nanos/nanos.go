@@ -211,6 +211,19 @@ func (g *TaskGraph) MarkRunning(t *Task, node int) {
 	t.ExecNode = node
 }
 
+// Reschedule returns a running task to the ready state without
+// releasing successors, for re-execution after its node died mid-task.
+// The execution node is cleared; the task is NOT re-announced through
+// onReady — the caller re-places it explicitly (recovery placement is a
+// policy decision, not a readiness event).
+func (g *TaskGraph) Reschedule(t *Task) {
+	if t.state != Running {
+		panic(fmt.Sprintf("nanos: Reschedule on %v task %q", t.state, t.Label))
+	}
+	t.state = Ready
+	t.ExecNode = -1
+}
+
 // Complete transitions a task to completed, releases its successors, and
 // fires quiescence callbacks if the graph drained.
 func (g *TaskGraph) Complete(t *Task) {

@@ -35,6 +35,7 @@ const (
 	chromeCounterPid = 9000
 	chromeDlbTid     = 999
 	chromeCtlTid     = 997
+	chromeFaultTid   = 995
 	pidStride        = 10000
 )
 
@@ -140,11 +141,19 @@ func writeRecorder(cw *chromeWriter, ri int, label string, r *Recorder) {
 	// unmatched ones stay instants (a span with no end would dangle).
 	matched := make(map[int64]bool)
 	opened := make(map[int64]bool) // posts whose "b" span was actually emitted
+	// Fault episodes mirror the message pattern: an inject becomes an
+	// async "b" span only when its recover edge is also retained,
+	// otherwise it degrades to an instant so spans never dangle.
+	recovered := make(map[int64]bool)
+	faultOpened := make(map[int64]bool)
 	maxT := int64(0)
 	for i := range events {
 		e := &events[i]
 		if e.Kind == KindMsgMatch {
 			matched[e.ID] = true
+		}
+		if e.Kind == KindFaultRecover {
+			recovered[e.ID] = true
 		}
 		if int64(e.T) > maxT {
 			maxT = int64(e.T)
@@ -286,6 +295,49 @@ func writeRecorder(cw *chromeWriter, ri int, label string, r *Recorder) {
 			}
 			cw.event(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":3,"ts":%s,"dur":%s,"name":%s,"cat":"coll","args":{"bytes":%d,"ranks":%d}}`,
 				pid, ts(e.A), ts(dur), strconv.Quote(e.Label), e.B, e.C))
+		case KindFaultInject, KindFaultRecover:
+			// Node-scoped faults land on the node's "faults" track;
+			// apprank-scoped ones (stall) on the apprank's.
+			var pid, tid int
+			if e.Node >= 0 {
+				pid, tid = nodePid(e.Node), chromeFaultTid
+				cw.processName(pid, fmt.Sprintf("%snode%d", prefix, e.Node))
+			} else {
+				pid, tid = rankPid(e.Apprank), 4
+				cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.Apprank))
+			}
+			cw.threadName(pid, tid, "faults")
+			fid := fmt.Sprintf("\"f%d.%d\"", ri, e.ID)
+			if e.Kind == KindFaultRecover {
+				if !faultOpened[e.ID] {
+					continue // the inject fell off the ring; no span to close
+				}
+				cw.event(fmt.Sprintf(`{"ph":"e","pid":%d,"tid":%d,"ts":%s,"cat":"fault","id":%s,"args":{}}`,
+					pid, tid, t, fid))
+				continue
+			}
+			args := fmt.Sprintf(`{"kind":%s,"plan_event":%d,"until_ns":%d,"b":%d,"c":%d}`,
+				strconv.Quote(e.Label), e.ID, e.A, e.B, e.C)
+			if recovered[e.ID] {
+				faultOpened[e.ID] = true
+				cw.event(fmt.Sprintf(`{"ph":"b","pid":%d,"tid":%d,"ts":%s,"cat":"fault","id":%s,"name":%s,"args":%s}`,
+					pid, tid, t, fid, strconv.Quote("fault "+e.Label), args))
+			} else {
+				cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":%s,"cat":"fault","args":%s}`,
+					pid, tid, t, strconv.Quote("fault "+e.Label), args))
+			}
+		case KindReoffload:
+			pid := rankPid(e.Apprank)
+			cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.Apprank))
+			cw.threadName(pid, 1, "scheduler")
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":1,"ts":%s,"s":"t","name":%s,"cat":"sched","args":{"task":%d,"old_node":%d,"new_node":%d,"attempt":%d,"local":%d}}`,
+				pid, t, strconv.Quote(fmt.Sprintf("reoffload %d", e.ID)), e.ID, e.A, e.Node, e.B, e.C))
+		case KindMsgDrop:
+			pid := rankPid(int32(e.B))
+			cw.processName(pid, fmt.Sprintf("%sapprank%d", prefix, e.B))
+			cw.threadName(pid, 2, "messages")
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":2,"ts":%s,"s":"t","name":%s,"cat":"msg","args":{"src":%d,"dst":%d,"attempt":%d}}`,
+				pid, t, strconv.Quote("drop"), e.A, e.B, e.C))
 		case KindImbalance:
 			pid := pidBase + chromeCounterPid
 			cw.processName(pid, prefix+"metrics")

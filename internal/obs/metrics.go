@@ -110,6 +110,17 @@ func BuildMetrics(r *Recorder) *Metrics {
 			m.Counters["core_borrows"]++
 		case KindCoreReturn:
 			m.Counters["core_returns"]++
+		case KindFaultInject:
+			m.Counters["faults_injected"]++
+		case KindFaultRecover:
+			m.Counters["faults_recovered"]++
+		case KindReoffload:
+			m.Counters["reoffloads"]++
+			if e.C != 0 {
+				m.Counters["reoffload_local_fallbacks"]++
+			}
+		case KindMsgDrop:
+			m.Counters["msg_drops"]++
 		case KindImbalance:
 			v := e.ImbalanceValue()
 			m.Histograms["imbalance"].Observe(v)

@@ -46,6 +46,10 @@ const (
 	KindCoreBorrow
 	KindCoreReturn
 	KindImbalance
+	KindFaultInject
+	KindFaultRecover
+	KindReoffload
+	KindMsgDrop
 	numKinds
 )
 
@@ -66,6 +70,10 @@ var kindNames = [numKinds]string{
 	KindCoreBorrow:    "core_borrow",
 	KindCoreReturn:    "core_return",
 	KindImbalance:     "imbalance",
+	KindFaultInject:   "fault_inject",
+	KindFaultRecover:  "fault_recover",
+	KindReoffload:     "reoffload",
+	KindMsgDrop:       "msg_drop",
 }
 
 func (k Kind) String() string {
@@ -386,6 +394,60 @@ func (r *Recorder) CoreReturn(node, worker, runningAfter int) {
 	}
 	r.emit(Event{Kind: KindCoreReturn, Node: int32(node), Apprank: r.workerApprank(node, worker), ID: -1,
 		A: int64(worker), B: int64(runningAfter)})
+}
+
+// --- Fault injection and resilience ---------------------------------
+
+// FaultInject records a fault-plan event taking effect. ID = the
+// event's index within the bound plan (pairing inject/recover edges),
+// Label = the fault kind ("slow", "link", ...). Node is the target node
+// (-1 for apprank-scoped faults), Apprank the target apprank (-1 for
+// node-scoped faults). A = episode end in virtual ns (0 for permanent
+// faults), B/C = kind-specific magnitudes (slow: B = speed in
+// math.Float64bits; coreloss: B = cores removed; link: B = peer node,
+// C = drop probability in Float64bits).
+func (r *Recorder) FaultInject(planIdx int, kind string, node, apprank int, until simtime.Time, b, c int64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindFaultInject, Node: int32(node), Apprank: int32(apprank), ID: int64(planIdx),
+		A: int64(until), B: b, C: c, Label: kind})
+}
+
+// FaultRecover records the recovery edge of an episodic fault. Fields
+// mirror FaultInject.
+func (r *Recorder) FaultRecover(planIdx int, kind string, node, apprank int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindFaultRecover, Node: int32(node), Apprank: int32(apprank), ID: int64(planIdx), Label: kind})
+}
+
+// Reoffload records the home apprank re-placing an offloaded task after
+// a deadline expiry or target death. Node = the new target node,
+// A = the old (failed) target node, B = the retry attempt number,
+// C = 1 when the task fell back to local execution at home.
+func (r *Recorder) Reoffload(apprank int, id int64, oldNode, newNode, attempt int, local bool) {
+	if r == nil {
+		return
+	}
+	c := int64(0)
+	if local {
+		c = 1
+	}
+	r.emit(Event{Kind: KindReoffload, Node: int32(newNode), Apprank: int32(apprank), ID: id,
+		A: int64(oldNode), B: int64(attempt), C: c})
+}
+
+// MsgDrop records a link fault dropping one delivery attempt of a
+// message. A = src, B = dst (global apprank ids), C = the attempt
+// number that was dropped.
+func (r *Recorder) MsgDrop(id int64, src, dst, attempt int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindMsgDrop, Node: -1, Apprank: int32(dst), ID: id,
+		A: int64(src), B: int64(dst), C: int64(attempt)})
 }
 
 // --- Sampled gauges -------------------------------------------------

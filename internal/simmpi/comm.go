@@ -167,6 +167,7 @@ func (c *Comm) collective(kind string, contrib any, size int64, finish func(vals
 	if op.arrived < len(cs.group) {
 		op.waiters = append(op.waiters, c.proc)
 		op.widx = append(op.widx, cr)
+		c.proc.SetBlockReason(kind, int64(cr), int64(seq))
 		return c.proc.Park()
 	}
 	// Last participant: complete after the modelled collective cost.
@@ -189,6 +190,7 @@ func (c *Comm) collective(kind string, contrib any, size int64, finish func(vals
 		cri := op.widx[i]
 		done.Subscribe(func(any) { w.env.WakeProc(p, finish(op.vals, cri)) })
 	}
+	c.proc.SetBlockReason(kind, int64(cr), int64(seq))
 	c.proc.Wait(done)
 	return finish(op.vals, cr)
 }

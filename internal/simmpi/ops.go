@@ -88,6 +88,7 @@ func (c *Comm) Probe(src, tag int) Status {
 		return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}
 	}
 	mb.probes = append(mb.probes, &pendingRecv{src: gsrc, tag: tag, proc: c.proc})
+	c.proc.SetBlockReason("probe", int64(gsrc), int64(tag))
 	msg := c.proc.Park().(*message)
 	return Status{Source: c.state.commRankOf(msg.src), Tag: msg.tag, Size: msg.size}
 }

@@ -19,6 +19,7 @@ import (
 	"math/bits"
 
 	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/faults"
 	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 )
@@ -51,6 +52,11 @@ type message struct {
 	obsID    int64
 	postT    simtime.Time
 	deliverT simtime.Time
+
+	// linkSeq is the world-unique send sequence number used to hash
+	// per-message drop/jitter decisions; assigned only when link fault
+	// conditioning is active.
+	linkSeq uint64
 }
 
 // pendingRecv is a blocked receive posted by a process.
@@ -183,7 +189,16 @@ type World struct {
 	obs      *obs.Recorder
 	rankBase int   // global apprank id of this world's rank 0
 	msgSeq   int64 // next message id for observability stamps
+
+	// links conditions point-to-point deliveries when a fault plan with
+	// link episodes is armed; nil (the default) keeps Post on the exact
+	// pre-fault code path, preserving byte-identical schedules.
+	links   *faults.Links
+	linkSeq uint64
 }
+
+// SetLinkFaults attaches a link-fault conditioner. Pass nil to detach.
+func (w *World) SetLinkFaults(l *faults.Links) { w.links = l }
 
 // SetObs attaches the structured event recorder. Message events carry
 // rankBase + world rank so several worlds (co-scheduled applications)
@@ -273,7 +288,6 @@ func (w *World) Post(src, dst, tag int, data any, size int64) {
 	if src < 0 || src >= len(w.placement) || dst < 0 || dst >= len(w.placement) {
 		panic(fmt.Sprintf("simmpi: Post with invalid ranks %d->%d", src, dst))
 	}
-	d := w.machine.Net.TransferTime(w.placement[src], w.placement[dst], size)
 	msg := &message{src: src, tag: tag, size: size, data: data}
 	if w.obs != nil {
 		msg.obsID = w.msgSeq
@@ -281,7 +295,39 @@ func (w *World) Post(src, dst, tag int, data any, size int64) {
 		msg.postT = w.env.Now()
 		w.obs.MsgPost(msg.obsID, w.rankBase+src, w.rankBase+dst, tag, size)
 	}
+	if w.links != nil {
+		msg.linkSeq = w.linkSeq
+		w.linkSeq++
+		w.send(msg, dst, 0)
+		return
+	}
+	d := w.machine.Net.TransferTime(w.placement[src], w.placement[dst], size)
 	w.env.Schedule(d, func() { w.deliver(dst, msg) })
+}
+
+// send models one delivery attempt of msg under link-fault conditioning:
+// the nominal transfer time plus any episode delay and jitter, or — if
+// the hashed drop decision fires — a sender-side timeout of one transfer
+// time followed by an exponential-backoff resend. After MaxAttempts
+// failed attempts the message is abandoned; a receiver blocked on it is
+// then surfaced by the deadlock detector rather than hanging silently.
+func (w *World) send(msg *message, dst, attempt int) {
+	a, b := w.placement[msg.src], w.placement[dst]
+	d := w.machine.Net.TransferTime(a, b, msg.size)
+	extra, drop := w.links.Condition(w.env.Now(), a, b, msg.linkSeq, attempt)
+	if drop {
+		if w.obs != nil {
+			w.obs.MsgDrop(msg.obsID, w.rankBase+msg.src, w.rankBase+dst, attempt)
+		}
+		if attempt+1 >= w.links.MaxAttempts() {
+			return // abandoned
+		}
+		w.env.Schedule(d+extra+w.links.BackoffDelay(attempt+1), func() {
+			w.send(msg, dst, attempt+1)
+		})
+		return
+	}
+	w.env.Schedule(d+extra, func() { w.deliver(dst, msg) })
 }
 
 // deliver places a message in dst's mailbox, completing a matching posted
@@ -342,6 +388,7 @@ func (w *World) recv(p *simtime.Proc, rank, src, tag int) *message {
 		return msg
 	}
 	mb.recvs = append(mb.recvs, &pendingRecv{src: src, tag: tag, proc: p})
+	p.SetBlockReason("recv", int64(src), int64(tag))
 	return p.Park().(*message)
 }
 

@@ -15,6 +15,22 @@ type Proc struct {
 	parked bool
 	killed bool
 	done   *Event
+
+	// Block-reason diagnostics for the deadlock detector: what the
+	// process is waiting for (a constant string, so setting it never
+	// allocates) plus two free-form operands (e.g. source rank and tag
+	// of a pending Recv). Purely informational.
+	blockWhat string
+	blockA    int64
+	blockB    int64
+}
+
+// SetBlockReason records why the process is about to block, for the
+// deadlock diagnostic dump. what must be a constant string (the hot
+// paths rely on this costing nothing); a and b are operation-specific
+// operands. Cleared automatically when the process resumes.
+func (p *Proc) SetBlockReason(what string, a, b int64) {
+	p.blockWhat, p.blockA, p.blockB = what, a, b
 }
 
 // killedPanic unwinds a process goroutine when it is forcibly terminated.
@@ -82,6 +98,7 @@ func (p *Proc) Park() any {
 		panic(killedPanic{})
 	}
 	p.parked = false
+	p.blockWhat = ""
 	return v
 }
 
@@ -119,6 +136,13 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	p.parked = false
 }
+
+// Kill forcibly terminates the process (a fault-injection primitive:
+// the node running it died). The caller must know the process has not
+// finished; killing a finished process is a harmless no-op. Like
+// KillAll, it must be invoked from an event callback, never from
+// another process.
+func (p *Proc) Kill() { p.kill() }
 
 // kill forcibly terminates the process. If it is parked, its goroutine is
 // unblocked and unwound. If it has not started yet, its start event is
