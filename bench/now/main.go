@@ -1,0 +1,16 @@
+// Command now prints the current time as fractional Unix seconds with
+// nanosecond precision ("1723111845.123456789"). bench/record.sh uses it
+// to time runs portably: `date +%s.%N` is a GNU coreutils extension that
+// prints a literal "%N" on BSD/macOS date, silently corrupting the
+// computed durations.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	n := time.Now()
+	fmt.Printf("%d.%09d\n", n.Unix(), n.Nanosecond())
+}

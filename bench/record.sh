@@ -3,7 +3,7 @@
 # and per-figure wall-clock timings of the full quick sweep into
 # BENCH_sim.json, so the perf trajectory is tracked across PRs.
 #
-# Usage: bench/record.sh [output.json] [experiment] [scale] [sim-output.json] [obs-output.json] [faults-output.json]
+# Usage: bench/record.sh [output.json] [experiment] [scale] [sim-output.json] [obs-output.json] [faults-output.json] [policy-output.json]
 #
 # Defaults run the fig8 sweep at quick scale, which exercises the MPI
 # message layer, the task scheduler, and the DROM policies in a few
@@ -17,7 +17,9 @@
 # with structured tracing off and on, recording the observability
 # overhead and the exported trace size. The BENCH_faults.json pass times
 # the quick resilience sweep against the fault-free fig8 point — the
-# wall-clock cost of the fault machinery end to end.
+# wall-clock cost of the fault machinery end to end. The
+# BENCH_policy.json pass times the quick self-scheduling policy sweep —
+# the wall-clock cost of the chunk-server scheduling path.
 set -eu
 
 out=${1:-BENCH_engine.json}
@@ -26,8 +28,15 @@ scale=${3:-quick}
 simout=${4:-BENCH_sim.json}
 obsout=${5:-BENCH_obs.json}
 faultsout=${6:-BENCH_faults.json}
+policyout=${7:-BENCH_policy.json}
 
 cd "$(dirname "$0")/.."
+
+# Timestamps come from a tiny Go helper: `date +%s.%N` is GNU-specific
+# (BSD/macOS date prints a literal "%N") and the Go toolchain is the one
+# dependency this repo already requires.
+go build -o /tmp/bench_now ./bench/now
+now() { /tmp/bench_now; }
 
 go run ./cmd/lbsim -exp "$exp" -scale "$scale" -enginestats -enginejson "$out" >/dev/null
 echo "bench: wrote $out"
@@ -35,14 +44,14 @@ echo "bench: wrote $out"
 go run ./cmd/lbsim -all -scale quick -format csv -simjson "$simout" >/dev/null
 echo "bench: wrote $simout"
 
-# Build once so both timed runs measure the simulator, not the compiler.
+# Build once so the timed runs measure the simulator, not the compiler.
 go build -o /tmp/lbsim_bench ./cmd/lbsim
-t0=$(date +%s.%N)
+t0=$(now)
 /tmp/lbsim_bench -exp fig9 -scale quick >/dev/null
-t1=$(date +%s.%N)
+t1=$(now)
 /tmp/lbsim_bench -exp fig9 -scale quick \
     -trace /tmp/bench_obs_trace.json -metricsjson /tmp/bench_obs_metrics.json
-t2=$(date +%s.%N)
+t2=$(now)
 tracebytes=$(wc -c < /tmp/bench_obs_trace.json)
 awk -v off="$t0 $t1" -v on="$t1 $t2" -v bytes="$tracebytes" 'BEGIN {
     split(off, a, " "); split(on, b, " ");
@@ -54,13 +63,23 @@ awk -v off="$t0 $t1" -v on="$t1 $t2" -v bytes="$tracebytes" 'BEGIN {
 rm -f /tmp/bench_obs_trace.json /tmp/bench_obs_metrics.json
 echo "bench: wrote $obsout"
 
-t3=$(date +%s.%N)
+t3=$(now)
 /tmp/lbsim_bench -exp resilience -scale quick >/dev/null
-t4=$(date +%s.%N)
+t4=$(now)
 awk -v sweep="$t3 $t4" 'BEGIN {
     split(sweep, s, " ");
     printf "{\n  \"experiment\": \"resilience\",\n  \"scale\": \"quick\",\n";
     printf "  \"sweep_wall_seconds\": %.3f\n}\n", s[2] - s[1];
 }' > "$faultsout"
-rm -f /tmp/lbsim_bench
 echo "bench: wrote $faultsout"
+
+t5=$(now)
+/tmp/lbsim_bench -exp policies -scale quick >/dev/null
+t6=$(now)
+awk -v sweep="$t5 $t6" 'BEGIN {
+    split(sweep, s, " ");
+    printf "{\n  \"experiment\": \"policies\",\n  \"scale\": \"quick\",\n";
+    printf "  \"sweep_wall_seconds\": %.3f\n}\n", s[2] - s[1];
+}' > "$policyout"
+rm -f /tmp/lbsim_bench /tmp/bench_now
+echo "bench: wrote $policyout"

@@ -8,6 +8,9 @@
 //	lbsim -all [-scale ...] [-parallel N]
 //	lbsim -faults storm [-scale quick]
 //	lbsim -faults plan.json -format csv
+//	lbsim -policy twolevel [-scale quick]
+//	lbsim -policy guided -faults storm
+//	lbsim -exp policies -scale quick -format csv
 //	lbsim -exp fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	lbsim -exp fig8 -enginestats -enginejson BENCH_engine.json
 //	lbsim -all -scale quick -simjson BENCH_sim.json
@@ -26,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"ompsscluster/internal/balance"
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/experiments"
 	"ompsscluster/internal/faults"
@@ -55,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outDir    = fs.String("out", "", "also write each result as CSV into this directory")
 		parallel  = fs.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
 		faultPlan = fs.String("faults", "", "run the synthetic workload under this fault plan (JSON file or preset; see faults presets: "+strings.Join(faults.PresetNames(), ", ")+")")
+		policy    = fs.String("policy", "", "run the synthetic workload under this self-scheduling policy vs the lewi+global baseline ("+strings.Join(balance.SelfSchedNames(), ", ")+"); combine with -faults to run both under a plan")
 
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -143,6 +148,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fmt.Errorf("unknown format %q (table, csv, markdown)", *format)
 		}
 		return nil
+	}
+
+	// -faults and -policy select dedicated demo runs; silently ignoring
+	// them next to -exp/-all would run something other than what was
+	// asked for, so the combinations are hard errors.
+	if *faultPlan != "" && (*all || *exp != "") {
+		return fail(fmt.Errorf("-faults cannot be combined with -exp/-all (the fault demo is its own run; use -exp resilience for the fault sweep)"))
+	}
+	if *policy != "" && (*all || *exp != "") {
+		return fail(fmt.Errorf("-policy cannot be combined with -exp/-all (the policy demo is its own run; use -exp policies for the full sweep)"))
+	}
+
+	if *policy != "" {
+		var plan *faults.Plan
+		if *faultPlan != "" {
+			plan, err = faults.Load(*faultPlan)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		r, err := experiments.PolicyDemo(sc, *policy, plan)
+		if err != nil {
+			return fail(err)
+		}
+		if emitErr := emit(r); emitErr != nil {
+			return fail(emitErr)
+		}
+		if r.Err != nil {
+			fmt.Fprintln(stderr, "lbsim: policy demo run failed:", r.Err)
+		}
+		return 0
 	}
 
 	if *faultPlan != "" {

@@ -112,3 +112,83 @@ func TestRunFaultPreset(t *testing.T) {
 		t.Errorf("demo output missing series:\n%s", stdout)
 	}
 }
+
+func TestRunFaultsWithExpConflict(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faults", "storm", "-exp", "fig8", "-scale", "quick"},
+		{"-faults", "storm", "-all", "-scale", "quick"},
+	} {
+		code, _, stderr := exec(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit = %d, want 1", args, code)
+		}
+		if !strings.Contains(stderr, "-faults cannot be combined") {
+			t.Errorf("%v: stderr = %q", args, stderr)
+		}
+	}
+}
+
+func TestRunPolicyWithExpConflict(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "guided", "-exp", "fig8", "-scale", "quick"},
+		{"-policy", "guided", "-all", "-scale", "quick"},
+	} {
+		code, _, stderr := exec(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit = %d, want 1", args, code)
+		}
+		if !strings.Contains(stderr, "-policy cannot be combined") {
+			t.Errorf("%v: stderr = %q", args, stderr)
+		}
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	code, _, stderr := exec(t, "-policy", "nosuch", "-scale", "quick")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "nosuch") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	// "off" parses as a SelfSched value but is not a runnable policy.
+	code, _, stderr = exec(t, "-policy", "off", "-scale", "quick")
+	if code != 1 {
+		t.Errorf("-policy off: exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "not a runnable policy") {
+		t.Errorf("-policy off: stderr = %q", stderr)
+	}
+}
+
+func TestRunPolicyDemo(t *testing.T) {
+	code, stdout, stderr := exec(t, "-policy", "twolevel", "-scale", "quick")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "twolevel") || !strings.Contains(stdout, "lewi+global") {
+		t.Errorf("stdout missing policy series:\n%s", stdout)
+	}
+}
+
+func TestRunPolicyDemoWithFaults(t *testing.T) {
+	code, stdout, stderr := exec(t, "-policy", "wfactoring", "-faults", "storm", "-scale", "quick")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "fault plan") {
+		t.Errorf("stdout missing fault-plan title:\n%s", stdout)
+	}
+}
+
+func TestRunPoliciesExperiment(t *testing.T) {
+	code, stdout, stderr := exec(t, "-exp", "policies", "-scale", "quick", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, label := range []string{"guided", "factoring", "wfactoring", "twolevel", "lewi+global"} {
+		if !strings.Contains(stdout, label) {
+			t.Errorf("policies CSV missing series %q", label)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func allKinds() []SelfSched {
+	return []SelfSched{SelfSchedStatic, SelfSchedGuided, SelfSchedFactoring,
+		SelfSchedWeighted, SelfSchedTwoLevel}
+}
+
+// drain runs one loop of n tasks to exhaustion under the given request
+// order and returns the grant sequence. next(i) yields the worker making
+// the i-th request.
+func drain(t *testing.T, cs *ChunkServer, n int, next func(i int) int) []int {
+	t.Helper()
+	cs.BeginLoop(n)
+	var grants []int
+	for i := 0; cs.Remaining() > 0; i++ {
+		if i > n+cs.Workers() {
+			t.Fatalf("loop of %d tasks not drained after %d requests (remaining %d)", n, i, cs.Remaining())
+		}
+		k := cs.Grant(next(i))
+		if k < 1 {
+			t.Fatalf("request %d: zero-size chunk with %d tasks remaining", i, cs.Remaining())
+		}
+		grants = append(grants, k)
+	}
+	if g := cs.Grant(0); g != 0 {
+		t.Fatalf("drained loop granted %d", g)
+	}
+	return grants
+}
+
+// TestChunkSequencesSumExactly is the ISSUE's property test: for every
+// policy, worker count, weight vector, loop size, and request order, the
+// chunk sequence sums exactly to the loop size with no zero-size chunks.
+func TestChunkSequencesSumExactly(t *testing.T) {
+	weightSets := [][]float64{
+		{1},
+		{1, 1},
+		{1, 1, 1, 1},
+		{4, 1, 1},
+		{10, 1, 1, 1, 1},
+		{3, 0, 2, 1}, // a zero-weight worker may still request
+		{0.5, 2.5, 1.0},
+	}
+	sizes := []int{1, 2, 3, 7, 10, 64, 120, 1000}
+	for _, kind := range allKinds() {
+		for wi, weights := range weightSets {
+			cs := NewChunkServer(kind, weights)
+			p := len(weights)
+			rng := rand.New(rand.NewSource(int64(wi + 1)))
+			orders := map[string]func(i int) int{
+				"roundrobin": func(i int) int { return i % p },
+				"greedy0":    func(i int) int { return 0 },
+				"random":     func(i int) int { return rng.Intn(p) },
+			}
+			for _, n := range sizes {
+				for name, next := range orders {
+					grants := drain(t, cs, n, next)
+					sum := 0
+					for _, g := range grants {
+						sum += g
+					}
+					if sum != n {
+						t.Errorf("%v weights=%v n=%d order=%s: grants sum to %d, want %d (%v)",
+							kind, weights, n, name, sum, n, grants)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChunkGuidedGeometricDecay(t *testing.T) {
+	cs := NewChunkServer(SelfSchedGuided, []float64{1, 1, 1, 1})
+	grants := drain(t, cs, 400, func(i int) int { return i % 4 })
+	if grants[0] != 100 {
+		t.Errorf("first GSS chunk = %d, want ceil(400/4) = 100", grants[0])
+	}
+	for i := 1; i < len(grants); i++ {
+		if grants[i] > grants[i-1] {
+			t.Errorf("GSS chunks grew: %v", grants)
+			break
+		}
+	}
+}
+
+func TestChunkFactoringBatches(t *testing.T) {
+	cs := NewChunkServer(SelfSchedFactoring, []float64{1, 1, 1, 1})
+	grants := drain(t, cs, 400, func(i int) int { return i % 4 })
+	// First batch: 4 chunks of ceil(400/8) = 50; second: 4 of ceil(200/8) = 25.
+	want := []int{50, 50, 50, 50, 25, 25, 25, 25}
+	for i, w := range want {
+		if grants[i] != w {
+			t.Fatalf("FAC grant %d = %d, want %d (%v)", i, grants[i], w, grants[:8])
+		}
+	}
+}
+
+func TestChunkWeightedProportional(t *testing.T) {
+	cs := NewChunkServer(SelfSchedWeighted, []float64{3, 1})
+	cs.BeginLoop(80)
+	// First batch is ceil(80/2) = 40, split 3:1.
+	if g := cs.Grant(0); g != 30 {
+		t.Errorf("heavy worker's first WF chunk = %d, want 30", g)
+	}
+	if g := cs.Grant(1); g != 10 {
+		t.Errorf("light worker's first WF chunk = %d, want 10", g)
+	}
+}
+
+func TestChunkStaticPlanFollowsWeights(t *testing.T) {
+	cs := NewChunkServer(SelfSchedStatic, []float64{10, 1, 1})
+	cs.BeginLoop(120)
+	if g := cs.Grant(0); g != 100 {
+		t.Errorf("static block for weight 10/12 = %d, want 100", g)
+	}
+	if g := cs.Grant(1); g != 10 {
+		t.Errorf("static block for weight 1/12 = %d, want 10", g)
+	}
+	if g := cs.Grant(2); g != 10 {
+		t.Errorf("static block for weight 1/12 = %d, want 10", g)
+	}
+	if r := cs.Remaining(); r != 0 {
+		t.Errorf("remaining after all blocks = %d", r)
+	}
+}
+
+func TestParseSelfSched(t *testing.T) {
+	for _, kind := range append(allKinds(), SelfSchedOff) {
+		got, err := ParseSelfSched(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("ParseSelfSched(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	if _, err := ParseSelfSched("bogus"); err == nil {
+		t.Error("ParseSelfSched(bogus) succeeded")
+	}
+}
+
+// TestChunkServerGrantAllocs pins the chunk-server hot path: BeginLoop
+// and Grant never allocate, for every policy.
+func TestChunkServerGrantAllocs(t *testing.T) {
+	for _, kind := range allKinds() {
+		cs := NewChunkServer(kind, []float64{4, 1, 1, 2})
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			if cs.Remaining() == 0 {
+				cs.BeginLoop(1 << 20)
+			}
+			cs.Grant(i % 4)
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %v allocs per Grant, want 0", kind, allocs)
+		}
+	}
+}
+
+func TestNewChunkServerRejectsBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewChunkServer(SelfSchedOff, []float64{1}) },
+		func() { NewChunkServer(SelfSchedGuided, nil) },
+		func() { NewChunkServer(SelfSchedGuided, []float64{0, 0}) },
+		func() { NewChunkServer(SelfSchedGuided, []float64{-1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid chunk-server construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

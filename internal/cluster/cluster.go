@@ -94,6 +94,15 @@ func New(n, coresPerNode int, net NetModel) *Machine {
 	return m
 }
 
+// Clone returns a deep copy of the machine. Sweeps that mutate a run's
+// machine (SetSpeed, RemoveCores) must clone a shared prototype rather
+// than pass it to concurrent runs: Machine is not safe for concurrent
+// mutation, and aliased Nodes slices would leak one run's faults into
+// another.
+func (m *Machine) Clone() *Machine {
+	return &Machine{Nodes: append([]Node(nil), m.Nodes...), Net: m.Net}
+}
+
 // NumNodes returns the number of nodes.
 func (m *Machine) NumNodes() int { return len(m.Nodes) }
 

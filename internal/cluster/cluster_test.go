@@ -167,3 +167,22 @@ func TestFatTreeHops(t *testing.T) {
 		t.Fatal("flat network should be distance-oblivious")
 	}
 }
+
+func TestCloneIsolatesMutation(t *testing.T) {
+	proto := New(4, 8, DefaultNet())
+	c := proto.Clone()
+	c.SetSpeed(1, 0.5)
+	c.RemoveCores(2, 4)
+	if proto.Nodes[1].Speed != 1.0 {
+		t.Fatalf("clone SetSpeed leaked into prototype: %v", proto.Nodes[1].Speed)
+	}
+	if proto.Nodes[2].Cores != 8 {
+		t.Fatalf("clone RemoveCores leaked into prototype: %d", proto.Nodes[2].Cores)
+	}
+	if c.Nodes[1].Speed != 0.5 || c.Nodes[2].Cores != 4 {
+		t.Fatal("clone lost its own mutations")
+	}
+	if c.Net != proto.Net {
+		t.Fatal("clone must copy the network model")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"ompsscluster/internal/balance"
 	"ompsscluster/internal/expander"
 	"ompsscluster/internal/nanos"
 	"ompsscluster/internal/obs"
@@ -28,12 +29,17 @@ type Apprank struct {
 	locBuf       nanos.LocVec  // reusable location vector for the hot scheduling path
 
 	// Fault-plan state (nil/zero on fault-free runs).
-	proc         *simtime.Proc          // the rank's main process, for crash kill
-	aborted      bool                   // application aborted by a node crash
-	finishedMain bool                   // main returned (its implicit taskwait passed)
-	stalled      bool                   // dispatch frozen by a stall fault
-	offRecs      []*offloadRec          // offload records in placement order
+	proc         *simtime.Proc // the rank's main process, for crash kill
+	aborted      bool          // application aborted by a node crash
+	finishedMain bool          // main returned (its implicit taskwait passed)
+	stalled      bool          // dispatch frozen by a stall fault
+	offRecs      []*offloadRec // offload records in placement order
 	offByTask    map[*nanos.Task]*offloadRec
+
+	// Self-scheduling state (nil/zero unless Config.SelfSched is set).
+	chunks     *balance.ChunkServer
+	pumpQueued bool   // a pump pass is already scheduled at the current time
+	pumpFn     func() // deduplicated pump callback, allocated once
 }
 
 func newApprank(rt *ClusterRuntime, id, localRank, appIdx int, g *expander.Graph) *Apprank {
@@ -85,6 +91,14 @@ func (a *Apprank) onReady(t *nanos.Task) {
 		// they must never sit in the central queue, which any worker
 		// (including helpers) may steal from.
 		a.assign(a.workers[0], t, a.dataLocation(t))
+		return
+	}
+	if a.chunks != nil {
+		// Self-scheduling: offloadable tasks park centrally and the
+		// chunk pump grants them in policy-sized chunks.
+		a.schedDecision(t, nil, nil, obs.SchedQueued)
+		a.queue.Push(t)
+		a.schedulePump()
 		return
 	}
 	// One registry walk serves the whole decision: the locality choice
@@ -239,6 +253,12 @@ func (a *Apprank) refill(w *Worker) {
 	if w.dead || a.aborted {
 		return
 	}
+	if a.chunks != nil {
+		// The chunk server owns the central queue: a completion raises
+		// demand through the pump instead of direct stealing.
+		a.schedulePump()
+		return
+	}
 	for a.queue.Len() > 0 && w.underThreshold() {
 		t := a.queue.Pop()
 		a.assign(w, t, a.dataLocation(t))
@@ -253,6 +273,12 @@ func (a *Apprank) refill(w *Worker) {
 // mirroring the paper's observation that borrowed-core usage stays under
 // 100% because borrowed cores must not be taken for granted (§5.5).
 func (a *Apprank) borrowRefill(w *Worker) {
+	if a.chunks != nil {
+		// Under self-scheduling only the chunk server hands out central
+		// tasks; LeWI still lends idle cores to already-granted chunks
+		// through the dispatcher's borrow pass.
+		return
+	}
 	if a.queue.Len() == 0 || !w.ns.arb.LeWIEnabled() {
 		return
 	}

@@ -164,6 +164,20 @@ type Config struct {
 	// at each transition.
 	OnFault func(ev faults.Event, phase faults.Phase)
 
+	// SelfSched, when not balance.SelfSchedOff, replaces the reactive
+	// §5.5 scheduler for offloadable tasks with a per-apprank dynamic
+	// loop self-scheduling chunk server: ready offloadable tasks are
+	// held centrally and granted to workers in chunks sized by the
+	// selected policy (static chunking, guided, factoring, weighted
+	// factoring, or the two-level scheme pairing a weighted inter-node
+	// chunk server with LeWI below). Worker weights are snapshot at
+	// construction from per-node speed factors and initial core
+	// ownership. Non-offloadable tasks still bind to the home worker,
+	// and DROM/LeWI keep arbitrating cores underneath the granted
+	// chunks. Incompatible with Dynamic spreading (the worker set must
+	// be fixed).
+	SelfSched balance.SelfSched
+
 	// CustomPolicy, when non-nil, replaces the built-in DROM policies
 	// with a user-provided core allocator, invoked every LocalPeriod
 	// with the smoothed busy measurements (DROM is ignored). This is the
@@ -238,6 +252,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.OffloadDeadline < 0 {
 		return c, fmt.Errorf("core: negative OffloadDeadline")
+	}
+	if !c.SelfSched.Valid() {
+		return c, fmt.Errorf("core: invalid SelfSched %v", c.SelfSched)
+	}
+	if c.SelfSched != balance.SelfSchedOff && c.Dynamic.Enabled {
+		return c, fmt.Errorf("core: SelfSched %v cannot be combined with dynamic spreading (the chunk server needs a fixed worker set)", c.SelfSched)
 	}
 	// Every worker must be able to own one core: workers per node =
 	// AppranksPerNode * Degree.

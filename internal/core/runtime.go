@@ -50,6 +50,9 @@ type RunStats struct {
 	FaultEvents int64
 	// Reoffloads counts recovery re-placements of offloaded tasks.
 	Reoffloads int64
+	// ChunkGrants counts self-scheduling chunk-server grants (one per
+	// worker chunk, not per task).
+	ChunkGrants int64
 }
 
 // nodeState groups the per-node runtime structures.
@@ -137,6 +140,11 @@ func newRuntime(cfg Config) (*ClusterRuntime, error) {
 func (rt *ClusterRuntime) finishConstruction() error {
 	rt.installInitialOwnership()
 	rt.installPolicies()
+	if rt.cfg.SelfSched != balance.SelfSchedOff {
+		// After installInitialOwnership: the chunk-server weights
+		// snapshot the §5.4 initial core split.
+		rt.installSelfSched()
+	}
 	if rt.cfg.Dynamic.Enabled {
 		rt.installDynamicSpreading()
 	}

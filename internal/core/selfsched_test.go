@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ompsscluster/internal/balance"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/faults"
+	"ompsscluster/internal/obs"
+	"ompsscluster/internal/simtime"
+)
+
+// TestSelfSchedRunsToCompletion drives every self-scheduling policy over
+// a small multi-node workload: all tasks must complete, the chunk server
+// must have granted at least once, and the run must beat the trivial
+// serial bound (the chunks actually spread across workers).
+func TestSelfSchedRunsToCompletion(t *testing.T) {
+	for _, name := range balance.SelfSchedNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			kind, err := balance.ParseSelfSched(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := MustNew(Config{
+				Machine:   cluster.New(4, 4, cluster.DefaultNet()),
+				Degree:    3,
+				LeWI:      kind == balance.SelfSchedTwoLevel,
+				SelfSched: kind,
+			})
+			err = rt.Run(func(app *App) {
+				for iter := 0; iter < 3; iter++ {
+					if app.Rank() == 0 {
+						submitBatch(app, 96, 10*ms)
+					}
+					app.TaskWait()
+					app.Barrier()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rt.TotalTasks(); got != 3*96 {
+				t.Fatalf("completed %d tasks, want %d", got, 3*96)
+			}
+			if rt.Stats().ChunkGrants == 0 {
+				t.Fatal("chunk server never granted")
+			}
+			if rt.TotalOffloadedTasks() == 0 {
+				t.Fatal("chunks never left the home node")
+			}
+			// Under DROMOff apprank 0 owns 4 cores machine-wide (2 at
+			// home + 1 per helper): 3x96 x ~10.07ms tasks land at
+			// ~725ms. Home-only execution (2 cores) would be ~1450ms,
+			// so < 800ms proves the chunks spread. Two-level borrows
+			// idle cores underneath and must clearly beat the
+			// ownership bound.
+			bound := 800 * ms
+			if kind == balance.SelfSchedTwoLevel {
+				bound = 600 * ms
+			}
+			if rt.Elapsed() > bound {
+				t.Fatalf("elapsed %v > %v: chunks did not spread work", rt.Elapsed(), bound)
+			}
+		})
+	}
+}
+
+// TestSelfSchedEmitsChunkGrantEvents checks the obs plumbing end to end:
+// chunk grants appear in the event stream and in the derived metrics,
+// with granted tasks summing to the submitted count.
+func TestSelfSchedEmitsChunkGrantEvents(t *testing.T) {
+	rec := obs.NewRecorder(1 << 16)
+	rt := MustNew(Config{
+		Machine:   cluster.New(2, 4, cluster.DefaultNet()),
+		Degree:    2,
+		SelfSched: balance.SelfSchedGuided,
+		Obs:       rec,
+	})
+	if err := rt.Run(func(app *App) {
+		if app.Rank() == 0 {
+			submitBatch(app, 40, 10*ms)
+		}
+		app.TaskWait()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	grants, tasks := 0, int64(0)
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KindChunkGrant {
+			grants++
+			tasks += e.B
+		}
+	}
+	if grants == 0 {
+		t.Fatal("no KindChunkGrant events recorded")
+	}
+	if int64(grants) != rt.Stats().ChunkGrants {
+		t.Fatalf("events %d != Stats().ChunkGrants %d", grants, rt.Stats().ChunkGrants)
+	}
+	if tasks != 40 {
+		t.Fatalf("granted task sizes sum to %d, want 40", tasks)
+	}
+	m := obs.BuildMetrics(rec)
+	if got := m.Counters["chunk_grants"]; got != uint64(grants) {
+		t.Fatalf("metrics chunk_grants = %d, want %d", got, grants)
+	}
+	if got := m.Counters["chunk_tasks_granted"]; got != 40 {
+		t.Fatalf("metrics chunk_tasks_granted = %d, want 40", got)
+	}
+}
+
+// TestSelfSchedConfigValidation: unknown policy values and the
+// SelfSched+Dynamic combination must be rejected at construction.
+func TestSelfSchedConfigValidation(t *testing.T) {
+	_, err := New(Config{
+		Machine:   cluster.New(2, 4, cluster.DefaultNet()),
+		SelfSched: balance.SelfSched(99),
+	})
+	if err == nil {
+		t.Fatal("invalid SelfSched value accepted")
+	}
+	_, err = New(Config{
+		Machine:   cluster.New(2, 4, cluster.DefaultNet()),
+		SelfSched: balance.SelfSchedGuided,
+		Dynamic:   DynamicConfig{Enabled: true},
+	})
+	if err == nil {
+		t.Fatal("SelfSched combined with Dynamic accepted")
+	}
+}
+
+// TestSelfSchedWithFaultPlan runs the weighted policy under a fault plan
+// (slowdown + drain) to completion: recovery re-parks and the guided
+// fallback must drain everything through live workers.
+func TestSelfSchedWithFaultPlan(t *testing.T) {
+	plan := &faults.Plan{
+		Name: "selfsched-mix",
+		Events: []faults.Event{
+			{Kind: faults.Slow, At: 10 * simtime.Duration(ms), Until: 150 * simtime.Duration(ms), Node: 1, Speed: 0.4},
+			{Kind: faults.Drain, At: 40 * simtime.Duration(ms), Node: 3},
+		},
+	}
+	rt := MustNew(Config{
+		Machine:   cluster.New(4, 4, cluster.DefaultNet()),
+		Degree:    3,
+		SelfSched: balance.SelfSchedWeighted,
+		Faults:    plan,
+	})
+	err := rt.Run(func(app *App) {
+		for iter := 0; iter < 4; iter++ {
+			if app.Rank() == 0 {
+				submitBatch(app, 64, 10*ms)
+			}
+			app.TaskWait()
+			app.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.TotalTasks(); got != 4*64 {
+		t.Fatalf("completed %d tasks, want %d", got, 4*64)
+	}
+	if rt.Stats().FaultEvents == 0 {
+		t.Fatal("fault plan never fired")
+	}
+}
+
+// TestSelfSchedDeterminism: the same configuration must produce the same
+// elapsed time and grant count on repeated runs.
+func TestSelfSchedDeterminism(t *testing.T) {
+	run := func() (string, error) {
+		rt := MustNew(Config{
+			Machine:   cluster.New(4, 4, cluster.DefaultNet()),
+			Degree:    3,
+			LeWI:      true,
+			SelfSched: balance.SelfSchedTwoLevel,
+		})
+		err := rt.Run(func(app *App) {
+			if app.Rank() == 0 {
+				submitBatch(app, 128, 10*ms)
+			}
+			app.TaskWait()
+		})
+		return fmt.Sprintf("%v/%d/%d", rt.Elapsed(), rt.Stats().ChunkGrants, rt.TotalOffloadedTasks()), err
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two identical runs diverged: %s vs %s", a, b)
+	}
+}

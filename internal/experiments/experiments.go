@@ -352,6 +352,7 @@ func All(sc Scale) []*Result {
 		Fig9(sc),
 		Headline(sc),
 		Resilience(sc),
+		Policies(sc),
 	}
 }
 
@@ -370,6 +371,7 @@ func ByID(id string, sc Scale) (*Result, error) {
 		"fig11":               Fig11,
 		"headline":            Headline,
 		"resilience":          Resilience,
+		"policies":            Policies,
 		"ablation-taskspc":    AblationTasksPerCore,
 		"ablation-borrowed":   AblationCountBorrowed,
 		"ablation-graphshape": AblationGraphShape,
@@ -408,7 +410,7 @@ func ByID(id string, sc Scale) (*Result, error) {
 // IDs lists the available experiment ids.
 func IDs() []string {
 	return []string{"fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "headline", "resilience",
+		"fig10", "fig11", "headline", "resilience", "policies",
 		"ablation-taskspc", "ablation-borrowed", "ablation-graphshape",
 		"ablation-period", "ablation-incentive", "ablation-orbweights",
 		"ext-dynamic", "ext-partition", "ext-dvfs"}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/sweep"
+)
+
+// TestPoliciesShape: every policy series covers every scenario, the
+// notes map scenario indices, and the sweep surfaced no run errors.
+func TestPoliciesShape(t *testing.T) {
+	res := Policies(qs())
+	if res.Err != nil {
+		t.Fatalf("policies sweep failed: %v", res.Err)
+	}
+	scns := policyScenarios()
+	if len(res.Series) != len(policyConfigs()) {
+		t.Fatalf("got %d series, want %d", len(res.Series), len(policyConfigs()))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != len(scns) {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Points), len(scns))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("series %q has non-positive time %v at x=%v", s.Label, p.Y, p.X)
+			}
+		}
+	}
+	if res.Get("lewi+global") == nil || res.Get("twolevel") == nil {
+		t.Fatal("baseline or twolevel series missing")
+	}
+	if len(res.Notes) < len(scns)+1 {
+		t.Fatalf("got %d notes, want >= %d (scenario map + grants)", len(res.Notes), len(scns)+1)
+	}
+}
+
+// TestPoliciesWeightedBeatsGuidedOnSlowNode pins the sweep's central
+// finding: on the slow-node scenario the weight-blind guided policy
+// must not beat weighted factoring (which sizes chunks by per-node
+// speed x ownership).
+func TestPoliciesWeightedBeatsGuidedOnSlowNode(t *testing.T) {
+	res := Policies(qs())
+	if res.Err != nil {
+		t.Fatalf("policies sweep failed: %v", res.Err)
+	}
+	var slowX float64 = -1
+	for i, scn := range policyScenarios() {
+		if scn.slow {
+			slowX = float64(i)
+		}
+	}
+	if slowX < 0 {
+		t.Fatal("no slow-node scenario in the sweep")
+	}
+	guided, ok1 := res.Get("guided").Lookup(slowX)
+	weighted, ok2 := res.Get("wfactoring").Lookup(slowX)
+	if !ok1 || !ok2 {
+		t.Fatal("slow-node points missing")
+	}
+	if weighted > guided*1.05 {
+		t.Fatalf("wfactoring (%vs) clearly worse than guided (%vs) on the slow node", weighted, guided)
+	}
+}
+
+// TestPoliciesCSVDeterminism pins the sweep-isolation satellite for the
+// new experiment: the policies CSV is byte-identical between a
+// sequential sweep and a parallel one, so per-run machines, fault
+// plans, and chunk servers share no cross-run state.
+func TestPoliciesCSVDeterminism(t *testing.T) {
+	seq := qs()
+	seq.Parallel = 1
+	par := qs()
+	par.Parallel = 8
+	a := Policies(seq)
+	b := Policies(par)
+	if a.CSV() != b.CSV() {
+		t.Errorf("policies CSV differs between -parallel 1 and -parallel 8:\nseq:\n%s\npar:\n%s",
+			a.CSV(), b.CSV())
+	}
+}
+
+// TestSweepMachineIsolation is the aliasing regression test: specs
+// running concurrently under the sweep engine must not observe each
+// other's machine mutations, and a shared prototype machine must come
+// through a sweep untouched when every run clones it.
+func TestSweepMachineIsolation(t *testing.T) {
+	proto := cluster.New(4, 8, cluster.DefaultNet())
+	eng := sweep.New(8)
+	specs := make([]int, 64)
+	for i := range specs {
+		specs[i] = i
+	}
+	outs := sweep.Map(eng, specs, func(i int) bool {
+		m := proto.Clone()
+		// Each run mutates "its" machine differently...
+		m.SetSpeed(1, 0.1+0.01*float64(i%10))
+		m.RemoveCores(2, 1+i%4)
+		// ...and must still observe exactly its own mutation.
+		return m.Nodes[1].Speed == 0.1+0.01*float64(i%10) && m.Nodes[2].Cores == 8-(1+i%4)
+	})
+	for i, ok := range outs {
+		if !ok {
+			t.Fatalf("spec %d observed another run's machine mutation", i)
+		}
+	}
+	for _, n := range proto.Nodes {
+		if n.Speed != 1.0 || n.Cores != 8 {
+			t.Fatalf("prototype machine mutated by sweep: node %d = %+v", n.ID, n)
+		}
+	}
+}
+
+// TestPolicyDemo exercises the lbsim -policy engine: the named policy
+// and the baseline both produce a point, fault-free and under a plan.
+func TestPolicyDemo(t *testing.T) {
+	res, err := PolicyDemo(qs(), "twolevel", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("demo run failed: %v", res.Err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(res.Series))
+	}
+	if res.Get("twolevel") == nil || res.Get("lewi+global") == nil {
+		t.Fatal("expected series missing")
+	}
+	res, err = PolicyDemo(qs(), "guided", resiliencePlan(qs(), 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("demo under faults failed: %v", res.Err)
+	}
+	if _, err := PolicyDemo(qs(), "nosuch", nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := PolicyDemo(qs(), "off", nil); err == nil {
+		t.Fatal("policy \"off\" accepted by the demo")
+	}
+}

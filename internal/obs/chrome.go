@@ -17,8 +17,9 @@ import (
 //     concurrently running task slot ("core N"), assigned greedily so a
 //     lane never holds two overlapping slices; task executions are B/E
 //     duration slices. tid 999 is the DLB ownership track (own_set /
-//     core_borrow / core_return instants) and tid 997 the runtime
-//     control-message track.
+//     core_borrow / core_return instants), tid 997 the runtime
+//     control-message track, and tid 993 the self-scheduling
+//     chunk-server track (chunk-grant instants).
 //   - pid base+5000+rank   — per-apprank causality. tid 0: task
 //     lifecycle instants (created, ready, scheduled); tid 1: scheduler
 //     decisions; tid 2: message events (matched sends as async b/e
@@ -36,6 +37,7 @@ const (
 	chromeDlbTid     = 999
 	chromeCtlTid     = 997
 	chromeFaultTid   = 995
+	chromeChunkTid   = 993
 	pidStride        = 10000
 )
 
@@ -338,6 +340,12 @@ func writeRecorder(cw *chromeWriter, ri int, label string, r *Recorder) {
 			cw.threadName(pid, 2, "messages")
 			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":2,"ts":%s,"s":"t","name":%s,"cat":"msg","args":{"src":%d,"dst":%d,"attempt":%d}}`,
 				pid, t, strconv.Quote("drop"), e.A, e.B, e.C))
+		case KindChunkGrant:
+			pid := nodePid(e.Node)
+			cw.processName(pid, fmt.Sprintf("%snode%d", prefix, e.Node))
+			cw.threadName(pid, chromeChunkTid, "chunk server")
+			cw.event(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":%s,"cat":"sched","args":{"apprank":%d,"worker":%d,"tasks":%d,"remaining":%d}}`,
+				pid, chromeChunkTid, t, strconv.Quote(fmt.Sprintf("chunk %d", e.B)), e.Apprank, e.A, e.B, e.C))
 		case KindImbalance:
 			pid := pidBase + chromeCounterPid
 			cw.processName(pid, prefix+"metrics")

@@ -35,6 +35,7 @@ func newMetrics() *Metrics {
 			"transfer_bytes":          metrics.NewHistogram(metrics.ExpBuckets(64, 4, 16)),
 			"msg_bytes":               metrics.NewHistogram(metrics.ExpBuckets(64, 4, 16)),
 			"sched_candidates":        metrics.NewHistogram(metrics.LinearBuckets(1, 1, 16)),
+			"chunk_size_tasks":        metrics.NewHistogram(metrics.ExpBuckets(1, 2, 16)),
 			"imbalance":               metrics.NewHistogram(metrics.LinearBuckets(1, 0.25, 20)),
 		},
 	}
@@ -121,6 +122,10 @@ func BuildMetrics(r *Recorder) *Metrics {
 			}
 		case KindMsgDrop:
 			m.Counters["msg_drops"]++
+		case KindChunkGrant:
+			m.Counters["chunk_grants"]++
+			m.Counters["chunk_tasks_granted"] += uint64(e.B)
+			m.Histograms["chunk_size_tasks"].Observe(float64(e.B))
 		case KindImbalance:
 			v := e.ImbalanceValue()
 			m.Histograms["imbalance"].Observe(v)

@@ -50,6 +50,7 @@ const (
 	KindFaultRecover
 	KindReoffload
 	KindMsgDrop
+	KindChunkGrant
 	numKinds
 )
 
@@ -74,6 +75,7 @@ var kindNames = [numKinds]string{
 	KindFaultRecover:  "fault_recover",
 	KindReoffload:     "reoffload",
 	KindMsgDrop:       "msg_drop",
+	KindChunkGrant:    "chunk_grant",
 }
 
 func (k Kind) String() string {
@@ -448,6 +450,21 @@ func (r *Recorder) MsgDrop(id int64, src, dst, attempt int) {
 	}
 	r.emit(Event{Kind: KindMsgDrop, Node: -1, Apprank: int32(dst), ID: id,
 		A: int64(src), B: int64(dst), C: int64(attempt)})
+}
+
+// --- Self-scheduling chunk server ------------------------------------
+
+// ChunkGrant records the self-scheduling chunk server handing a chunk of
+// centrally held tasks to a worker. Node = the receiving worker's node,
+// A = worker slot on the node, B = chunk size in tasks, C = tasks still
+// ungranted in the loop after the grant, D = the numeric policy id
+// (balance.SelfSched).
+func (r *Recorder) ChunkGrant(apprank, node, worker, size, remaining, policy int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindChunkGrant, Node: int32(node), Apprank: int32(apprank), ID: -1,
+		A: int64(worker), B: int64(size), C: int64(remaining), D: int64(policy)})
 }
 
 // --- Sampled gauges -------------------------------------------------
