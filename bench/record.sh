@@ -13,7 +13,9 @@
 # regardless of host or parallelism. The BENCH_sim.json pass runs every
 # figure at quick scale and records wall_seconds per figure — the
 # end-to-end simulator cost, host-dependent but comparable on one
-# machine across commits. The BENCH_obs.json pass times a quick fig9 run
+# machine across commits — plus the fig8 sweep at default scale under
+# both hot-path engines (pooled continuation records vs legacy
+# closures), with the engines' park/wake and peak-goroutine counters. The BENCH_obs.json pass times a quick fig9 run
 # with structured tracing off and on, recording the observability
 # overhead and the exported trace size. The BENCH_faults.json pass times
 # the quick resilience sweep against the fault-free fig8 point — the
@@ -41,11 +43,28 @@ now() { /tmp/bench_now; }
 go run ./cmd/lbsim -exp "$exp" -scale "$scale" -enginestats -enginejson "$out" >/dev/null
 echo "bench: wrote $out"
 
-go run ./cmd/lbsim -all -scale quick -format csv -simjson "$simout" >/dev/null
-echo "bench: wrote $simout"
-
 # Build once so the timed runs measure the simulator, not the compiler.
 go build -o /tmp/lbsim_bench ./cmd/lbsim
+
+# BENCH_sim.json: the quick full sweep, plus fig8 at default scale under
+# both engines (the single-run hot-path benchmark of the continuation
+# engine work; compare wall_seconds between the two sections).
+/tmp/lbsim_bench -all -scale quick -format csv -simjson /tmp/bench_quick_all.json >/dev/null
+/tmp/lbsim_bench -exp fig8 -scale default -format csv \
+    -simjson /tmp/bench_fig8_cont.json >/dev/null
+/tmp/lbsim_bench -exp fig8 -scale default -format csv -engine goroutine \
+    -simjson /tmp/bench_fig8_goro.json >/dev/null
+{
+    printf '{\n"quick_all": '
+    cat /tmp/bench_quick_all.json
+    printf ',\n"fig8_default": {\n"continuation": '
+    cat /tmp/bench_fig8_cont.json
+    printf ',\n"goroutine": '
+    cat /tmp/bench_fig8_goro.json
+    printf '}\n}\n'
+} > "$simout"
+rm -f /tmp/bench_quick_all.json /tmp/bench_fig8_cont.json /tmp/bench_fig8_goro.json
+echo "bench: wrote $simout"
 t0=$(now)
 /tmp/lbsim_bench -exp fig9 -scale quick >/dev/null
 t1=$(now)

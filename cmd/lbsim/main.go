@@ -13,6 +13,7 @@
 //	lbsim -exp policies -scale quick -format csv
 //	lbsim -exp fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	lbsim -exp fig8 -enginestats -enginejson BENCH_engine.json
+//	lbsim -exp fig8 -engine goroutine   (legacy closure paths, for A/B)
 //	lbsim -all -scale quick -simjson BENCH_sim.json
 //	lbsim -exp fig9 -scale quick -trace fig9.json -metricsjson fig9_metrics.json
 package main
@@ -25,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -38,6 +40,16 @@ import (
 )
 
 func main() {
+	// The simulator's allocations are almost entirely short-lived task
+	// and dependency records; the live heap between runs is tiny. The
+	// default GOGC=100 therefore collects far too eagerly — GC accounts
+	// for over 15% of a large sweep's wall clock. Trading memory for
+	// fewer cycles is the right default for a batch CLI; an explicit
+	// GOGC from the environment still wins. Results are unaffected:
+	// GC timing never feeds back into the simulation.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -60,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel  = fs.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
 		faultPlan = fs.String("faults", "", "run the synthetic workload under this fault plan (JSON file or preset; see faults presets: "+strings.Join(faults.PresetNames(), ", ")+")")
 		policy    = fs.String("policy", "", "run the synthetic workload under this self-scheduling policy vs the lewi+global baseline ("+strings.Join(balance.SelfSchedNames(), ", ")+"); combine with -faults to run both under a plan")
+		engine    = fs.String("engine", "continuation", "runtime hot-path engine: continuation (pooled records) or goroutine (legacy closures); results are identical, the flag exists for A/B benchmarking")
 
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -120,6 +133,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	sc.Parallel = *parallel
+	switch *engine {
+	case "continuation":
+	case "goroutine":
+		sc.GoroutineEngine = true
+	default:
+		return fail(fmt.Errorf("unknown engine %q (continuation, goroutine)", *engine))
+	}
 	// One graph store and one engine-stats collector for the whole
 	// invocation: sweeps (and with -all, experiments) that reuse a layout
 	// generate its helper graph once, and engine throughput aggregates
@@ -220,10 +240,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		d := sc.Engine.Totals().Sub(before)
 		report.add(id, r.Engine, d, wall)
 		if *engineStats {
-			fmt.Fprintf(stderr, "lbsim: %s: %d runs, %s events (%.0f%% fast-path), %s events/sec of run-host time, registry hi-water %d intervals, wall %v\n",
+			fmt.Fprintf(stderr, "lbsim: %s: %d runs, %s events (%.0f%% fast-path), %s events/sec of run-host time, %s parks/%s wakes, peak %d goroutine procs, registry hi-water %d intervals, wall %v\n",
 				id, d.Runs, humanCount(d.Events), 100*d.FastPathFraction(),
-				humanCount(uint64(d.EventsPerSec())), d.RegistryHiWater,
-				wall.Round(time.Millisecond))
+				humanCount(uint64(d.EventsPerSec())),
+				humanCount(d.Parks), humanCount(d.Wakes), d.PeakGoroutines,
+				d.RegistryHiWater, wall.Round(time.Millisecond))
 		}
 		return emit(r)
 	}
@@ -270,6 +291,9 @@ type experimentReport struct {
 	Events       uint64  `json:"events"`
 	FastPath     uint64  `json:"fast_path_events"`
 	HeapPushes   uint64  `json:"heap_pushes"`
+	Parks        uint64  `json:"parks"`
+	Wakes        uint64  `json:"wakes"`
+	PeakGoro     uint64  `json:"peak_goroutines"`
 	RegHiWater   uint64  `json:"registry_hiwater"`
 	HostSeconds  float64 `json:"run_host_seconds"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -283,6 +307,9 @@ func (er *engineReport) add(id string, e experiments.EngineStats, d simtime.RunT
 		Events:       e.Events,
 		FastPath:     e.FastPath,
 		HeapPushes:   e.HeapPushes,
+		Parks:        e.Parks,
+		Wakes:        e.Wakes,
+		PeakGoro:     e.PeakGoroutines,
 		RegHiWater:   e.RegistryHiWater,
 		HostSeconds:  d.Host.Seconds(),
 		WallSeconds:  wall.Seconds(),
@@ -300,6 +327,9 @@ func (er *engineReport) write(path string, total simtime.RunTotals) error {
 		Events:       total.Events,
 		FastPath:     total.FastPath,
 		HeapPushes:   total.HeapPushes,
+		Parks:        total.Parks,
+		Wakes:        total.Wakes,
+		PeakGoro:     total.PeakGoroutines,
 		RegHiWater:   total.RegistryHiWater,
 		HostSeconds:  total.Host.Seconds(),
 		EventsPerSec: total.EventsPerSec(),
@@ -319,6 +349,9 @@ func (er *engineReport) writeSim(path string) error {
 		ID          string  `json:"id"`
 		Runs        uint64  `json:"runs"`
 		WallSeconds float64 `json:"wall_seconds"`
+		Parks       uint64  `json:"parks"`
+		Wakes       uint64  `json:"wakes"`
+		PeakGoro    uint64  `json:"peak_goroutines"`
 	}
 	out := struct {
 		Scale            string      `json:"scale"`
@@ -327,7 +360,10 @@ func (er *engineReport) writeSim(path string) error {
 		Figures          []simFigure `json:"figures"`
 	}{Scale: er.Scale, Parallel: er.Parallel}
 	for _, e := range er.Experiments {
-		out.Figures = append(out.Figures, simFigure{ID: e.ID, Runs: e.Runs, WallSeconds: e.WallSeconds})
+		out.Figures = append(out.Figures, simFigure{
+			ID: e.ID, Runs: e.Runs, WallSeconds: e.WallSeconds,
+			Parks: e.Parks, Wakes: e.Wakes, PeakGoro: e.PeakGoro,
+		})
 		out.TotalWallSeconds += e.WallSeconds
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -34,6 +34,14 @@ type problemView struct {
 	workers  [][]int // apprank index -> worker indices (into p.Workers)
 	onNode   [][]int // node index -> worker indices
 	work     []float64
+
+	// Solver scratch: the bisection in solveT rebuilds the same-shaped
+	// flow network up to 60 times, so the graph and the demand/capacity
+	// buffers are allocated once per view and reused across rebuilds.
+	g     *flow.Graph
+	dbuf  []float64 // demands
+	cbuf  []float64 // residual capacities
+	webuf []int     // per-worker edge ids
 }
 
 func buildView(p *Problem, incentive float64) *problemView {
@@ -70,23 +78,32 @@ func buildView(p *Problem, incentive float64) *problemView {
 }
 
 // demands returns each apprank's core demand beyond the one-per-worker
-// floor at objective value t.
+// floor at objective value t. The returned slice is the view's reusable
+// buffer: valid until the next demands call.
 func (v *problemView) demands(t float64) []float64 {
-	d := make([]float64, len(v.appranks))
+	if v.dbuf == nil {
+		v.dbuf = make([]float64, len(v.appranks))
+	}
+	d := v.dbuf
 	for ai := range v.appranks {
 		base := float64(len(v.workers[ai]))
 		need := v.work[ai]/t - base
 		if need > 0 {
 			d[ai] = need
+		} else {
+			d[ai] = 0
 		}
 	}
 	return d
 }
 
 // residualCap returns each node's capacity beyond the one-per-worker
-// floor.
+// floor, in the view's reusable buffer (valid until the next call).
 func (v *problemView) residualCap() []float64 {
-	caps := make([]float64, len(v.p.Nodes))
+	if v.cbuf == nil {
+		v.cbuf = make([]float64, len(v.p.Nodes))
+	}
+	caps := v.cbuf
 	for ni, n := range v.p.Nodes {
 		caps[ni] = float64(n.Cores - len(v.onNode[ni]))
 	}
@@ -111,10 +128,16 @@ func (v *problemView) feasibleFlow(t float64) bool {
 
 // buildFlowGraph assembles the allocation network. When costed is true,
 // helper edges cost 1 and home edges cost 0. It returns the per-worker
-// edge ids.
+// edge ids. The graph and the edge-id slice are the view's reusable
+// scratch: both are valid until the next buildFlowGraph call.
 func (v *problemView) buildFlowGraph(demands []float64, costed bool) (g *flow.Graph, src, sink int, workerEdge []int) {
 	nApp, nNode := len(v.appranks), len(v.p.Nodes)
-	g = flow.NewGraph(nApp + nNode + 2)
+	if v.g == nil {
+		v.g = flow.NewGraph(nApp + nNode + 2)
+	} else {
+		v.g.Reinit(nApp + nNode + 2)
+	}
+	g = v.g
 	src = nApp + nNode
 	sink = src + 1
 	caps := v.residualCap()
@@ -123,7 +146,10 @@ func (v *problemView) buildFlowGraph(demands []float64, costed bool) (g *flow.Gr
 			g.AddEdge(src, ai, d, 0)
 		}
 	}
-	workerEdge = make([]int, len(v.p.Workers))
+	if cap(v.webuf) < len(v.p.Workers) {
+		v.webuf = make([]int, len(v.p.Workers))
+	}
+	workerEdge = v.webuf[:len(v.p.Workers)]
 	for i := range workerEdge {
 		workerEdge[i] = -1
 	}

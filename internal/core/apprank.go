@@ -233,10 +233,14 @@ func (a *Apprank) assign(w *Worker, t *nanos.Task, loc nanos.LocVec) {
 		a.dispatchOffload(w, t, simtimeDuration(ctl+dataDelay))
 		return
 	}
-	rt.env.Schedule(simtimeDuration(ctl+dataDelay), func() {
-		w.inflight--
-		w.enqueue(t)
-	})
+	if rt.cfg.GoroutineEngine {
+		rt.env.Schedule(simtimeDuration(ctl+dataDelay), func() {
+			w.inflight--
+			w.enqueue(t)
+		})
+		return
+	}
+	rt.env.Schedule(simtimeDuration(ctl+dataDelay), rt.getStage(w, t).fn)
 }
 
 // refillAll pulls centrally queued tasks into any worker below the

@@ -178,6 +178,13 @@ type Config struct {
 	// be fixed).
 	SelfSched balance.SelfSched
 
+	// GoroutineEngine forces the legacy per-task closure paths in the
+	// runtime hot path instead of the pooled continuation records
+	// (continuations.go). Both engines produce byte-identical schedules
+	// and results; the flag exists for the engine differential test and
+	// for A/B benchmarking. Default false: continuation records.
+	GoroutineEngine bool
+
 	// CustomPolicy, when non-nil, replaces the built-in DROM policies
 	// with a user-provided core allocator, invoked every LocalPeriod
 	// with the smoothed busy measurements (DROM is ignored). This is the

@@ -91,6 +91,79 @@ func TestCrashAbortsWithTypedError(t *testing.T) {
 	}
 }
 
+// TestCrashWithParkedCProc: continuation procs parked mid-wait must not
+// change the crash-abort surface, and killing them afterwards must not
+// leak synchronization state. A monitor CProc parks in PopThen on a queue
+// that never fills and a second one in WaitThen on an event that never
+// fires while a crash plan aborts the job; the run still returns the
+// typed AbortError, the parked CProcs survive (they belong to the
+// harness, not the dead application), and Kill reclaims them with Done
+// triggered and the queue still usable.
+func TestCrashWithParkedCProc(t *testing.T) {
+	plan := &faults.Plan{
+		Name:   "crash-with-cproc",
+		Events: []faults.Event{{Kind: faults.Crash, At: 20 * simtime.Duration(ms), Node: 3}},
+	}
+	rt, err := New(faultCfg(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := rt.Env()
+	q := env.NewQueue()
+	ev := env.NewEvent()
+	popper := env.SpawnC("monitor-pop", func(cp *simtime.CProc) {
+		cp.SetBlockReason("monitor-pop", 0, 0)
+		q.PopThen(cp, func(v any) {
+			t.Errorf("monitor woke with %v; queue never filled", v)
+			cp.End()
+		})
+	})
+	waiter := env.SpawnC("monitor-wait", func(cp *simtime.CProc) {
+		cp.SetBlockReason("monitor-wait", 0, 0)
+		cp.WaitThen(ev, func(v any) {
+			t.Errorf("waiter woke with %v; event never fired", v)
+			cp.End()
+		})
+	})
+	err = rt.Run(faultMain)
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("run returned %v, want AbortError", err)
+	}
+	if abort.Node != 3 {
+		t.Fatalf("AbortError.Node = %d, want 3", abort.Node)
+	}
+	// The monitors are harness-side processes: the crash must not have
+	// touched them.
+	if live := env.LiveProcs(); len(live) != 2 {
+		t.Fatalf("live procs after abort = %v, want the two monitors", live)
+	}
+	popDone, waitDone := false, false
+	popper.Done().Subscribe(func(any) { popDone = true })
+	waiter.Done().Subscribe(func(any) { waitDone = true })
+	popper.Kill()
+	waiter.Kill()
+	if err := env.Run(); err != nil { // drain the Done subscription callbacks
+		t.Fatal(err)
+	}
+	if !popDone || !waitDone {
+		t.Fatalf("Done after Kill: pop=%v wait=%v, want both", popDone, waitDone)
+	}
+	if live := env.LiveProcs(); len(live) != 0 {
+		t.Fatalf("live procs after Kill: %v", live)
+	}
+	// The dead waiter must not swallow a later item or break the queue.
+	q.Push("later")
+	if q.Len() != 1 {
+		t.Fatalf("queue len after post-kill Push = %d, want 1", q.Len())
+	}
+	for _, ns := range rt.nodes {
+		if err := ns.arb.CheckInvariants(); err != nil {
+			t.Fatalf("node %d inconsistent after crash: %v", ns.id, err)
+		}
+	}
+}
+
 // TestEmptyPlanMatchesNilPlan pins the byte-identity contract at its
 // root: an armed but empty fault plan adds bookkeeping events (offload
 // records, deadlines) yet must not change a single scheduling decision,

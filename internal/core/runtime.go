@@ -30,6 +30,13 @@ type ClusterRuntime struct {
 	dyn        *dynamicState
 	flt        *faultState // nil unless Config.Faults is set
 	stats      RunStats
+
+	// Free lists for the hot-path continuation records (continuations.go).
+	// Per-runtime, so parallel sweeps never share them; the event loop is
+	// single-threaded, so no locking.
+	freeExec   []*execRec
+	freeStage  []*stageRec
+	freeFinish []*finishRec
 }
 
 // RunStats aggregates runtime activity counters over a run.
@@ -373,7 +380,14 @@ func (rt *ClusterRuntime) runGlobalPartitioned(pol balance.GlobalPolicy) {
 						continue
 					}
 					owned[i] = alloc[balance.WorkerKey{Apprank: w.app.id, Node: ns.id}]
-					if owned[i] != ns.arb.Owned(w.wid) {
+				}
+				// The problem was measured before the modelled solve delay;
+				// a core-loss or drain fault may have changed the node in
+				// the meantime, leaving a stale total. Reconcile to the
+				// node's core count as of now (no-op on fault-free runs).
+				reconcileOwned(owned, ns.workers, ns.arb.Cores())
+				for i, w := range ns.workers {
+					if !w.dead && owned[i] != ns.arb.Owned(w.wid) {
 						rt.stats.OwnershipChanges++
 					}
 				}
@@ -391,6 +405,51 @@ func (rt *ClusterRuntime) runGlobalPartitioned(pol balance.GlobalPolicy) {
 		} else {
 			apply()
 		}
+	}
+}
+
+// reconcileOwned adjusts a solver allocation to the node's core count at
+// apply time. A fault landing during the modelled solve delay can leave
+// the allocation stale: a core loss shrinks the node below the measured
+// total, a drain zeroes a dead worker's share. Excess is revoked from
+// the largest owners (keeping the one-core floor while possible, as
+// loseCores does); shortfall goes to the emptiest live worker. On
+// fault-free runs the allocation already sums to the core count and
+// both loops are never entered.
+func reconcileOwned(owned []int, workers []*Worker, cores int) {
+	sum := 0
+	for _, o := range owned {
+		sum += o
+	}
+	for floor := 1; sum > cores; {
+		best := -1
+		for i, o := range owned {
+			if o > floor && (best == -1 || o > owned[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			floor = 0 // everyone at the floor: give up the floor
+			continue
+		}
+		owned[best]--
+		sum--
+	}
+	for sum < cores {
+		best := -1
+		for i, w := range workers {
+			if w.dead {
+				continue
+			}
+			if best == -1 || owned[i] < owned[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			return // no live workers; the caller skips such nodes
+		}
+		owned[best]++
+		sum++
 	}
 }
 

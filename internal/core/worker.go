@@ -77,10 +77,11 @@ func (w *Worker) start() {
 	work := t.Work + simtime.Duration(rt.cfg.OverheadFrac*float64(t.Work))
 	exec := rt.cfg.Machine.ExecTime(w.ns.id, work) + rt.cfg.OverheadFixed
 	rt.talp.AddUseful(w.app.id, float64(exec))
-	if rt.flt != nil {
-		// The completion closure is only valid while the worker lives:
-		// if the node dies mid-task the recovery path force-finishes and
-		// re-places the task, and this closure must become a no-op.
+	if rt.cfg.GoroutineEngine {
+		// Legacy closure path, kept for the engine differential check.
+		// The completion is only valid while the worker lives: if the
+		// node dies mid-task the recovery path force-finishes and
+		// re-places the task, and the epoch stamp makes this a no-op.
 		epoch := w.epoch
 		rt.env.Schedule(exec, func() {
 			if w.epoch != epoch {
@@ -90,7 +91,9 @@ func (w *Worker) start() {
 		})
 		return
 	}
-	rt.env.Schedule(exec, func() { w.complete(t) })
+	// Continuation engine: a pooled record instead of a per-task closure
+	// (same event, same (time, seq) key — see continuations.go).
+	rt.env.Schedule(exec, rt.getExec(w, t).fn)
 }
 
 // complete handles a task finishing on this worker.
@@ -109,7 +112,11 @@ func (w *Worker) complete(t *nanos.Task) {
 		if rt.flt != nil {
 			a.markCompletedRemote(t)
 		}
-		rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, func() { a.finishTask(t) })
+		if rt.cfg.GoroutineEngine {
+			rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, func() { a.finishTask(t) })
+		} else {
+			rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, rt.getFinish(a, t).fn)
+		}
 	}
 	// Steal centrally held tasks now that this worker has room ("will be
 	// stolen as tasks complete", §5.5).

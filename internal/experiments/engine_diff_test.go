@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// runFig8 renders fig8 at quick scale through ByID (so the engine
+// counters are collected) with the given scale tweaks, returning the CSV
+// bytes and the summarized engine counters.
+func runFig8(t *testing.T, mutate func(*Scale)) (string, EngineStats) {
+	t.Helper()
+	sc := qs()
+	mutate(&sc)
+	res, err := ByID("fig8", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.CSV(), res.Engine
+}
+
+// TestEngineDifferentialFig8 is the conversion-safety check for the
+// pooled continuation records: the legacy per-task closure engine and the
+// continuation-record engine must produce byte-identical figure CSVs and
+// identical deterministic engine counters (events, fast-path split, heap
+// pushes, parks, wakes). A divergence means the pooled records changed a
+// scheduling decision, which the byte-identity contract forbids.
+func TestEngineDifferentialFig8(t *testing.T) {
+	contCSV, contStats := runFig8(t, func(sc *Scale) { sc.GoroutineEngine = false })
+	goroCSV, goroStats := runFig8(t, func(sc *Scale) { sc.GoroutineEngine = true })
+	if contCSV != goroCSV {
+		t.Fatalf("fig8 CSV differs between engines:\ncontinuation:\n%s\ngoroutine:\n%s", contCSV, goroCSV)
+	}
+	if contStats != goroStats {
+		t.Fatalf("engine counters differ:\ncontinuation: %+v\ngoroutine: %+v", contStats, goroStats)
+	}
+	if contStats.Events == 0 || contStats.Parks == 0 || contStats.Wakes == 0 {
+		t.Fatalf("implausible counters (collector not wired?): %+v", contStats)
+	}
+}
+
+// TestEngineDifferentialParallelism: the sweep engine collects results by
+// spec index, so running the figure's simulations sequentially or eight
+// at a time must not change a byte of output or any deterministic
+// counter. (Host-time derived fields are not part of EngineStats.)
+func TestEngineDifferentialParallelism(t *testing.T) {
+	seqCSV, seqStats := runFig8(t, func(sc *Scale) { sc.Parallel = 1 })
+	parCSV, parStats := runFig8(t, func(sc *Scale) { sc.Parallel = 8 })
+	if seqCSV != parCSV {
+		t.Fatalf("fig8 CSV differs between -parallel 1 and 8:\nseq:\n%s\npar:\n%s", seqCSV, parCSV)
+	}
+	if seqStats != parStats {
+		t.Fatalf("engine counters differ across parallelism:\nseq: %+v\npar: %+v", seqStats, parStats)
+	}
+}

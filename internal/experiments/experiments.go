@@ -59,6 +59,14 @@ type EngineStats struct {
 	FastPath uint64
 	// HeapPushes counts events that went through the future-event heap.
 	HeapPushes uint64
+	// Parks counts process blocks (goroutine Park/Sleep and the
+	// continuation *Then primitives) across all runs.
+	Parks uint64
+	// Wakes counts scheduled process resumptions across all runs.
+	Wakes uint64
+	// PeakGoroutines is the maximum goroutine-backed process count any
+	// single run reached — the Go scheduler pressure a figure exerts.
+	PeakGoroutines uint64
 	// RegistryHiWater is the maximum dependency-registry interval count
 	// any single run reached — the live-interval footprint after
 	// coalescing, which bounds the per-query walk cost.
@@ -240,6 +248,11 @@ type Scale struct {
 	// time from every simulator run (safe for concurrent use). ByID
 	// creates one per call when unset and summarises it on the Result.
 	Engine *simtime.StatsCollector
+	// GoroutineEngine forces the runtime's legacy per-task closure paths
+	// instead of the pooled continuation records. Results are identical
+	// either way; the flag exists for the engine differential test and
+	// A/B benchmarking (cmd/lbsim -engine goroutine).
+	GoroutineEngine bool
 }
 
 // SamplePeriodOrDefault returns the sampling period as a Time step.
@@ -402,6 +415,9 @@ func ByID(id string, sc Scale) (*Result, error) {
 		Events:          d.Events,
 		FastPath:        d.FastPath,
 		HeapPushes:      d.HeapPushes,
+		Parks:           d.Parks,
+		Wakes:           d.Wakes,
+		PeakGoroutines:  d.PeakGoroutines,
 		RegistryHiWater: d.RegistryHiWater,
 	}
 	return res, nil

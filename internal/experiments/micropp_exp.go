@@ -59,6 +59,7 @@ func mppRun(sc Scale, nodes, rpn, degree int, lewi bool, drom core.DROMMode, rec
 		Degree:          degree,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		GoroutineEngine: sc.GoroutineEngine,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

@@ -65,6 +65,7 @@ func nbodyRun(sc Scale, nodes, degree int, lewi bool, drom core.DROMMode, slow, 
 		Degree:          degree,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		GoroutineEngine: sc.GoroutineEngine,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

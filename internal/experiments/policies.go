@@ -99,17 +99,18 @@ func policyRun(sc Scale, scn policyScenario, plan *faults.Plan, pol policyConfig
 	}
 	b := synthetic.New(synCfg, policyNodes, sc.CoresPerNode)
 	rt, err := core.New(core.Config{
-		Machine:      m,
-		Degree:       3,
-		Graphs:       sc.Graphs,
-		EngineStats:  sc.Engine,
-		LeWI:         pol.lewi,
-		DROM:         pol.drom,
-		SelfSched:    pol.sched,
-		GlobalPeriod: sc.GlobalPeriod,
-		LocalPeriod:  sc.LocalPeriod,
-		Seed:         sc.Seed,
-		Faults:       plan,
+		Machine:         m,
+		Degree:          3,
+		Graphs:          sc.Graphs,
+		EngineStats:     sc.Engine,
+		GoroutineEngine: sc.GoroutineEngine,
+		LeWI:            pol.lewi,
+		DROM:            pol.drom,
+		SelfSched:       pol.sched,
+		GlobalPeriod:    sc.GlobalPeriod,
+		LocalPeriod:     sc.LocalPeriod,
+		Seed:            sc.Seed,
+		Faults:          plan,
 	})
 	if err != nil {
 		return 0, nil, err

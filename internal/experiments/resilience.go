@@ -78,16 +78,17 @@ func resilienceRun(sc Scale, plan *faults.Plan, lewi bool, drom core.DROMMode) (
 	m := cluster.New(resilienceNodes, sc.CoresPerNode, cluster.DefaultNet())
 	b := synthetic.New(synConfig(sc, 2.0), resilienceNodes, sc.CoresPerNode)
 	rt, err := core.New(core.Config{
-		Machine:      m,
-		Degree:       3,
-		Graphs:       sc.Graphs,
-		EngineStats:  sc.Engine,
-		LeWI:         lewi,
-		DROM:         drom,
-		GlobalPeriod: sc.GlobalPeriod,
-		LocalPeriod:  sc.LocalPeriod,
-		Seed:         sc.Seed,
-		Faults:       plan,
+		Machine:         m,
+		Degree:          3,
+		Graphs:          sc.Graphs,
+		EngineStats:     sc.Engine,
+		GoroutineEngine: sc.GoroutineEngine,
+		LeWI:            lewi,
+		DROM:            drom,
+		GlobalPeriod:    sc.GlobalPeriod,
+		LocalPeriod:     sc.LocalPeriod,
+		Seed:            sc.Seed,
+		Faults:          plan,
 	})
 	if err != nil {
 		return 0, nil, err

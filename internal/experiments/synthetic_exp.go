@@ -17,16 +17,17 @@ import (
 func synRun(sc Scale, m *cluster.Machine, synCfg synthetic.Config, degree int, lewi bool, drom core.DROMMode, rec *trace.Recorder) (simtime.Duration, *core.ClusterRuntime) {
 	b := synthetic.New(synCfg, m.NumNodes(), sc.CoresPerNode)
 	rt := core.MustNew(core.Config{
-		Machine:      m,
-		Degree:       degree,
-		Graphs:       sc.Graphs,
-		EngineStats:  sc.Engine,
-		LeWI:         lewi,
-		DROM:         drom,
-		GlobalPeriod: sc.GlobalPeriod,
-		LocalPeriod:  sc.LocalPeriod,
-		Seed:         sc.Seed,
-		Recorder:     rec,
+		Machine:         m,
+		Degree:          degree,
+		Graphs:          sc.Graphs,
+		EngineStats:     sc.Engine,
+		GoroutineEngine: sc.GoroutineEngine,
+		LeWI:            lewi,
+		DROM:            drom,
+		GlobalPeriod:    sc.GlobalPeriod,
+		LocalPeriod:     sc.LocalPeriod,
+		Seed:            sc.Seed,
+		Recorder:        rec,
 	})
 	if err := rt.Run(b.Main()); err != nil {
 		panic(fmt.Sprintf("experiments: synthetic run failed: %v", err))
@@ -344,6 +345,7 @@ func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder, ob *obs.
 		Degree:          2,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		GoroutineEngine: sc.GoroutineEngine,
 		LeWI:            true,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

@@ -30,6 +30,14 @@ type Graph struct {
 	n     int
 	edges []edge // pairs: edge 2k is forward, 2k+1 its reverse
 	adj   [][]int
+
+	// Solver scratch, sized lazily to n and reused across solves and
+	// Reinit cycles (the balance bisection rebuilds and solves the same
+	// network dozens of times per policy tick).
+	level, iter, prevEdge []int
+	dist                  []float64
+	inQueue               []bool
+	queue                 []int
 }
 
 // NewGraph creates a flow network with n nodes.
@@ -38,6 +46,41 @@ func NewGraph(n int) *Graph {
 		panic("flow: non-positive node count")
 	}
 	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// Reinit empties the graph and resizes it to n nodes, retaining the edge,
+// adjacency, and solver scratch storage of previous builds. Edge ids from
+// before the Reinit are invalid afterwards.
+func (g *Graph) Reinit(n int) {
+	if n <= 0 {
+		panic("flow: non-positive node count")
+	}
+	g.edges = g.edges[:0]
+	if cap(g.adj) >= n {
+		g.adj = g.adj[:n]
+	} else {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+}
+
+// scratch sizes the solver scratch slices to the current node count.
+func (g *Graph) scratch() {
+	if cap(g.level) < g.n {
+		g.level = make([]int, g.n)
+		g.iter = make([]int, g.n)
+		g.prevEdge = make([]int, g.n)
+		g.dist = make([]float64, g.n)
+		g.inQueue = make([]bool, g.n)
+	}
+	g.level = g.level[:g.n]
+	g.iter = g.iter[:g.n]
+	g.prevEdge = g.prevEdge[:g.n]
+	g.dist = g.dist[:g.n]
+	g.inQueue = g.inQueue[:g.n]
 }
 
 // NumNodes returns the node count.
@@ -86,8 +129,8 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 		panic("flow: source equals sink")
 	}
 	total := 0.0
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
+	g.scratch()
+	level, iter := g.level, g.iter
 	for g.bfs(s, t, level) {
 		for i := range iter {
 			iter[i] = 0
@@ -109,10 +152,9 @@ func (g *Graph) bfs(s, t int, level []int) bool {
 		level[i] = -1
 	}
 	level[s] = 0
-	queue := []int{s}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue := append(g.queue[:0], s)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, id := range g.adj[v] {
 			e := &g.edges[id]
 			if g.residual(id) > eps && level[e.to] < 0 {
@@ -121,6 +163,7 @@ func (g *Graph) bfs(s, t int, level []int) bool {
 			}
 		}
 	}
+	g.queue = queue[:0]
 	return level[t] >= 0
 }
 
@@ -150,20 +193,19 @@ func (g *Graph) MinCostMaxFlow(s, t int) (flowVal, cost float64) {
 	if s == t {
 		panic("flow: source equals sink")
 	}
-	dist := make([]float64, g.n)
-	inQueue := make([]bool, g.n)
-	prevEdge := make([]int, g.n)
+	g.scratch()
+	dist, inQueue, prevEdge := g.dist, g.inQueue, g.prevEdge
 	for {
 		for i := range dist {
 			dist[i] = math.Inf(1)
 			prevEdge[i] = -1
+			inQueue[i] = false
 		}
 		dist[s] = 0
-		queue := []int{s}
+		queue := append(g.queue[:0], s)
 		inQueue[s] = true
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			inQueue[v] = false
 			for _, id := range g.adj[v] {
 				e := &g.edges[id]
@@ -177,6 +219,7 @@ func (g *Graph) MinCostMaxFlow(s, t int) (flowVal, cost float64) {
 				}
 			}
 		}
+		g.queue = queue[:0]
 		if math.IsInf(dist[t], 1) {
 			return flowVal, cost
 		}

@@ -69,6 +69,60 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 	}
 }
 
+// BenchmarkProcParkWake measures one goroutine-proc park/wake round trip:
+// two channel handoffs plus the pre-bound resume event. The CI perf smoke
+// fails if this reports any allocations (the resume closure is bound once
+// at spawn, not per wake).
+func BenchmarkProcParkWake(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv()
+	p := e.Spawn("parker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Park()
+		}
+	})
+	e.Spawn("waker", func(w *Proc) {
+		for i := 0; i < b.N; i++ {
+			e.WakeProc(p, nil)
+			w.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCProcParkWake measures the continuation-proc equivalent: a
+// ParkThen/wake cycle that stays on the event-loop goroutine with zero
+// channel handoffs. Also pinned to 0 allocs/op by the CI perf smoke.
+func BenchmarkCProcParkWake(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv()
+	var cp *CProc
+	n := 0
+	var park func(any)
+	park = func(any) {
+		if n < b.N {
+			cp.ParkThen(park)
+			return
+		}
+		cp.End()
+	}
+	cp = e.SpawnC("parker", func(cp *CProc) { cp.ParkThen(park) })
+	e.Spawn("waker", func(w *Proc) {
+		for ; n < b.N; n++ {
+			e.WakeCProc(cp, nil)
+			w.Sleep(1)
+		}
+		e.WakeCProc(cp, nil) // release the final park so End runs
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkQueuePingPong measures two processes exchanging items.
 func BenchmarkQueuePingPong(b *testing.B) {
 	e := NewEnv()

@@ -1,0 +1,223 @@
+package simtime
+
+import "fmt"
+
+// CProc is a continuation-based simulation process: an explicit state
+// machine that runs entirely on the event-loop goroutine. Where a Proc
+// blocks by parking its goroutine (two channel handoffs per park/wake),
+// a CProc blocks by registering a continuation and returning; the wake
+// simply invokes the continuation as an ordinary event callback. The two
+// flavors share every synchronization structure (Event, Queue), the
+// (time, seq) wake path, the deadlock dump format, and the KillAll
+// teardown order, so a process can be converted between styles without
+// changing any observable schedule.
+//
+// Programming model: the start function and every continuation run as
+// event callbacks. A continuation must leave the process either blocked
+// (by calling exactly one of ParkThen, SleepThen, WaitThen or PopThen
+// before returning) or finished (by calling End); returning in neither
+// state panics, because a CProc with no pending continuation can never
+// run again and would silently vanish from the deadlock detector's view.
+// This is the invariant that keeps blocked-process diagnostics truthful:
+// a blocked CProc is always findable via its registered continuation.
+type CProc struct {
+	env    *Env
+	id     uint64
+	name   string
+	done   *Event
+	killed bool
+	ended  bool
+	parked bool
+
+	// Pending continuation while parked: kAny for value-carrying wakes
+	// (ParkThen, WaitThen, PopThen), kVoid for timers (SleepThen). Two
+	// typed slots avoid wrapping a func() into a func(any) closure per
+	// sleep, keeping the park/wake path allocation-free.
+	kAny  func(any)
+	kVoid func()
+
+	// wakeFn/wakeVal mirror Proc's pre-bound resume trampoline: every
+	// wake schedules the same closure, staging the value in wakeVal.
+	wakeFn  func()
+	wakeVal any
+
+	blockWhat string
+	blockA    int64
+	blockB    int64
+}
+
+// SpawnC creates a continuation-based process and schedules its start
+// function at the current virtual time. Spawning consumes the same
+// (id, start-event) sequence numbers as Spawn, so replacing a goroutine
+// proc with a CProc leaves every later event's (time, seq) key unchanged.
+func (e *Env) SpawnC(name string, start func(cp *CProc)) *CProc {
+	e.seq++
+	cp := &CProc{env: e, id: e.seq, name: name, done: e.NewEvent()}
+	cp.wakeFn = func() {
+		if cp.killed {
+			return
+		}
+		cp.step()
+	}
+	e.procs[cp] = struct{}{}
+	e.At(e.now, func() {
+		if cp.killed {
+			// kill() already removed the process and triggered done.
+			return
+		}
+		start(cp)
+		cp.checkYielded()
+	})
+	return cp
+}
+
+// step resumes the process: it consumes the staged wake value and the
+// pending continuation, runs it, and checks the park-or-end invariant.
+func (cp *CProc) step() {
+	cp.parked = false
+	cp.blockWhat = ""
+	v := cp.wakeVal
+	cp.wakeVal = nil
+	switch {
+	case cp.kAny != nil:
+		k := cp.kAny
+		cp.kAny = nil
+		k(v)
+	case cp.kVoid != nil:
+		k := cp.kVoid
+		cp.kVoid = nil
+		k()
+	default:
+		panic(fmt.Sprintf("simtime: CProc %q woken with no pending continuation", cp.name))
+	}
+	cp.checkYielded()
+}
+
+// checkYielded enforces the park-or-end invariant after a segment runs.
+func (cp *CProc) checkYielded() {
+	if !cp.parked && !cp.ended && !cp.killed {
+		panic(fmt.Sprintf("simtime: CProc %q returned neither parked nor ended at %v", cp.name, cp.env.now))
+	}
+}
+
+// Name returns the name given at SpawnC.
+func (cp *CProc) Name() string { return cp.name }
+
+// Env returns the environment the process belongs to.
+func (cp *CProc) Env() *Env { return cp.env }
+
+// Done returns an event triggered when the process ends or is killed.
+func (cp *CProc) Done() *Event { return cp.done }
+
+// SetBlockReason records why the process is about to block, exactly as
+// Proc.SetBlockReason does; the deadlock detector renders both flavors
+// identically. Cleared automatically when the process resumes.
+func (cp *CProc) SetBlockReason(what string, a, b int64) {
+	cp.blockWhat, cp.blockA, cp.blockB = what, a, b
+}
+
+// ParkThen blocks the process until something wakes it (an Event trigger,
+// a Queue push, or an explicit WakeCProc); k then receives the wake value.
+// It is the continuation counterpart of Proc.Park.
+func (cp *CProc) ParkThen(k func(v any)) {
+	if cp.killed || cp.ended {
+		panic(fmt.Sprintf("simtime: ParkThen on finished CProc %q", cp.name))
+	}
+	cp.env.npark++
+	cp.kAny = k
+	cp.parked = true
+}
+
+// WakeCProc schedules cp to resume at the current virtual time with v as
+// the argument of its pending continuation — the counterpart of WakeProc.
+// At most one wake may be pending per process.
+func (e *Env) WakeCProc(cp *CProc, v any) { cp.wake(v) }
+
+// SleepThen blocks the process for d of virtual time, then runs k. It is
+// the continuation counterpart of Proc.Sleep.
+func (cp *CProc) SleepThen(d Duration, k func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative sleep %v", d))
+	}
+	if cp.killed || cp.ended {
+		panic(fmt.Sprintf("simtime: SleepThen on finished CProc %q", cp.name))
+	}
+	e := cp.env
+	e.npark++
+	e.nwake++
+	cp.kVoid = k
+	cp.parked = true
+	e.At(e.now+Time(d), cp.wakeFn)
+}
+
+// WaitThen runs k with the event's value once it triggers — immediately
+// (synchronously) if it already has, mirroring Proc.Wait's immediate
+// return on a triggered event.
+func (cp *CProc) WaitThen(ev *Event, k func(v any)) {
+	if ev.triggered {
+		k(ev.val)
+		return
+	}
+	ev.waiters = append(ev.waiters, cp)
+	cp.ParkThen(k)
+}
+
+// PopThen runs k with the queue's head item — immediately (synchronously)
+// if one is buffered, mirroring Proc-style Pop's immediate return —
+// blocking the process until a Push otherwise.
+func (q *Queue) PopThen(cp *CProc, k func(v any)) {
+	if v, ok := q.TryPop(); ok {
+		k(v)
+		return
+	}
+	q.waiters = append(q.waiters, cp)
+	cp.ParkThen(k)
+}
+
+// End finishes the process: it leaves the live set and its Done event
+// triggers. Every CProc must eventually End (or be killed); a CProc that
+// stops parking without ending panics via the park-or-end invariant.
+func (cp *CProc) End() {
+	if cp.ended {
+		panic(fmt.Sprintf("simtime: CProc %q ended twice", cp.name))
+	}
+	if cp.killed {
+		return
+	}
+	cp.ended = true
+	cp.kAny, cp.kVoid, cp.wakeVal = nil, nil, nil
+	delete(cp.env.procs, cp)
+	cp.done.Trigger(nil)
+}
+
+// Kill forcibly terminates the process (the fault-injection primitive,
+// identical in contract to Proc.Kill): any pending continuation is
+// dropped, a pending wake becomes a no-op, and Done triggers — the same
+// surface a killed goroutine proc presents. Killing a finished process
+// is a harmless no-op. Must be invoked from an event callback.
+func (cp *CProc) Kill() { cp.kill() }
+
+func (cp *CProc) kill() {
+	if cp.killed || cp.ended {
+		return
+	}
+	cp.killed = true
+	cp.kAny, cp.kVoid, cp.wakeVal = nil, nil, nil
+	delete(cp.env.procs, cp)
+	cp.done.Trigger(nil)
+}
+
+// process interface implementation.
+func (cp *CProc) pid() uint64 { return cp.id }
+
+func (cp *CProc) blocked() BlockedProc {
+	return BlockedProc{Name: cp.name, What: cp.blockWhat, A: cp.blockA, B: cp.blockB}
+}
+
+func (cp *CProc) isKilled() bool { return cp.killed }
+
+func (cp *CProc) wake(v any) {
+	cp.wakeVal = v
+	cp.env.nwake++
+	cp.env.At(cp.env.now, cp.wakeFn)
+}

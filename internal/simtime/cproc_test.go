@@ -1,0 +1,420 @@
+package simtime
+
+import (
+	"strings"
+	"testing"
+)
+
+// A CProc state machine chains every asynchronous primitive and must see
+// the same values, times, and Done trigger a goroutine proc would.
+func TestCProcPrimitiveChain(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	ev := e.NewEvent()
+	var got []string
+	note := func(s string) { got = append(got, s) }
+
+	cp := e.SpawnC("chain", func(cp *CProc) {
+		note("start")
+		cp.SleepThen(10, func() {
+			if e.Now() != 10 {
+				t.Errorf("woke at %v, want 10", e.Now())
+			}
+			note("slept")
+			q.PopThen(cp, func(v any) {
+				note("popped:" + v.(string))
+				cp.WaitThen(ev, func(v any) {
+					note("waited:" + v.(string))
+					cp.End()
+				})
+			})
+		})
+	})
+	e.Schedule(20, func() { q.Push("item") })
+	e.Schedule(30, func() { ev.Trigger("fired") })
+	ended := false
+	cp.Done().Subscribe(func(any) { ended = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "start,slept,popped:item,waited:fired"
+	if s := strings.Join(got, ","); s != want {
+		t.Fatalf("trace %q, want %q", s, want)
+	}
+	if !ended {
+		t.Fatal("Done did not trigger after End")
+	}
+	if n := len(e.LiveProcs()); n != 0 {
+		t.Fatalf("%d live procs after End", n)
+	}
+}
+
+// WaitThen on an already-triggered event and PopThen on a non-empty queue
+// run their continuation synchronously, mirroring Proc.Wait and Queue.Pop
+// returning without parking.
+func TestCProcSynchronousPaths(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	q.Push(1)
+	q.Push(2)
+	ev := e.NewEvent()
+	ev.Trigger("early")
+	var got []any
+	e.SpawnC("sync", func(cp *CProc) {
+		q.PopThen(cp, func(v any) { got = append(got, v) })
+		q.PopThen(cp, func(v any) { got = append(got, v) })
+		cp.WaitThen(ev, func(v any) { got = append(got, v) })
+		cp.End()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != "early" {
+		t.Fatalf("got %v, want [1 2 early]", got)
+	}
+}
+
+// ParkThen plus WakeCProc is the low-level handoff: the woken continuation
+// receives the wake value, and wakes are ordered through the same
+// (time, seq) event path as everything else.
+func TestCProcParkThenWake(t *testing.T) {
+	e := NewEnv()
+	var got any
+	cp := e.SpawnC("parker", func(cp *CProc) {
+		cp.ParkThen(func(v any) {
+			got = v
+			cp.End()
+		})
+	})
+	e.Schedule(5, func() { e.WakeCProc(cp, "hello") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("park value %v, want hello", got)
+	}
+}
+
+// A continuation that returns neither parked nor ended can never run
+// again; the engine must fail loudly instead of letting the process
+// vanish from the deadlock detector's view.
+func TestCProcParkOrEndInvariant(t *testing.T) {
+	e := NewEnv()
+	e.SpawnC("drifter", func(cp *CProc) {
+		// Neither a *Then call nor End: invariant violation.
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic from park-or-end invariant")
+		}
+	}()
+	_ = e.Run()
+}
+
+// Kill while parked in PopThen must not leak the queue entry: the next
+// Push must skip the dead waiter and deliver to the live one behind it,
+// and the killed process's Done must trigger (the crash-recovery surface).
+func TestCProcKillInPopThen(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	var victimGot, survivorGot any
+	victim := e.SpawnC("victim", func(cp *CProc) {
+		cp.SetBlockReason("pop", 1, 0)
+		q.PopThen(cp, func(v any) { victimGot = v; cp.End() })
+	})
+	e.SpawnC("survivor", func(cp *CProc) {
+		cp.SetBlockReason("pop", 2, 0)
+		q.PopThen(cp, func(v any) { survivorGot = v; cp.End() })
+	})
+	victimDone := false
+	victim.Done().Subscribe(func(any) { victimDone = true })
+	e.Schedule(5, func() { victim.Kill() })
+	e.Schedule(10, func() { q.Push("payload") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if victimGot != nil {
+		t.Fatalf("killed proc received %v", victimGot)
+	}
+	if survivorGot != "payload" {
+		t.Fatalf("survivor got %v, want payload (item swallowed by dead waiter?)", survivorGot)
+	}
+	if !victimDone {
+		t.Fatal("killed proc's Done did not trigger")
+	}
+	if n := len(e.LiveProcs()); n != 0 {
+		t.Fatalf("%d live procs left: %v", n, e.LiveProcs())
+	}
+}
+
+// Kill while parked in PopThen with no other waiter: the next Push must
+// buffer the item (not swallow it), so a later consumer still sees it.
+func TestCProcKillInPopThenBuffersItem(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	victim := e.SpawnC("victim", func(cp *CProc) {
+		q.PopThen(cp, func(v any) { t.Errorf("killed proc woke with %v", v); cp.End() })
+	})
+	e.Schedule(5, func() { victim.Kill() })
+	e.Schedule(10, func() { q.Push("kept") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue holds %d items, want 1 (item lost to dead waiter)", q.Len())
+	}
+	if v, _ := q.TryPop(); v != "kept" {
+		t.Fatalf("buffered item %v, want kept", v)
+	}
+}
+
+// Kill while parked in WaitThen mid-wait: the later Trigger must not
+// panic or resurrect the process, live waiters still wake, and the killed
+// process presents the same Done surface as a killed goroutine proc.
+func TestCProcKillInWaitThen(t *testing.T) {
+	e := NewEnv()
+	ev := e.NewEvent()
+	var survivorGot any
+	victim := e.SpawnC("victim", func(cp *CProc) {
+		cp.WaitThen(ev, func(v any) { t.Errorf("killed proc woke with %v", v); cp.End() })
+	})
+	e.SpawnC("survivor", func(cp *CProc) {
+		cp.WaitThen(ev, func(v any) { survivorGot = v; cp.End() })
+	})
+	victimDone := false
+	victim.Done().Subscribe(func(any) { victimDone = true })
+	e.Schedule(5, func() { victim.Kill() })
+	e.Schedule(10, func() { ev.Trigger("signal") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if survivorGot != "signal" {
+		t.Fatalf("survivor got %v, want signal", survivorGot)
+	}
+	if !victimDone {
+		t.Fatal("killed proc's Done did not trigger")
+	}
+	if !victim.isKilled() {
+		t.Fatal("isKilled false after Kill")
+	}
+}
+
+// Killing a CProc before its start event runs suppresses the start
+// function entirely, matching a goroutine proc killed before starting.
+func TestCProcKillBeforeStart(t *testing.T) {
+	e := NewEnv()
+	var cp *CProc
+	e.At(e.Now(), func() { cp.Kill() }) // scheduled before SpawnC: runs first
+	started := false
+	cp = e.SpawnC("stillborn", func(cp *CProc) { started = true; cp.End() })
+	done := false
+	cp.Done().Subscribe(func(any) { done = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if started {
+		t.Fatal("start function ran after pre-start kill")
+	}
+	if !done {
+		t.Fatal("Done did not trigger for pre-start kill")
+	}
+}
+
+// End and Kill are idempotent in the documented ways: End after Kill is a
+// no-op, End twice panics.
+func TestCProcEndKillInteraction(t *testing.T) {
+	e := NewEnv()
+	cp := e.SpawnC("both", func(cp *CProc) {
+		cp.ParkThen(func(any) { cp.End() })
+	})
+	e.Schedule(1, func() {
+		cp.Kill()
+		cp.End() // no-op after kill, must not panic or re-trigger done
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEnv()
+	e2.SpawnC("double", func(cp *CProc) {
+		cp.End()
+		defer func() {
+			if recover() == nil {
+				t.Error("double End did not panic")
+			}
+			// Leave the proc "ended" so the invariant check passes.
+		}()
+		cp.End()
+	})
+	_ = e2.Run()
+}
+
+// The deadlock detector must render a blocked CProc exactly as it renders
+// a blocked Proc with the same name and block reason: dumps are part of
+// the error surface and converting a process between styles must not
+// change them.
+func TestCProcDeadlockDumpParity(t *testing.T) {
+	gor := NewEnv()
+	gor.Spawn("rank0", func(p *Proc) {
+		p.SetBlockReason("recv", 3, 42)
+		p.Park()
+	})
+	if err := gor.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cont := NewEnv()
+	cont.SpawnC("rank0", func(cp *CProc) {
+		cp.SetBlockReason("recv", 3, 42)
+		cp.ParkThen(func(any) { cp.End() })
+	})
+	if err := cont.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dg, dc := gor.Deadlock(), cont.Deadlock()
+	if dg == nil || dc == nil {
+		t.Fatalf("expected deadlocks, got %v / %v", dg, dc)
+	}
+	if dg.Error() != dc.Error() {
+		t.Fatalf("dump mismatch:\n goroutine: %s\n continuation: %s", dg.Error(), dc.Error())
+	}
+	gor.KillAll()
+	cont.KillAll()
+}
+
+// KillAll reaps goroutine procs and CProcs together in spawn order,
+// regardless of interleaving.
+func TestKillAllMixedSpawnOrder(t *testing.T) {
+	e := NewEnv()
+	var doneOrder []string
+	watch := func(name string, done *Event) {
+		done.Subscribe(func(any) { doneOrder = append(doneOrder, name) })
+	}
+	p1 := e.Spawn("g1", func(p *Proc) { p.Park() })
+	c1 := e.SpawnC("c1", func(cp *CProc) { cp.ParkThen(func(any) { cp.End() }) })
+	p2 := e.Spawn("g2", func(p *Proc) { p.Park() })
+	c2 := e.SpawnC("c2", func(cp *CProc) { cp.ParkThen(func(any) { cp.End() }) })
+	watch("g1", p1.Done())
+	watch("c1", c1.Done())
+	watch("g2", p2.Done())
+	watch("c2", c2.Done())
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.LiveProcs()); got != 4 {
+		t.Fatalf("%d live procs before KillAll, want 4", got)
+	}
+	e.KillAll()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.LiveProcs()); got != 0 {
+		t.Fatalf("live procs after KillAll: %v", e.LiveProcs())
+	}
+	// Both flavors trigger Done on kill (Procs via the goroutine unwind,
+	// CProcs synchronously inside kill), and KillAll walks spawn order.
+	want := "g1,c1,g2,c2"
+	if got := strings.Join(doneOrder, ","); got != want {
+		t.Fatalf("done order %q, want %q", got, want)
+	}
+}
+
+// The same logical program — sleep, queue ping-pong, event wait — must
+// produce an identical observable schedule (times and order of visible
+// actions, engine park/wake counters) whether the consumer is a goroutine
+// proc or a continuation proc. This is the conversion-safety property the
+// runtime relies on when turning hot procs into state machines.
+func TestCProcOrderingEquivalence(t *testing.T) {
+	type step struct {
+		at  Time
+		tag string
+	}
+	drive := func(e *Env, trace *[]step, spawnConsumer func(q *Queue, ev *Event)) {
+		q := e.NewQueue()
+		ev := e.NewEvent()
+		spawnConsumer(q, ev)
+		e.Schedule(5, func() { q.Push("a") })
+		e.Schedule(5, func() { q.Push("b") })
+		e.Schedule(12, func() { ev.Trigger(nil) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_ = trace
+	}
+
+	var gorTrace []step
+	gor := NewEnv()
+	drive(gor, &gorTrace, func(q *Queue, ev *Event) {
+		gor.Spawn("consumer", func(p *Proc) {
+			p.Sleep(3)
+			gorTrace = append(gorTrace, step{gor.Now(), "slept"})
+			v1 := q.Pop(p)
+			gorTrace = append(gorTrace, step{gor.Now(), "pop:" + v1.(string)})
+			v2 := q.Pop(p)
+			gorTrace = append(gorTrace, step{gor.Now(), "pop:" + v2.(string)})
+			p.Wait(ev)
+			gorTrace = append(gorTrace, step{gor.Now(), "waited"})
+		})
+	})
+
+	var conTrace []step
+	con := NewEnv()
+	drive(con, &conTrace, func(q *Queue, ev *Event) {
+		con.SpawnC("consumer", func(cp *CProc) {
+			cp.SleepThen(3, func() {
+				conTrace = append(conTrace, step{con.Now(), "slept"})
+				q.PopThen(cp, func(v1 any) {
+					conTrace = append(conTrace, step{con.Now(), "pop:" + v1.(string)})
+					q.PopThen(cp, func(v2 any) {
+						conTrace = append(conTrace, step{con.Now(), "pop:" + v2.(string)})
+						cp.WaitThen(ev, func(any) {
+							conTrace = append(conTrace, step{con.Now(), "waited"})
+							cp.End()
+						})
+					})
+				})
+			})
+		})
+	})
+
+	if len(gorTrace) != len(conTrace) {
+		t.Fatalf("trace lengths differ: %v vs %v", gorTrace, conTrace)
+	}
+	for i := range gorTrace {
+		if gorTrace[i] != conTrace[i] {
+			t.Fatalf("step %d: goroutine %v, continuation %v", i, gorTrace[i], conTrace[i])
+		}
+	}
+	gs, cs := gor.EngineStats(), con.EngineStats()
+	if gs.Parks != cs.Parks || gs.Wakes != cs.Wakes {
+		t.Fatalf("park/wake counters differ: goroutine %d/%d, continuation %d/%d",
+			gs.Parks, gs.Wakes, cs.Parks, cs.Wakes)
+	}
+	if gs.PeakGoroutines != 1 {
+		t.Fatalf("goroutine env peak %d, want 1", gs.PeakGoroutines)
+	}
+	if cs.PeakGoroutines != 0 {
+		t.Fatalf("continuation env peak %d, want 0 (CProcs run on the loop)", cs.PeakGoroutines)
+	}
+}
+
+// The engine's park/wake counters follow the documented semantics for
+// both flavors: every block is a park, every scheduled resumption a wake.
+func TestParkWakeCounters(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue()
+	e.SpawnC("c", func(cp *CProc) {
+		cp.SleepThen(1, func() { // park+wake (timer)
+			q.PopThen(cp, func(any) { // park, wake comes from Push
+				cp.End()
+			})
+		})
+	})
+	e.Schedule(5, func() { q.Push(nil) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.EngineStats()
+	if st.Parks != 2 || st.Wakes != 2 {
+		t.Fatalf("parks/wakes = %d/%d, want 2/2", st.Parks, st.Wakes)
+	}
+}

@@ -40,6 +40,57 @@ func TestAllocsPerEvent(t *testing.T) {
 	}
 }
 
+// A goroutine-proc park/wake round trip must not allocate: the resume
+// trampoline is bound once at spawn and the wake value is staged in a
+// reusable slot, so waking is just two scheduler handoffs. This pins the
+// budget at zero so a per-wake closure can never sneak back in.
+func TestProcParkWakeAllocs(t *testing.T) {
+	e := NewEnv()
+	p := e.Spawn("parker", func(p *Proc) {
+		for {
+			p.Park()
+		}
+	})
+	defer e.KillAll()
+	round := func() {
+		e.WakeProc(p, nil)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the scheduler buffers and reach the steady state.
+	for i := 0; i < 16; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0 {
+		t.Errorf("allocs per park/wake round = %.2f, want 0", allocs)
+	}
+}
+
+// The continuation-proc equivalent: re-registering a pre-allocated
+// continuation and waking it stays on the event loop and allocates
+// nothing.
+func TestCProcParkWakeAllocs(t *testing.T) {
+	e := NewEnv()
+	var cp *CProc
+	var park func(any)
+	park = func(any) { cp.ParkThen(park) }
+	cp = e.SpawnC("parker", func(cp *CProc) { cp.ParkThen(park) })
+	defer e.KillAll()
+	round := func() {
+		e.WakeCProc(cp, nil)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0 {
+		t.Errorf("allocs per park/wake round = %.2f, want 0", allocs)
+	}
+}
+
 // Events popped from the heap at time T must still precede same-time ring
 // entries scheduled later: FIFO order among equal-time events is by
 // scheduling sequence, regardless of which structure holds them. Here A

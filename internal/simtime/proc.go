@@ -2,6 +2,27 @@ package simtime
 
 import "fmt"
 
+// process is the engine's common view of its two process flavors: the
+// goroutine-backed Proc and the continuation-based CProc. LiveProcs,
+// Deadlock, KillAll, Event and Queue treat the two identically, so
+// converting a process between styles never changes wake ordering,
+// teardown order, or diagnostic dumps.
+type process interface {
+	// pid is the spawn id (a sequence number), giving the deterministic
+	// spawn order used by LiveProcs, Deadlock and KillAll.
+	pid() uint64
+	// blocked describes the process for the deadlock dump.
+	blocked() BlockedProc
+	// wake schedules the process to resume at the current virtual time
+	// with v as the value of its pending park. Wakes go through Env.At,
+	// so they are ordered by the same (time, seq) key as every other
+	// event. At most one wake may be pending per process.
+	wake(v any)
+	// isKilled reports whether the process was forcibly terminated.
+	isKilled() bool
+	kill()
+}
+
 // Proc is a simulation process: a goroutine that blocks in virtual time.
 // Exactly one process executes at a time; the engine resumes a process and
 // waits for it to park (block) or finish before executing the next event.
@@ -15,6 +36,14 @@ type Proc struct {
 	parked bool
 	killed bool
 	done   *Event
+
+	// wakeFn is the pre-bound resume trampoline: every wake schedules
+	// this one closure (with the value staged in wakeVal) instead of
+	// allocating a fresh closure per wake. At most one wake is ever
+	// pending (waking a running process deadlocks the engine), so the
+	// single staging slot cannot be overwritten.
+	wakeFn  func()
+	wakeVal any
 
 	// Block-reason diagnostics for the deadlock detector: what the
 	// process is waiting for (a constant string, so setting it never
@@ -47,12 +76,25 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan any),
 		done:   e.NewEvent(),
 	}
+	p.wakeFn = func() {
+		if p.killed {
+			return
+		}
+		v := p.wakeVal
+		p.wakeVal = nil
+		p.resume <- v
+		<-e.yield
+	}
 	e.procs[p] = struct{}{}
 	e.At(e.now, func() {
 		if p.killed {
 			delete(e.procs, p)
 			p.done.Trigger(nil)
 			return
+		}
+		e.ngoro++
+		if e.ngoro > e.peakGoro {
+			e.peakGoro = e.ngoro
 		}
 		go p.run(fn)
 		<-e.yield
@@ -64,6 +106,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 func (p *Proc) run(fn func(p *Proc)) {
 	defer func() {
 		r := recover()
+		p.env.ngoro--
 		delete(p.env.procs, p)
 		if _, wasKilled := r.(killedPanic); r != nil && !wasKilled {
 			if p.env.fail == nil {
@@ -91,6 +134,7 @@ func (p *Proc) Done() *Event { return p.done }
 // the wake. Park is a low-level primitive for building synchronization
 // structures; most code should use Sleep, Wait, or Queue.
 func (p *Proc) Park() any {
+	p.env.npark++
 	p.parked = true
 	p.env.yield <- struct{}{}
 	v, ok := <-p.resume
@@ -105,16 +149,9 @@ func (p *Proc) Park() any {
 // WakeProc schedules p to resume at the current virtual time, with v as the
 // return value of its pending Park. The caller must guarantee that p is
 // parked (or will be parked before this wake event executes); waking a
-// running process deadlocks the engine.
-func (e *Env) WakeProc(p *Proc, v any) {
-	e.At(e.now, func() {
-		if p.killed {
-			return
-		}
-		p.resume <- v
-		<-e.yield
-	})
-}
+// running process deadlocks the engine. The wake reuses the proc's
+// pre-bound resume closure, so it performs no allocation.
+func (e *Env) WakeProc(p *Proc, v any) { p.wake(v) }
 
 // Sleep blocks the process for d of virtual time.
 func (p *Proc) Sleep(d Duration) {
@@ -122,13 +159,10 @@ func (p *Proc) Sleep(d Duration) {
 		panic(fmt.Sprintf("simtime: negative sleep %v", d))
 	}
 	e := p.env
-	e.At(e.now+Time(d), func() {
-		if p.killed {
-			return
-		}
-		p.resume <- nil
-		<-e.yield
-	})
+	p.wakeVal = nil
+	e.nwake++
+	e.At(e.now+Time(d), p.wakeFn)
+	e.npark++
 	p.parked = true
 	e.yield <- struct{}{}
 	if _, ok := <-p.resume; !ok {
@@ -152,11 +186,27 @@ func (p *Proc) kill() {
 		return
 	}
 	p.killed = true
+	p.wakeVal = nil
 	if p.parked {
 		close(p.resume)
 		<-p.env.yield
 	}
 	delete(p.env.procs, p)
+}
+
+// process interface implementation.
+func (p *Proc) pid() uint64 { return p.id }
+
+func (p *Proc) blocked() BlockedProc {
+	return BlockedProc{Name: p.name, What: p.blockWhat, A: p.blockA, B: p.blockB}
+}
+
+func (p *Proc) isKilled() bool { return p.killed }
+
+func (p *Proc) wake(v any) {
+	p.wakeVal = v
+	p.env.nwake++
+	p.env.At(p.env.now, p.wakeFn)
 }
 
 // Event is a one-shot occurrence that processes can wait on and callbacks
@@ -166,7 +216,7 @@ type Event struct {
 	env       *Env
 	triggered bool
 	val       any
-	waiters   []*Proc
+	waiters   []process
 	callbacks []func(any)
 }
 
@@ -188,8 +238,8 @@ func (ev *Event) Trigger(v any) {
 	}
 	ev.triggered = true
 	ev.val = v
-	for _, p := range ev.waiters {
-		ev.env.WakeProc(p, v)
+	for _, w := range ev.waiters {
+		w.wake(v)
 	}
 	ev.waiters = nil
 	for _, cb := range ev.callbacks {
@@ -233,7 +283,7 @@ func (p *Proc) WaitAll(evs ...*Event) {
 type Queue struct {
 	env     *Env
 	items   []any
-	waiters []*Proc
+	waiters []process
 }
 
 // NewQueue returns an empty queue.
@@ -242,12 +292,17 @@ func (e *Env) NewQueue() *Queue { return &Queue{env: e} }
 // Len returns the number of buffered items.
 func (q *Queue) Len() int { return len(q.items) }
 
-// Push appends v, waking the longest-waiting process if any.
+// Push appends v, waking the longest-waiting live process if any. Waiters
+// killed mid-wait (fault injection) are skipped and dropped, so a kill
+// never leaks a stale queue entry or swallows an item.
 func (q *Queue) Push(v any) {
-	if len(q.waiters) > 0 {
-		p := q.waiters[0]
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		q.env.WakeProc(p, v)
+		if w.isKilled() {
+			continue
+		}
+		w.wake(v)
 		return
 	}
 	q.items = append(q.items, v)

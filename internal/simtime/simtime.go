@@ -1,18 +1,26 @@
 // Package simtime implements a deterministic discrete-event simulation
 // engine with virtual time.
 //
-// The engine provides two complementary execution styles:
+// The engine provides three complementary execution styles:
 //
 //   - Callback events: functions scheduled at a virtual time with
 //     Env.Schedule or Env.At. These are the building block for event-driven
 //     state machines such as the task runtime.
 //
-//   - Processes: goroutines created with Env.Spawn that block in virtual
-//     time (Proc.Sleep, Proc.Wait, Queue.Pop). Exactly one process runs at
-//     any moment; the engine and the running process hand control back and
-//     forth over channels, so no locking is needed on simulation state.
-//     Processes make it natural to write SPMD rank programs that call
-//     blocking message-passing operations.
+//   - Goroutine processes: goroutines created with Env.Spawn that block in
+//     virtual time (Proc.Sleep, Proc.Wait, Queue.Pop). Exactly one process
+//     runs at any moment; the engine and the running process hand control
+//     back and forth over channels, so no locking is needed on simulation
+//     state. Processes make it natural to write SPMD rank programs that
+//     call blocking message-passing operations.
+//
+//   - Continuation processes: CProcs created with Env.SpawnC that block by
+//     registering a continuation (SleepThen, WaitThen, PopThen, ParkThen)
+//     and run entirely on the event-loop goroutine, with zero channel
+//     handoffs per park/wake. CProcs share the synchronization structures,
+//     wake ordering, deadlock diagnostics and teardown order with Procs;
+//     they are the cheap flavor for runtime-internal state machines, while
+//     goroutine procs keep workload code imperative.
 //
 // Determinism: events are ordered by (time, insertion sequence), so two
 // runs of the same program observe identical interleavings.
@@ -106,19 +114,24 @@ type Env struct {
 	batch []item
 
 	yield chan struct{}
-	procs map[*Proc]struct{}
+	procs map[process]struct{}
 	fail  error
 
 	nstep uint64 // events executed
 	nfast uint64 // events executed through the now queue
 	npush uint64 // events that went through the heap
+
+	npark    uint64 // process blocks (Park/Sleep and the *Then primitives)
+	nwake    uint64 // scheduled process resumptions
+	ngoro    int    // goroutine-backed processes currently running
+	peakGoro int    // high-water mark of ngoro
 }
 
 // NewEnv returns a fresh simulation environment at time zero.
 func NewEnv() *Env {
 	return &Env{
 		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
+		procs: make(map[process]struct{}),
 	}
 }
 
@@ -167,13 +180,20 @@ func (e *Env) Periodic(start, period Duration, fn func() bool) {
 	e.Schedule(start, tick)
 }
 
+// The future-event heap is 4-ary: half the depth of a binary heap, so
+// pops touch half as many cache lines, at the price of comparing up to
+// four children per level (they sit in adjacent memory, so the extra
+// comparisons are nearly free). The ordering key (t, seq) is a strict
+// total order — seq is unique — so extraction order, and therefore every
+// simulation result, is identical to the binary heap's.
+
 // heapPush inserts it into the future-event heap.
 func (e *Env) heapPush(it item) {
 	e.npush++
 	pq := append(e.pq, it)
 	i := len(pq) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !pq[i].before(pq[parent]) {
 			break
 		}
@@ -194,13 +214,19 @@ func (e *Env) heapPop() item {
 	pq = pq[:n]
 	i := 0
 	for {
-		l := 2*i + 1
+		l := 4*i + 1
 		if l >= n {
 			break
 		}
 		m := l
-		if r := l + 1; r < n && pq[r].before(pq[l]) {
-			m = r
+		hi := l + 4
+		if hi > n {
+			hi = n
+		}
+		for c := l + 1; c < hi; c++ {
+			if pq[c].before(pq[m]) {
+				m = c
+			}
 		}
 		if !pq[m].before(pq[i]) {
 			break
@@ -334,18 +360,18 @@ func (e *Env) LiveProcs() []string {
 	live := e.liveByID()
 	names := make([]string, len(live))
 	for i, p := range live {
-		names[i] = p.name
+		names[i] = p.blocked().Name
 	}
 	return names
 }
 
-// liveByID returns the live processes sorted by spawn id.
-func (e *Env) liveByID() []*Proc {
-	live := make([]*Proc, 0, len(e.procs))
+// liveByID returns the live processes (both flavors) sorted by spawn id.
+func (e *Env) liveByID() []process {
+	live := make([]process, 0, len(e.procs))
 	for p := range e.procs {
 		live = append(live, p)
 	}
-	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	sort.Slice(live, func(i, j int) bool { return live[i].pid() < live[j].pid() })
 	return live
 }
 

@@ -16,11 +16,29 @@ type EngineStats struct {
 	FastPath uint64
 	// HeapPushes counts events that went through the future-event heap.
 	HeapPushes uint64
+	// Parks counts process blocks: Proc.Park/Sleep and the continuation
+	// primitives ParkThen/SleepThen/WaitThen/PopThen.
+	Parks uint64
+	// Wakes counts scheduled process resumptions (WakeProc/WakeCProc,
+	// Event triggers reaching waiters, Queue pushes, sleep timers).
+	Wakes uint64
+	// PeakGoroutines is the maximum number of goroutine-backed processes
+	// live at once. Continuation processes never appear here — they run
+	// on the event-loop goroutine — so this gauge measures the Go
+	// scheduler pressure a run exerts.
+	PeakGoroutines uint64
 }
 
 // EngineStats returns the environment's counters so far.
 func (e *Env) EngineStats() EngineStats {
-	return EngineStats{Events: e.nstep, FastPath: e.nfast, HeapPushes: e.npush}
+	return EngineStats{
+		Events:         e.nstep,
+		FastPath:       e.nfast,
+		HeapPushes:     e.npush,
+		Parks:          e.npark,
+		Wakes:          e.nwake,
+		PeakGoroutines: uint64(e.peakGoro),
+	}
 }
 
 // RunTotals aggregates engine counters and host execution time over a set
@@ -32,6 +50,11 @@ type RunTotals struct {
 	Events     uint64
 	FastPath   uint64
 	HeapPushes uint64
+	Parks      uint64
+	Wakes      uint64
+	// PeakGoroutines is the maximum goroutine-backed process count any
+	// single run reached — a monotonic gauge, not a sum.
+	PeakGoroutines uint64
 	// RegistryHiWater is the maximum dependency-registry interval count
 	// observed in any single run — a monotonic gauge, not a sum.
 	RegistryHiWater uint64
@@ -56,14 +79,17 @@ func (t RunTotals) FastPathFraction() float64 {
 }
 
 // Sub returns the totals accumulated since the snapshot prev. The
-// registry high-water gauge is not differenced: the later (larger)
-// snapshot value carries over, as the gauge only ever grows.
+// high-water gauges are not differenced: the later (larger) snapshot
+// values carry over, as gauges only ever grow.
 func (t RunTotals) Sub(prev RunTotals) RunTotals {
 	return RunTotals{
 		Runs:            t.Runs - prev.Runs,
 		Events:          t.Events - prev.Events,
 		FastPath:        t.FastPath - prev.FastPath,
 		HeapPushes:      t.HeapPushes - prev.HeapPushes,
+		Parks:           t.Parks - prev.Parks,
+		Wakes:           t.Wakes - prev.Wakes,
+		PeakGoroutines:  t.PeakGoroutines,
 		RegistryHiWater: t.RegistryHiWater,
 		Host:            t.Host - prev.Host,
 	}
@@ -77,6 +103,9 @@ type StatsCollector struct {
 	events     atomic.Uint64
 	fastPath   atomic.Uint64
 	heapPushes atomic.Uint64
+	parks      atomic.Uint64
+	wakes      atomic.Uint64
+	peakGoro   atomic.Uint64
 	regHiWater atomic.Uint64
 	hostNS     atomic.Int64
 }
@@ -84,7 +113,8 @@ type StatsCollector struct {
 // NewStatsCollector returns an empty collector.
 func NewStatsCollector() *StatsCollector { return &StatsCollector{} }
 
-// Record adds one run's engine counters and host execution time.
+// Record adds one run's engine counters and host execution time. The
+// per-run peak-goroutine gauge folds into the collector's maximum.
 func (c *StatsCollector) Record(st EngineStats, host time.Duration) {
 	if c == nil {
 		return
@@ -93,19 +123,27 @@ func (c *StatsCollector) Record(st EngineStats, host time.Duration) {
 	c.events.Add(st.Events)
 	c.fastPath.Add(st.FastPath)
 	c.heapPushes.Add(st.HeapPushes)
+	c.parks.Add(st.Parks)
+	c.wakes.Add(st.Wakes)
+	foldMax(&c.peakGoro, st.PeakGoroutines)
 	c.hostNS.Add(host.Nanoseconds())
 }
 
 // RecordRegistryHiWater folds one run's registry interval high-water
-// mark into the collector's maximum (CAS loop; order-independent, so
-// parallel sweeps report the same value as sequential ones).
+// mark into the collector's maximum.
 func (c *StatsCollector) RecordRegistryHiWater(n uint64) {
 	if c == nil {
 		return
 	}
+	foldMax(&c.regHiWater, n)
+}
+
+// foldMax raises gauge to n if larger (CAS loop; order-independent, so
+// parallel sweeps report the same value as sequential ones).
+func foldMax(gauge *atomic.Uint64, n uint64) {
 	for {
-		cur := c.regHiWater.Load()
-		if n <= cur || c.regHiWater.CompareAndSwap(cur, n) {
+		cur := gauge.Load()
+		if n <= cur || gauge.CompareAndSwap(cur, n) {
 			return
 		}
 	}
@@ -121,6 +159,9 @@ func (c *StatsCollector) Totals() RunTotals {
 		Events:          c.events.Load(),
 		FastPath:        c.fastPath.Load(),
 		HeapPushes:      c.heapPushes.Load(),
+		Parks:           c.parks.Load(),
+		Wakes:           c.wakes.Load(),
+		PeakGoroutines:  c.peakGoro.Load(),
 		RegistryHiWater: c.regHiWater.Load(),
 		Host:            time.Duration(c.hostNS.Load()),
 	}
