@@ -14,8 +14,9 @@
 # figure at quick scale and records wall_seconds per figure — the
 # end-to-end simulator cost, host-dependent but comparable on one
 # machine across commits — plus the fig8 sweep at default scale under
-# both hot-path engines (pooled continuation records vs legacy
-# closures), with the engines' park/wake and peak-goroutine counters. The BENCH_obs.json pass times a quick fig9 run
+# every engine (pooled continuation records, legacy closures, and the
+# partitioned parallel engine at 2/4/8 host workers), with the engines'
+# park/wake, peak-goroutine and partition-scheduler counters. The BENCH_obs.json pass times a quick fig9 run
 # with structured tracing off and on, recording the observability
 # overhead and the exported trace size. The BENCH_faults.json pass times
 # the quick resilience sweep against the fault-free fig8 point — the
@@ -47,13 +48,20 @@ echo "bench: wrote $out"
 go build -o /tmp/lbsim_bench ./cmd/lbsim
 
 # BENCH_sim.json: the quick full sweep, plus fig8 at default scale under
-# both engines (the single-run hot-path benchmark of the continuation
-# engine work; compare wall_seconds between the two sections).
+# every engine (continuation vs legacy closures vs the partitioned
+# parallel engine at 2, 4 and 8 host workers; compare wall_seconds
+# between the sections — the parallel numbers only beat sequential on a
+# multi-core host, single-core hosts record the coordination overhead).
 /tmp/lbsim_bench -all -scale quick -format csv -simjson /tmp/bench_quick_all.json >/dev/null
 /tmp/lbsim_bench -exp fig8 -scale default -format csv \
     -simjson /tmp/bench_fig8_cont.json >/dev/null
 /tmp/lbsim_bench -exp fig8 -scale default -format csv -engine goroutine \
     -simjson /tmp/bench_fig8_goro.json >/dev/null
+for w in 2 4 8; do
+    /tmp/lbsim_bench -exp fig8 -scale default -format csv \
+        -engine parallel -simworkers "$w" \
+        -simjson "/tmp/bench_fig8_par$w.json" >/dev/null
+done
 {
     printf '{\n"quick_all": '
     cat /tmp/bench_quick_all.json
@@ -61,9 +69,14 @@ go build -o /tmp/lbsim_bench ./cmd/lbsim
     cat /tmp/bench_fig8_cont.json
     printf ',\n"goroutine": '
     cat /tmp/bench_fig8_goro.json
+    for w in 2 4 8; do
+        printf ',\n"parallel_w%s": ' "$w"
+        cat "/tmp/bench_fig8_par$w.json"
+    done
     printf '}\n}\n'
 } > "$simout"
-rm -f /tmp/bench_quick_all.json /tmp/bench_fig8_cont.json /tmp/bench_fig8_goro.json
+rm -f /tmp/bench_quick_all.json /tmp/bench_fig8_cont.json /tmp/bench_fig8_goro.json \
+    /tmp/bench_fig8_par2.json /tmp/bench_fig8_par4.json /tmp/bench_fig8_par8.json
 echo "bench: wrote $simout"
 t0=$(now)
 /tmp/lbsim_bench -exp fig9 -scale quick >/dev/null

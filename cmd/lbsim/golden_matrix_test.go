@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// matrixCells are the engine configurations every golden artifact must
+// agree across: the default sequential engine and the partitioned
+// parallel engine at one and at eight host workers. The continuation
+// cell renders the reference bytes; every other cell must match them
+// exactly.
+var matrixCells = []struct {
+	name string
+	args []string
+}{
+	{"continuation", []string{"-engine", "continuation"}},
+	{"parallel-w1", []string{"-engine", "parallel", "-simworkers", "1"}},
+	{"parallel-w8", []string{"-engine", "parallel", "-simworkers", "8"}},
+}
+
+// TestGoldenMatrixFigureCSVs renders three figures with different
+// engine-eligibility profiles across the matrix: fig5 (MicroPP), fig9
+// (synthetic scaling) and resilience (fault sweeps under degree 3, which
+// the parallel gate rejects run by run). CSV bytes must be identical in
+// every cell.
+func TestGoldenMatrixFigureCSVs(t *testing.T) {
+	for _, id := range []string{"fig5", "fig9", "resilience"} {
+		var want string
+		for _, cell := range matrixCells {
+			args := append([]string{"-exp", id, "-scale", "quick", "-format", "csv"}, cell.args...)
+			code, out, stderr := exec(t, args...)
+			if code != 0 {
+				t.Fatalf("%s/%s: exit = %d, stderr = %q", id, cell.name, code, stderr)
+			}
+			if out == "" {
+				t.Fatalf("%s/%s: empty CSV", id, cell.name)
+			}
+			if cell.name == "continuation" {
+				want = out
+				continue
+			}
+			if out != want {
+				t.Errorf("%s CSV differs in cell %s:\nwant:\n%s\ngot:\n%s", id, cell.name, want, out)
+			}
+		}
+	}
+}
+
+// TestGoldenMatrixFaultPreset runs the fault-demo path (a preset plan
+// with its typed error notes) across the matrix.
+func TestGoldenMatrixFaultPreset(t *testing.T) {
+	var want string
+	for _, cell := range matrixCells {
+		args := append([]string{"-faults", "storm", "-scale", "quick", "-format", "csv"}, cell.args...)
+		code, out, stderr := exec(t, args...)
+		if code != 0 {
+			t.Fatalf("%s: exit = %d, stderr = %q", cell.name, code, stderr)
+		}
+		if cell.name == "continuation" {
+			want = out
+			continue
+		}
+		if out != want {
+			t.Errorf("fault-preset output differs in cell %s:\nwant:\n%s\ngot:\n%s", cell.name, want, out)
+		}
+	}
+}
+
+// TestGoldenMatrixTraces pins the Chrome trace and metrics JSON across
+// the matrix. The traced variants attach a Recorder, which the
+// eligibility gate rejects — under -engine parallel these runs fall
+// back to sequential execution — so identity here pins the gate itself:
+// the parallel flag must be a strict no-op on traced artifacts, not an
+// engine that silently reorders the event stream a trace depends on.
+func TestGoldenMatrixTraces(t *testing.T) {
+	for _, id := range []string{"fig5", "fig9"} {
+		dir := t.TempDir()
+		var wantTrace, wantMetrics []byte
+		for _, cell := range matrixCells {
+			tracePath := filepath.Join(dir, cell.name+"-trace.json")
+			metricsPath := filepath.Join(dir, cell.name+"-metrics.json")
+			args := append([]string{"-exp", id, "-scale", "quick",
+				"-trace", tracePath, "-metricsjson", metricsPath}, cell.args...)
+			code, _, stderr := exec(t, args...)
+			if code != 0 {
+				t.Fatalf("%s/%s: exit = %d, stderr = %q", id, cell.name, code, stderr)
+			}
+			gotTrace, err := os.ReadFile(tracePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMetrics, err := os.ReadFile(metricsPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotTrace) == 0 || len(gotMetrics) == 0 {
+				t.Fatalf("%s/%s: empty trace or metrics artifact", id, cell.name)
+			}
+			if cell.name == "continuation" {
+				wantTrace, wantMetrics = gotTrace, gotMetrics
+				continue
+			}
+			if string(gotTrace) != string(wantTrace) {
+				t.Errorf("%s Chrome trace differs in cell %s", id, cell.name)
+			}
+			if string(gotMetrics) != string(wantMetrics) {
+				t.Errorf("%s metrics JSON differs in cell %s", id, cell.name)
+			}
+		}
+	}
+}

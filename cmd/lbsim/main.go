@@ -14,6 +14,7 @@
 //	lbsim -exp fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	lbsim -exp fig8 -enginestats -enginejson BENCH_engine.json
 //	lbsim -exp fig8 -engine goroutine   (legacy closure paths, for A/B)
+//	lbsim -exp fig8 -engine parallel -simworkers 4
 //	lbsim -all -scale quick -simjson BENCH_sim.json
 //	lbsim -exp fig9 -scale quick -trace fig9.json -metricsjson fig9_metrics.json
 package main
@@ -40,17 +41,33 @@ import (
 )
 
 func main() {
-	// The simulator's allocations are almost entirely short-lived task
-	// and dependency records; the live heap between runs is tiny. The
-	// default GOGC=100 therefore collects far too eagerly — GC accounts
-	// for over 15% of a large sweep's wall clock. Trading memory for
-	// fewer cycles is the right default for a batch CLI; an explicit
-	// GOGC from the environment still wins. Results are unaffected:
-	// GC timing never feeds back into the simulation.
-	if os.Getenv("GOGC") == "" {
-		debug.SetGCPercent(400)
-	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// gcPercent decides the GC target for this invocation. The simulator's
+// allocations are almost entirely short-lived task and dependency
+// records; the live heap between runs is tiny. The default GOGC=100
+// therefore collects far too eagerly — GC accounts for over 15% of a
+// large sweep's wall clock — so this batch CLI trades memory for fewer
+// cycles with GOGC=400. Under -engine parallel every host worker
+// allocates concurrently against the same heap goal, so the target
+// scales down with the worker count to keep peak RSS roughly flat,
+// never below the Go default of 100. An explicit GOGC in the
+// environment always wins: ok is false and the runtime is left
+// untouched. Results are unaffected either way — GC timing never feeds
+// back into the simulation.
+func gcPercent(gogcEnv string, simWorkers int) (percent int, ok bool) {
+	if gogcEnv != "" {
+		return 0, false
+	}
+	percent = 400
+	if simWorkers > 1 {
+		percent = 400 / simWorkers
+		if percent < 100 {
+			percent = 100
+		}
+	}
+	return percent, true
 }
 
 // run is main with its dependencies injected: flags are parsed from
@@ -62,17 +79,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "", "experiment id (see -list)")
-		all       = fs.Bool("all", false, "run every experiment")
-		list      = fs.Bool("list", false, "list experiment ids")
-		scale     = fs.String("scale", "default", "scale: quick, default, or paper")
-		format    = fs.String("format", "table", "output format: table, csv, or markdown")
-		talp      = fs.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
-		outDir    = fs.String("out", "", "also write each result as CSV into this directory")
-		parallel  = fs.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
-		faultPlan = fs.String("faults", "", "run the synthetic workload under this fault plan (JSON file or preset; see faults presets: "+strings.Join(faults.PresetNames(), ", ")+")")
-		policy    = fs.String("policy", "", "run the synthetic workload under this self-scheduling policy vs the lewi+global baseline ("+strings.Join(balance.SelfSchedNames(), ", ")+"); combine with -faults to run both under a plan")
-		engine    = fs.String("engine", "continuation", "runtime hot-path engine: continuation (pooled records) or goroutine (legacy closures); results are identical, the flag exists for A/B benchmarking")
+		exp        = fs.String("exp", "", "experiment id (see -list)")
+		all        = fs.Bool("all", false, "run every experiment")
+		list       = fs.Bool("list", false, "list experiment ids")
+		scale      = fs.String("scale", "default", "scale: quick, default, or paper")
+		format     = fs.String("format", "table", "output format: table, csv, or markdown")
+		talp       = fs.Bool("talp", false, "print a TALP efficiency report for a MicroPP run")
+		outDir     = fs.String("out", "", "also write each result as CSV into this directory")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "concurrent simulator runs per sweep (1 = sequential; output is identical at any setting)")
+		faultPlan  = fs.String("faults", "", "run the synthetic workload under this fault plan (JSON file or preset; see faults presets: "+strings.Join(faults.PresetNames(), ", ")+")")
+		policy     = fs.String("policy", "", "run the synthetic workload under this self-scheduling policy vs the lewi+global baseline ("+strings.Join(balance.SelfSchedNames(), ", ")+"); combine with -faults to run both under a plan")
+		engine     = fs.String("engine", "continuation", "simulation engine: continuation (sequential, pooled records), goroutine (sequential, legacy closures), or parallel (per-node partitions on host workers; see -simworkers); results are byte-identical across engines, the flag exists for A/B benchmarking")
+		simWorkers = fs.Int("simworkers", 0, "host workers for -engine parallel (0 = GOMAXPROCS; capped at the machine's node count)")
 
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -88,6 +106,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "lbsim:", err)
 		return 1
+	}
+
+	gcWorkers := 0
+	if *engine == "parallel" {
+		gcWorkers = *simWorkers
+		if gcWorkers == 0 {
+			gcWorkers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if p, ok := gcPercent(os.Getenv("GOGC"), gcWorkers); ok {
+		debug.SetGCPercent(p)
 	}
 
 	if *cpuprofile != "" {
@@ -137,8 +166,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "continuation":
 	case "goroutine":
 		sc.GoroutineEngine = true
+	case "parallel":
+		sc.SimParallel = true
+		sc.SimWorkers = *simWorkers
 	default:
-		return fail(fmt.Errorf("unknown engine %q (continuation, goroutine)", *engine))
+		return fail(fmt.Errorf("unknown engine %q (valid engines: continuation, goroutine, parallel)", *engine))
+	}
+	if *simWorkers != 0 && *engine != "parallel" {
+		return fail(fmt.Errorf("-simworkers only applies to -engine parallel (got -engine %s)", *engine))
+	}
+	if *simWorkers < 0 {
+		return fail(fmt.Errorf("-simworkers must be >= 0 (0 = GOMAXPROCS), got %d", *simWorkers))
 	}
 	// One graph store and one engine-stats collector for the whole
 	// invocation: sweeps (and with -all, experiments) that reuse a layout
@@ -228,7 +266,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	report := &engineReport{Scale: *scale, Parallel: *parallel}
+	report := &engineReport{Scale: *scale, Parallel: *parallel, Engine: *engine, SimWorkers: *simWorkers}
 	runOne := func(id string) error {
 		before := sc.Engine.Totals()
 		start := time.Now()
@@ -245,6 +283,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				humanCount(uint64(d.EventsPerSec())),
 				humanCount(d.Parks), humanCount(d.Wakes), d.PeakGoroutines,
 				d.RegistryHiWater, wall.Round(time.Millisecond))
+			if d.Partitions > 0 || d.Fallbacks > 0 {
+				fmt.Fprintf(stderr, "lbsim: %s: parallel engine: %d partitions, %s windows (%s barrier-stalled), %s inbox events, %d sequential fallbacks\n",
+					id, d.Partitions, humanCount(d.Windows), humanCount(d.BarrierStalls),
+					humanCount(d.InboxEvents), d.Fallbacks)
+			}
 		}
 		return emit(r)
 	}
@@ -282,38 +325,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 type engineReport struct {
 	Scale       string             `json:"scale"`
 	Parallel    int                `json:"parallel"`
+	Engine      string             `json:"engine"`
+	SimWorkers  int                `json:"simworkers,omitempty"`
 	Experiments []experimentReport `json:"experiments"`
 }
 
 type experimentReport struct {
-	ID           string  `json:"id"`
-	Runs         uint64  `json:"runs"`
-	Events       uint64  `json:"events"`
-	FastPath     uint64  `json:"fast_path_events"`
-	HeapPushes   uint64  `json:"heap_pushes"`
-	Parks        uint64  `json:"parks"`
-	Wakes        uint64  `json:"wakes"`
-	PeakGoro     uint64  `json:"peak_goroutines"`
-	RegHiWater   uint64  `json:"registry_hiwater"`
-	HostSeconds  float64 `json:"run_host_seconds"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	ID            string  `json:"id"`
+	Runs          uint64  `json:"runs"`
+	Events        uint64  `json:"events"`
+	FastPath      uint64  `json:"fast_path_events"`
+	HeapPushes    uint64  `json:"heap_pushes"`
+	Parks         uint64  `json:"parks"`
+	Wakes         uint64  `json:"wakes"`
+	PeakGoro      uint64  `json:"peak_goroutines"`
+	RegHiWater    uint64  `json:"registry_hiwater"`
+	Partitions    uint64  `json:"partitions,omitempty"`
+	Windows       uint64  `json:"windows,omitempty"`
+	BarrierStalls uint64  `json:"barrier_stalls,omitempty"`
+	InboxEvents   uint64  `json:"inbox_events,omitempty"`
+	Fallbacks     uint64  `json:"fallbacks,omitempty"`
+	HostSeconds   float64 `json:"run_host_seconds"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	EventsPerSec  float64 `json:"events_per_sec"`
 }
 
 func (er *engineReport) add(id string, e experiments.EngineStats, d simtime.RunTotals, wall time.Duration) {
 	er.Experiments = append(er.Experiments, experimentReport{
-		ID:           id,
-		Runs:         e.Runs,
-		Events:       e.Events,
-		FastPath:     e.FastPath,
-		HeapPushes:   e.HeapPushes,
-		Parks:        e.Parks,
-		Wakes:        e.Wakes,
-		PeakGoro:     e.PeakGoroutines,
-		RegHiWater:   e.RegistryHiWater,
-		HostSeconds:  d.Host.Seconds(),
-		WallSeconds:  wall.Seconds(),
-		EventsPerSec: d.EventsPerSec(),
+		ID:            id,
+		Runs:          e.Runs,
+		Events:        e.Events,
+		FastPath:      e.FastPath,
+		HeapPushes:    e.HeapPushes,
+		Parks:         e.Parks,
+		Wakes:         e.Wakes,
+		PeakGoro:      e.PeakGoroutines,
+		RegHiWater:    e.RegistryHiWater,
+		Partitions:    e.Partitions,
+		Windows:       e.Windows,
+		BarrierStalls: e.BarrierStalls,
+		InboxEvents:   e.InboxEvents,
+		Fallbacks:     e.Fallbacks,
+		HostSeconds:   d.Host.Seconds(),
+		WallSeconds:   wall.Seconds(),
+		EventsPerSec:  d.EventsPerSec(),
 	})
 }
 
@@ -322,17 +377,22 @@ func (er *engineReport) write(path string, total simtime.RunTotals) error {
 		*engineReport
 		Total experimentReport `json:"total"`
 	}{er, experimentReport{
-		ID:           "total",
-		Runs:         total.Runs,
-		Events:       total.Events,
-		FastPath:     total.FastPath,
-		HeapPushes:   total.HeapPushes,
-		Parks:        total.Parks,
-		Wakes:        total.Wakes,
-		PeakGoro:     total.PeakGoroutines,
-		RegHiWater:   total.RegistryHiWater,
-		HostSeconds:  total.Host.Seconds(),
-		EventsPerSec: total.EventsPerSec(),
+		ID:            "total",
+		Runs:          total.Runs,
+		Events:        total.Events,
+		FastPath:      total.FastPath,
+		HeapPushes:    total.HeapPushes,
+		Parks:         total.Parks,
+		Wakes:         total.Wakes,
+		PeakGoro:      total.PeakGoroutines,
+		RegHiWater:    total.RegistryHiWater,
+		Partitions:    total.Partitions,
+		Windows:       total.Windows,
+		BarrierStalls: total.BarrierStalls,
+		InboxEvents:   total.InboxEvents,
+		Fallbacks:     total.Fallbacks,
+		HostSeconds:   total.Host.Seconds(),
+		EventsPerSec:  total.EventsPerSec(),
 	}}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -346,23 +406,33 @@ func (er *engineReport) write(path string, total simtime.RunTotals) error {
 // tracked across PRs alongside the engine counters).
 func (er *engineReport) writeSim(path string) error {
 	type simFigure struct {
-		ID          string  `json:"id"`
-		Runs        uint64  `json:"runs"`
-		WallSeconds float64 `json:"wall_seconds"`
-		Parks       uint64  `json:"parks"`
-		Wakes       uint64  `json:"wakes"`
-		PeakGoro    uint64  `json:"peak_goroutines"`
+		ID            string  `json:"id"`
+		Runs          uint64  `json:"runs"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		Parks         uint64  `json:"parks"`
+		Wakes         uint64  `json:"wakes"`
+		PeakGoro      uint64  `json:"peak_goroutines"`
+		Partitions    uint64  `json:"partitions,omitempty"`
+		Windows       uint64  `json:"windows,omitempty"`
+		BarrierStalls uint64  `json:"barrier_stalls,omitempty"`
+		InboxEvents   uint64  `json:"inbox_events,omitempty"`
+		Fallbacks     uint64  `json:"fallbacks,omitempty"`
 	}
 	out := struct {
 		Scale            string      `json:"scale"`
 		Parallel         int         `json:"parallel"`
+		Engine           string      `json:"engine"`
+		SimWorkers       int         `json:"simworkers,omitempty"`
 		TotalWallSeconds float64     `json:"total_wall_seconds"`
 		Figures          []simFigure `json:"figures"`
-	}{Scale: er.Scale, Parallel: er.Parallel}
+	}{Scale: er.Scale, Parallel: er.Parallel, Engine: er.Engine, SimWorkers: er.SimWorkers}
 	for _, e := range er.Experiments {
 		out.Figures = append(out.Figures, simFigure{
 			ID: e.ID, Runs: e.Runs, WallSeconds: e.WallSeconds,
 			Parks: e.Parks, Wakes: e.Wakes, PeakGoro: e.PeakGoro,
+			Partitions: e.Partitions, Windows: e.Windows,
+			BarrierStalls: e.BarrierStalls, InboxEvents: e.InboxEvents,
+			Fallbacks: e.Fallbacks,
 		})
 		out.TotalWallSeconds += e.WallSeconds
 	}

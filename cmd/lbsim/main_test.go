@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"testing"
 )
@@ -178,6 +179,116 @@ func TestRunPolicyDemoWithFaults(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "fault plan") {
 		t.Errorf("stdout missing fault-plan title:\n%s", stdout)
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	code, _, stderr := exec(t, "-exp", "fig8", "-scale", "quick", "-engine", "warp")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown engine "warp"`) {
+		t.Errorf("stderr = %q", stderr)
+	}
+	for _, valid := range []string{"continuation", "goroutine", "parallel"} {
+		if !strings.Contains(stderr, valid) {
+			t.Errorf("error does not list valid engine %q: %q", valid, stderr)
+		}
+	}
+}
+
+func TestRunSimWorkersRequiresParallelEngine(t *testing.T) {
+	code, _, stderr := exec(t, "-exp", "fig8", "-scale", "quick", "-simworkers", "4")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-simworkers only applies to -engine parallel") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	code, _, stderr = exec(t, "-exp", "fig8", "-scale", "quick", "-engine", "parallel", "-simworkers", "-3")
+	if code != 1 {
+		t.Errorf("negative workers: exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-simworkers must be >= 0") {
+		t.Errorf("negative workers: stderr = %q", stderr)
+	}
+}
+
+// TestRunParallelEngineMatchesContinuation is the CLI face of the
+// byte-identity contract: the same figure rendered through -engine
+// parallel must print the same bytes as the default engine.
+func TestRunParallelEngineMatchesContinuation(t *testing.T) {
+	code, want, stderr := exec(t, "-exp", "fig8", "-scale", "quick", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("continuation run: exit = %d, stderr = %q", code, stderr)
+	}
+	for _, workers := range []string{"1", "8"} {
+		code, got, stderr := exec(t, "-exp", "fig8", "-scale", "quick", "-format", "csv",
+			"-engine", "parallel", "-simworkers", workers)
+		if code != 0 {
+			t.Fatalf("parallel run (workers=%s): exit = %d, stderr = %q", workers, code, stderr)
+		}
+		if got != want {
+			t.Errorf("parallel output (workers=%s) differs from continuation:\nwant:\n%s\ngot:\n%s", workers, want, got)
+		}
+	}
+}
+
+// TestRunParallelEngineStats checks the per-partition counters surface
+// on the -enginestats stderr line.
+func TestRunParallelEngineStats(t *testing.T) {
+	code, _, stderr := exec(t, "-exp", "fig8", "-scale", "quick", "-format", "csv",
+		"-engine", "parallel", "-simworkers", "2", "-enginestats")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{"parallel engine:", "partitions", "windows", "inbox events", "fallbacks"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-enginestats output missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestGCPercent pins the GOGC policy: 400 for sequential engines,
+// scaled down (floor 100) as parallel workers multiply concurrent
+// allocation, and untouched whenever the environment sets GOGC.
+func TestGCPercent(t *testing.T) {
+	cases := []struct {
+		env     string
+		workers int
+		percent int
+		ok      bool
+	}{
+		{"", 0, 400, true},
+		{"", 1, 400, true},
+		{"", 2, 200, true},
+		{"", 4, 100, true},
+		{"", 16, 100, true},
+		{"100", 4, 0, false},
+		{"off", 0, 0, false},
+	}
+	for _, tc := range cases {
+		p, ok := gcPercent(tc.env, tc.workers)
+		if p != tc.percent || ok != tc.ok {
+			t.Errorf("gcPercent(%q, %d) = (%d, %v), want (%d, %v)",
+				tc.env, tc.workers, p, ok, tc.percent, tc.ok)
+		}
+	}
+}
+
+// TestGOGCEnvNeverOverridden is the regression test for the env
+// contract: with GOGC set, run() must not call debug.SetGCPercent at
+// all, whatever the engine flags say.
+func TestGOGCEnvNeverOverridden(t *testing.T) {
+	t.Setenv("GOGC", "123")
+	old := debug.SetGCPercent(123)
+	defer debug.SetGCPercent(old)
+	if code, _, stderr := exec(t, "-exp", "fig8", "-scale", "quick", "-format", "csv",
+		"-engine", "parallel", "-simworkers", "8"); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	if cur := debug.SetGCPercent(123); cur != 123 {
+		t.Errorf("run() changed GC percent to %d despite explicit GOGC env", cur)
 	}
 }
 

@@ -44,8 +44,10 @@ func (app *App) NumRanks() int { return len(app.rt.apps[app.apprank.appIdx].rank
 // must not communicate), consistent with §4.
 func (app *App) Comm() *simmpi.Comm { return app.comm }
 
-// Now returns the current virtual time.
-func (app *App) Now() simtime.Time { return app.rt.env.Now() }
+// Now returns the current virtual time as seen by this apprank (its
+// home partition's clock under the parallel engine; the single global
+// clock otherwise).
+func (app *App) Now() simtime.Time { return app.apprank.env.Now() }
 
 // HomeNode returns the node the apprank is homed on.
 func (app *App) HomeNode() int { return app.apprank.home }
@@ -99,7 +101,7 @@ func (app *App) Submit(spec TaskSpec) {
 // TaskWait blocks the main function until every task submitted so far by
 // this apprank (including offloaded ones) has completed.
 func (app *App) TaskWait() {
-	ev := app.rt.env.NewEvent()
+	ev := app.apprank.env.NewEvent()
 	app.apprank.graph.OnQuiescent(func() { ev.Trigger(nil) })
 	app.comm.Proc().SetBlockReason("taskwait", int64(app.apprank.id), 0)
 	app.comm.Proc().Wait(ev)
@@ -110,7 +112,7 @@ func (app *App) TaskWait() {
 // Unrelated tasks keep running. It is implemented, as in Nanos6, as an
 // empty task with the given accesses whose completion is awaited.
 func (app *App) TaskWaitOn(accesses []nanos.Access) {
-	ev := app.rt.env.NewEvent()
+	ev := app.apprank.env.NewEvent()
 	sentinel := &nanos.Task{Label: "taskwait-on", Accesses: accesses}
 	app.apprank.waitOn(sentinel, func() { ev.Trigger(nil) })
 	app.comm.Proc().SetBlockReason("taskwait", int64(app.apprank.id), 1)
@@ -120,15 +122,15 @@ func (app *App) TaskWaitOn(accesses []nanos.Access) {
 // Barrier synchronizes all appranks, accounting the wait as MPI time for
 // TALP.
 func (app *App) Barrier() {
-	t0 := app.rt.env.Now()
+	t0 := app.apprank.env.Now()
 	app.comm.Barrier()
-	app.rt.talp.AddMPI(app.apprank.id, float64(app.rt.env.Now()-t0))
+	app.rt.talp.AddMPI(app.apprank.id, float64(app.apprank.env.Now()-t0))
 }
 
 // AllreduceFloat combines a float64 across appranks with TALP accounting.
 func (app *App) AllreduceFloat(v float64, op simmpi.Op) float64 {
-	t0 := app.rt.env.Now()
+	t0 := app.apprank.env.Now()
 	out := app.comm.Allreduce(v, op).(float64)
-	app.rt.talp.AddMPI(app.apprank.id, float64(app.rt.env.Now()-t0))
+	app.rt.talp.AddMPI(app.apprank.id, float64(app.apprank.env.Now()-t0))
 	return out
 }

@@ -15,12 +15,19 @@ import (
 // dependency graph, and a central ready queue for tasks that no worker
 // can accept yet.
 type Apprank struct {
-	rt           *ClusterRuntime
-	id           int // global id across all co-scheduled applications
-	localRank    int // rank within the owning application
-	appIdx       int // owning application index
-	home         int
-	workers      []*Worker // workers[0] is the home worker
+	rt        *ClusterRuntime
+	id        int // global id across all co-scheduled applications
+	localRank int // rank within the owning application
+	appIdx    int // owning application index
+	home      int
+	// env is the event environment the apprank's activity (its rank
+	// process, graph callbacks, chunk pump) runs on: the runtime's single
+	// environment on the sequential engines, or the home node's partition
+	// under the parallel engine.
+	env          *simtime.Env
+	finishedAt   simtime.Time // when this rank's main (or abort) completed
+	chunkGrants  int64        // per-apprank so partition threads never share a counter
+	workers      []*Worker    // workers[0] is the home worker
 	graph        *nanos.TaskGraph
 	queue        taskFIFO      // centrally held ready tasks (§5.5)
 	allocNext    uint64        // bump allocator for the apprank's address space
@@ -49,6 +56,7 @@ func newApprank(rt *ClusterRuntime, id, localRank, appIdx int, g *expander.Graph
 		localRank: localRank,
 		appIdx:    appIdx,
 		home:      g.Home(localRank),
+		env:       rt.env,
 		allocNext: 1 << 12,
 		locBuf:    nanos.NewLocVec(rt.cfg.Machine.NumNodes()),
 	}
@@ -234,13 +242,13 @@ func (a *Apprank) assign(w *Worker, t *nanos.Task, loc nanos.LocVec) {
 		return
 	}
 	if rt.cfg.GoroutineEngine {
-		rt.env.Schedule(simtimeDuration(ctl+dataDelay), func() {
+		w.ns.after(simtimeDuration(ctl+dataDelay), func() {
 			w.inflight--
 			w.enqueue(t)
 		})
 		return
 	}
-	rt.env.Schedule(simtimeDuration(ctl+dataDelay), rt.getStage(w, t).fn)
+	w.ns.after(simtimeDuration(ctl+dataDelay), w.ns.getStage(w, t).fn)
 }
 
 // refillAll pulls centrally queued tasks into any worker below the

@@ -6,7 +6,7 @@ import "ompsscluster/internal/nanos"
 // the arrival of an offload's staged input data, and the completion
 // notification releasing successors at the apprank's home — used to be
 // fresh closures, one or two heap allocations per task execution. They
-// are now explicit continuation records drawn from per-runtime free
+// are now explicit continuation records drawn from per-node free
 // lists: each record is armed with its (worker, task) state, handed to
 // the event engine as a pre-bound func, fired exactly once, and then
 // recycled. The event the engine sees is identical to the closure it
@@ -34,10 +34,10 @@ type execRec struct {
 	fn    func() // pre-bound fire, allocated once per record
 }
 
-func (rt *ClusterRuntime) getExec(w *Worker, t *nanos.Task) *execRec {
+func (ns *nodeState) getExec(w *Worker, t *nanos.Task) *execRec {
 	var r *execRec
-	if n := len(rt.freeExec); n > 0 {
-		r, rt.freeExec = rt.freeExec[n-1], rt.freeExec[:n-1]
+	if n := len(ns.freeExec); n > 0 {
+		r, ns.freeExec = ns.freeExec[n-1], ns.freeExec[:n-1]
 	} else {
 		r = &execRec{}
 		r.fn = r.fire
@@ -50,8 +50,7 @@ func (r *execRec) fire() {
 	w, t := r.w, r.t
 	stale := w.epoch != r.epoch
 	r.w, r.t = nil, nil
-	rt := w.app.rt
-	rt.freeExec = append(rt.freeExec, r)
+	w.ns.freeExec = append(w.ns.freeExec, r)
 	if stale {
 		return
 	}
@@ -68,10 +67,10 @@ type stageRec struct {
 	fn func()
 }
 
-func (rt *ClusterRuntime) getStage(w *Worker, t *nanos.Task) *stageRec {
+func (ns *nodeState) getStage(w *Worker, t *nanos.Task) *stageRec {
 	var r *stageRec
-	if n := len(rt.freeStage); n > 0 {
-		r, rt.freeStage = rt.freeStage[n-1], rt.freeStage[:n-1]
+	if n := len(ns.freeStage); n > 0 {
+		r, ns.freeStage = ns.freeStage[n-1], ns.freeStage[:n-1]
 	} else {
 		r = &stageRec{}
 		r.fn = r.fire
@@ -83,8 +82,7 @@ func (rt *ClusterRuntime) getStage(w *Worker, t *nanos.Task) *stageRec {
 func (r *stageRec) fire() {
 	w, t := r.w, r.t
 	r.w, r.t = nil, nil
-	rt := w.app.rt
-	rt.freeStage = append(rt.freeStage, r)
+	w.ns.freeStage = append(w.ns.freeStage, r)
 	w.inflight--
 	w.enqueue(t)
 }
@@ -100,10 +98,10 @@ type finishRec struct {
 	fn func()
 }
 
-func (rt *ClusterRuntime) getFinish(a *Apprank, t *nanos.Task) *finishRec {
+func (ns *nodeState) getFinish(a *Apprank, t *nanos.Task) *finishRec {
 	var r *finishRec
-	if n := len(rt.freeFinish); n > 0 {
-		r, rt.freeFinish = rt.freeFinish[n-1], rt.freeFinish[:n-1]
+	if n := len(ns.freeFinish); n > 0 {
+		r, ns.freeFinish = ns.freeFinish[n-1], ns.freeFinish[:n-1]
 	} else {
 		r = &finishRec{}
 		r.fn = r.fire
@@ -115,7 +113,6 @@ func (rt *ClusterRuntime) getFinish(a *Apprank, t *nanos.Task) *finishRec {
 func (r *finishRec) fire() {
 	a, t := r.a, r.t
 	r.a, r.t = nil, nil
-	rt := a.rt
-	rt.freeFinish = append(rt.freeFinish, r)
+	a.rt.nodes[a.home].freeFinish = append(a.rt.nodes[a.home].freeFinish, r)
 	a.finishTask(t)
 }

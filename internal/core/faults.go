@@ -263,10 +263,8 @@ func (rt *ClusterRuntime) abortApp(st *appState, node int) {
 		a.stalled = false
 		if !a.finishedMain && a.proc != nil {
 			a.proc.Kill()
-			rt.activeApps--
-			if rt.activeApps == 0 {
-				rt.finishedAt = now
-			}
+			a.finishedAt = now
+			rt.activeApps.Add(-1)
 		}
 		a.queue.Clear()
 		for _, w := range a.workers {

@@ -142,23 +142,23 @@ func (rt *ClusterRuntime) RunAll() error {
 		return fmt.Errorf("core: runtime already ran")
 	}
 	rt.started = true
+	total := 0
 	for _, st := range rt.apps {
-		rt.activeApps += len(st.ranks)
+		total += len(st.ranks)
 	}
+	rt.activeApps.Store(int64(total))
 	for _, st := range rt.apps {
 		st := st
 		for _, a := range st.ranks {
 			a := a
 			a.proc = st.world.Spawn(a.localRank, func(c *simmpi.Comm) {
 				app := &App{rt: rt, apprank: a, comm: c}
-				rt.talp.StartApp(a.id, rt.env.Now())
+				rt.talp.StartApp(a.id, a.env.Now())
 				st.spec.Main(app)
 				app.TaskWait()
 				a.finishedMain = true
-				rt.activeApps--
-				if rt.activeApps == 0 {
-					rt.finishedAt = rt.env.Now()
-				}
+				a.finishedAt = a.env.Now()
+				rt.activeApps.Add(-1)
 			})
 		}
 	}

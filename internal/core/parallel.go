@@ -1,0 +1,111 @@
+package core
+
+import (
+	"runtime"
+
+	"ompsscluster/internal/faults"
+	"ompsscluster/internal/simtime"
+)
+
+// Parallel-engine wiring: when Config.SimParallel is set and the
+// configuration is eligible, the runtime partitions the simulation per
+// simulated node. Each node's workers, dispatcher, and the appranks
+// homed on it run on the node's own event environment; rank-to-rank MPI
+// traffic becomes timestamped inter-partition events carried by the
+// engine; everything with no single-node home — DROM policy ticks, the
+// imbalance sampler, fault-plan edges, deadline checks — stays on the
+// global environment and runs as a barrier event while the partitions
+// are quiesced. The per-partition (time, seq) order is preserved and
+// sequence allocation is partition-deterministic, so results are
+// byte-identical to the sequential engines at any worker count.
+//
+// Eligibility is deliberately conservative. Configurations that would
+// need zero-latency cross-partition state access fall back to the
+// sequential engine with the reason recorded on the stats collector:
+//
+//   - degree > 1: offload placement reads and mutates remote workers'
+//     queues synchronously in the §5.5 scheduler;
+//   - observability (Obs/Recorder): the event stream is defined as one
+//     globally ordered sequence;
+//   - dynamic spreading: the worker set grows across nodes at runtime;
+//   - link-fault plans: probabilistic drop decisions consume one global
+//     sequence tied to message order;
+//   - a single-node machine (nothing to partition);
+//   - a zero-lookahead network model (no conservative horizon exists).
+func (rt *ClusterRuntime) maybeParallel() {
+	if !rt.cfg.SimParallel {
+		return
+	}
+	if reason := rt.parallelIneligible(); reason != "" {
+		rt.cfg.EngineStats.RecordFallback(reason)
+		return
+	}
+	la := rt.parallelLookahead()
+	workers := rt.cfg.SimWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt.eng = simtime.NewEngine(rt.env, rt.cfg.Machine.NumNodes(), la, workers)
+	for _, ns := range rt.nodes {
+		ns.env = rt.eng.Partition(ns.id)
+	}
+	for _, a := range rt.appranks {
+		a.env = rt.eng.Partition(a.home)
+	}
+	for _, st := range rt.apps {
+		envs := make([]*simtime.Env, len(st.ranks))
+		for i, a := range st.ranks {
+			envs[i] = a.env
+		}
+		st.world.Partition(rt.eng, envs)
+	}
+}
+
+// parallelLookahead returns the conservative horizon width: the smallest
+// virtual time any cross-node effect needs to propagate. Point-to-point
+// messages are bounded below by Net.MinRemoteLatency; collective
+// completions are modelled per hop as Latency + size/bandwidth without
+// the topology surcharge (simmpi.hopCost), so the bound is clamped to
+// the base latency.
+func (rt *ClusterRuntime) parallelLookahead() simtime.Duration {
+	la := rt.cfg.Machine.Net.MinRemoteLatency()
+	if l := rt.cfg.Machine.Net.Latency; l < la {
+		la = l
+	}
+	return la
+}
+
+// parallelIneligible returns a human-readable reason the partitioned
+// engine cannot honor this configuration, or "" when it can.
+func (rt *ClusterRuntime) parallelIneligible() string {
+	cfg := rt.cfg
+	if cfg.Machine.NumNodes() < 2 {
+		return "single-node machine"
+	}
+	if rt.parallelLookahead() <= 0 {
+		return "zero-lookahead network model"
+	}
+	if cfg.Obs != nil || cfg.Recorder != nil {
+		return "observability needs the global event order"
+	}
+	if cfg.Dynamic.Enabled {
+		return "dynamic spreading grows the worker set across nodes"
+	}
+	for _, st := range rt.apps {
+		if st.spec.Degree != 1 {
+			return "offloading degree > 1 schedules across nodes synchronously"
+		}
+	}
+	if cfg.Faults != nil {
+		for _, ev := range cfg.Faults.Events {
+			if ev.Kind == faults.Link {
+				return "link-fault plans order message drops globally"
+			}
+		}
+	}
+	return ""
+}
+
+// Engine returns the partitioned engine, or nil when the runtime runs
+// sequentially (SimParallel off or the configuration fell back).
+func (rt *ClusterRuntime) Engine() *simtime.Engine { return rt.eng }

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ompsscluster/internal/balance"
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/faults"
+	"ompsscluster/internal/nanos"
+	"ompsscluster/internal/simmpi"
+	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/trace"
+)
+
+// parallelWorkload is a degree-1 SPMD program with per-rank imbalance,
+// dependencies, MPI collectives and point-to-point traffic — enough to
+// exercise the dispatcher, the policies, the graph, and the partitioned
+// MPI layer together.
+func parallelWorkload(app *App) {
+	r := app.Rank()
+	p := app.NumRanks()
+	state := app.Alloc(1 << 16)
+	for iter := 0; iter < 4; iter++ {
+		n := 6 + 3*((r+iter)%p)
+		for i := 0; i < n; i++ {
+			buf := app.Alloc(1 << 10)
+			app.Submit(TaskSpec{
+				Label: "work",
+				Work:  simtime.Duration(2+((r+i)%3)) * ms,
+				Accesses: []nanos.Access{
+					{Region: buf, Mode: nanos.InOut},
+					{Region: state, Mode: nanos.In},
+				},
+				// Offloadable so the self-scheduling variant routes these
+				// through the chunk server (degree 1 keeps them home).
+				Offloadable: true,
+			})
+		}
+		app.Submit(TaskSpec{Label: "update", Work: 1 * ms,
+			Accesses: []nanos.Access{{Region: state, Mode: nanos.InOut}}})
+		app.TaskWait()
+		sum := app.AllreduceFloat(float64(r+iter), simmpi.Sum)
+		app.Comm().Send((r+1)%p, 3, sum, 128)
+		app.Comm().Recv((r-1+p)%p, 3)
+		app.Barrier()
+	}
+}
+
+type parallelOutcome struct {
+	elapsed  simtime.Duration
+	tasks    int64
+	stats    RunStats
+	talp     string
+	runErr   string
+	parallel bool // the partitioned engine actually engaged
+}
+
+func runParallelWorkload(t *testing.T, mutate func(*Config), workers int, parallel bool) parallelOutcome {
+	t.Helper()
+	col := &simtime.StatsCollector{}
+	cfg := Config{
+		Machine:     cluster.New(4, 4, cluster.DefaultNet()),
+		LeWI:        true,
+		DROM:        DROMLocal,
+		Seed:        7,
+		EngineStats: col,
+		SimParallel: parallel,
+		SimWorkers:  workers,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt := MustNew(cfg)
+	err := rt.Run(parallelWorkload)
+	out := parallelOutcome{
+		elapsed:  rt.Elapsed(),
+		tasks:    rt.TotalTasks(),
+		stats:    rt.Stats(),
+		talp:     rt.TALP().Snapshot(simtime.Time(rt.Elapsed()), nil).String(),
+		parallel: rt.Engine() != nil,
+	}
+	if err != nil {
+		out.runErr = err.Error()
+	}
+	return out
+}
+
+// TestParallelEngineMatchesSequential is the tentpole acceptance check at
+// the runtime level: the partitioned engine produces results identical to
+// the sequential engine at any worker count.
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	ref := runParallelWorkload(t, nil, 0, false)
+	if ref.parallel {
+		t.Fatal("sequential reference engaged the parallel engine")
+	}
+	if ref.tasks == 0 || ref.elapsed == 0 {
+		t.Fatalf("degenerate reference run: %+v", ref)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := runParallelWorkload(t, nil, workers, true)
+		if !got.parallel {
+			t.Fatalf("workers=%d: parallel engine did not engage", workers)
+		}
+		got.parallel = ref.parallel
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d diverged from sequential:\nseq: %+v\npar: %+v", workers, ref, got)
+		}
+	}
+}
+
+// TestParallelTwoApranksPerNode pins the configuration that makes
+// same-partition wake order observable: two appranks share each node, so
+// when a collective completes, the order in which co-located entrants
+// resume — and where events their continuations schedule at the same
+// instant land between them (LeWI reclaim, dispatch) — shows up in the
+// balancing outcome. One apprank per node masks all of this because
+// every wake lands on a different partition.
+func TestParallelTwoApranksPerNode(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"lewi+dromlocal", func(c *Config) { c.AppranksPerNode = 2 }},
+		{"lewi-only", func(c *Config) { c.AppranksPerNode = 2; c.DROM = DROMOff }},
+		{"drom-only", func(c *Config) { c.AppranksPerNode = 2; c.LeWI = false }},
+		{"neither", func(c *Config) { c.AppranksPerNode = 2; c.LeWI = false; c.DROM = DROMOff }},
+		{"dromglobal", func(c *Config) { c.AppranksPerNode = 2; c.DROM = DROMGlobal }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runParallelWorkload(t, tc.mutate, 0, false)
+			got := runParallelWorkload(t, tc.mutate, 4, true)
+			if !got.parallel {
+				t.Fatal("parallel engine did not engage")
+			}
+			got.parallel = ref.parallel
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("diverged:\nseq: %+v\npar: %+v", ref, got)
+			}
+		})
+	}
+}
+
+// TestParallelSelfSchedMatchesSequential covers the chunk-server path
+// (per-apprank grant counters, the pump on the partition environment).
+func TestParallelSelfSchedMatchesSequential(t *testing.T) {
+	mutate := func(cfg *Config) {
+		cfg.SelfSched = balance.SelfSchedGuided
+		cfg.DROM = DROMOff
+	}
+	ref := runParallelWorkload(t, mutate, 0, false)
+	got := runParallelWorkload(t, mutate, 4, true)
+	if !got.parallel {
+		t.Fatal("parallel engine did not engage")
+	}
+	if got.stats.ChunkGrants == 0 {
+		t.Fatal("self-scheduling produced no chunk grants")
+	}
+	got.parallel = ref.parallel
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("self-sched diverged:\nseq: %+v\npar: %+v", ref, got)
+	}
+}
+
+// TestParallelFaultPlanMatchesSequential covers barrier-event fault
+// edges (slow, core loss, stall — every kind the gate admits).
+func TestParallelFaultPlanMatchesSequential(t *testing.T) {
+	plan := &faults.Plan{
+		Name: "mixed",
+		Events: []faults.Event{
+			{Kind: faults.Slow, At: 3 * ms, Until: 30 * ms, Node: 1, Speed: 0.5},
+			{Kind: faults.CoreLoss, At: 8 * ms, Node: 2, Cores: 2},
+			{Kind: faults.Stall, At: 12 * ms, Until: 25 * ms, Apprank: 3},
+		},
+	}
+	mutate := func(cfg *Config) { cfg.Faults = plan }
+	ref := runParallelWorkload(t, mutate, 0, false)
+	got := runParallelWorkload(t, mutate, 4, true)
+	if !got.parallel {
+		t.Fatal("parallel engine did not engage for a link-free fault plan")
+	}
+	got.parallel = ref.parallel
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("fault plan diverged:\nseq: %+v\npar: %+v", ref, got)
+	}
+}
+
+// TestParallelGoroutineEngineMatches pins the third engine against the
+// partitioned one: the legacy closure paths must survive partitioning too.
+func TestParallelGoroutineEngineMatches(t *testing.T) {
+	mutate := func(cfg *Config) { cfg.GoroutineEngine = true }
+	ref := runParallelWorkload(t, mutate, 0, false)
+	got := runParallelWorkload(t, mutate, 4, true)
+	if !got.parallel {
+		t.Fatal("parallel engine did not engage")
+	}
+	got.parallel = ref.parallel
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("goroutine-engine run diverged:\nseq: %+v\npar: %+v", ref, got)
+	}
+}
+
+// TestParallelMultiAppMatches runs two co-scheduled applications under
+// the partitioned engine.
+func TestParallelMultiAppMatches(t *testing.T) {
+	run := func(parallel bool) parallelOutcome {
+		col := &simtime.StatsCollector{}
+		rt, err := NewMulti(Config{
+			Machine:     cluster.New(3, 6, cluster.DefaultNet()),
+			LeWI:        true,
+			Seed:        11,
+			EngineStats: col,
+			SimParallel: parallel,
+			SimWorkers:  3,
+		}, []AppSpec{
+			{Name: "a", RanksPerNode: 1, Main: parallelWorkload},
+			{Name: "b", RanksPerNode: 1, Main: func(app *App) {
+				submitBatchLocal(app, 12+4*app.Rank(), 3*ms)
+				app.TaskWait()
+				app.Barrier()
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rerr := rt.RunAll()
+		out := parallelOutcome{
+			elapsed:  rt.Elapsed(),
+			tasks:    rt.TotalTasks(),
+			stats:    rt.Stats(),
+			talp:     rt.TALP().Snapshot(simtime.Time(rt.Elapsed()), nil).String(),
+			parallel: rt.Engine() != nil,
+		}
+		if rerr != nil {
+			out.runErr = rerr.Error()
+		}
+		return out
+	}
+	ref := run(false)
+	got := run(true)
+	if !got.parallel {
+		t.Fatal("parallel engine did not engage")
+	}
+	got.parallel = ref.parallel
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("multi-app diverged:\nseq: %+v\npar: %+v", ref, got)
+	}
+}
+
+// TestParallelMatrixClonesMachine runs the engine x workers matrix off
+// one shared prototype Machine, cloning it per cell. Fault plans mutate
+// the run's machine in place (SetSpeed, RemoveCores), so sharing the
+// prototype would leak one cell's faults into the next and turn the
+// determinism comparison into a comparison of different machines.
+func TestParallelMatrixClonesMachine(t *testing.T) {
+	proto := cluster.New(4, 4, cluster.DefaultNet())
+	plan := &faults.Plan{
+		Name: "matrix",
+		Events: []faults.Event{
+			{Kind: faults.Slow, At: 2 * ms, Until: 20 * ms, Node: 1, Speed: 0.25},
+			{Kind: faults.CoreLoss, At: 6 * ms, Node: 2, Cores: 1},
+		},
+	}
+	cell := func(parallel bool, workers int) parallelOutcome {
+		return runParallelWorkload(t, func(c *Config) {
+			c.Machine = proto.Clone()
+			c.Faults = plan
+		}, workers, parallel)
+	}
+	ref := cell(false, 0)
+	for _, workers := range []int{1, 8} {
+		got := cell(true, workers)
+		if !got.parallel {
+			t.Fatalf("workers=%d: parallel engine did not engage", workers)
+		}
+		got.parallel = ref.parallel
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d diverged:\nseq: %+v\npar: %+v", workers, ref, got)
+		}
+	}
+	// The cells must have mutated only their clones.
+	if proto.Node(1).Speed != 1.0 || proto.Node(2).Cores != 4 {
+		t.Fatalf("a cell mutated the shared prototype machine: %+v", proto.Nodes)
+	}
+}
+
+// submitBatchLocal submits non-offloadable independent tasks.
+func submitBatchLocal(app *App, n int, work simtime.Duration) {
+	for i := 0; i < n; i++ {
+		r := app.Alloc(1 << 10)
+		app.Submit(TaskSpec{Label: "local", Work: work,
+			Accesses: []nanos.Access{{Region: r, Mode: nanos.InOut}}})
+	}
+}
+
+// TestParallelFallbacks checks every gate: ineligible configurations run
+// sequentially and record why.
+func TestParallelFallbacks(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		why    string
+	}{
+		{"single node", func(c *Config) { c.Machine = cluster.New(1, 4, cluster.DefaultNet()) }, "single-node"},
+		{"zero lookahead", func(c *Config) { c.Machine = cluster.New(4, 4, cluster.NetModel{}) }, "zero-lookahead"},
+		{"degree", func(c *Config) { c.Degree = 2 }, "degree"},
+		{"observability", func(c *Config) { c.Recorder = trace.NewRecorder() }, "observability"},
+		{"dynamic", func(c *Config) { c.Dynamic = DynamicConfig{Enabled: true} }, "dynamic spreading"},
+		{"link faults", func(c *Config) {
+			c.Faults = &faults.Plan{Events: []faults.Event{
+				{Kind: faults.Link, At: 1 * ms, Until: 2 * ms, Node: 0, NodeB: 1, Drop: 0.5},
+			}}
+		}, "link-fault"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col := &simtime.StatsCollector{}
+			cfg := Config{
+				Machine:     cluster.New(4, 4, cluster.DefaultNet()),
+				Seed:        3,
+				EngineStats: col,
+				SimParallel: true,
+			}
+			tc.mutate(&cfg)
+			rt := MustNew(cfg)
+			if rt.Engine() != nil {
+				t.Fatal("ineligible configuration engaged the parallel engine")
+			}
+			reasons := strings.Join(col.FallbackReasons(), "; ")
+			if !strings.Contains(reasons, tc.why) {
+				t.Fatalf("fallback reasons %q do not mention %q", reasons, tc.why)
+			}
+			if err := rt.Run(func(app *App) {
+				submitBatchLocal(app, 4, 1*ms)
+				app.TaskWait()
+			}); err != nil && tc.name != "link faults" {
+				t.Fatal(err)
+			}
+		})
+	}
+	// And the eligible shape engages without recording anything.
+	col := &simtime.StatsCollector{}
+	rt := MustNew(Config{
+		Machine:     cluster.New(4, 4, cluster.DefaultNet()),
+		EngineStats: col,
+		SimParallel: true,
+	})
+	if rt.Engine() == nil {
+		t.Fatal("eligible configuration did not engage the parallel engine")
+	}
+	if rs := col.FallbackReasons(); len(rs) != 0 {
+		t.Fatalf("unexpected fallback reasons: %v", rs)
+	}
+}

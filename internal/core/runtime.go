@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ompsscluster/internal/balance"
@@ -19,24 +20,22 @@ import (
 type ClusterRuntime struct {
 	cfg      Config
 	env      *simtime.Env
+	eng      *simtime.Engine // non-nil when the partitioned engine engaged
 	apps     []*appState
 	appranks []*Apprank // all applications' ranks, by global id
 	nodes    []*nodeState
 	talp     *dlb.TALP
 
-	activeApps int
+	// activeApps is decremented by rank mains as they finish; under the
+	// partitioned engine those decrements land on different partition
+	// threads, hence atomic (the sequential engines pay one uncontended
+	// atomic op per rank exit, which is noise).
+	activeApps atomic.Int64
 	started    bool
 	finishedAt simtime.Time
 	dyn        *dynamicState
 	flt        *faultState // nil unless Config.Faults is set
 	stats      RunStats
-
-	// Free lists for the hot-path continuation records (continuations.go).
-	// Per-runtime, so parallel sweeps never share them; the event loop is
-	// single-threaded, so no locking.
-	freeExec   []*execRec
-	freeStage  []*stageRec
-	freeFinish []*finishRec
 }
 
 // RunStats aggregates runtime activity counters over a run.
@@ -64,9 +63,13 @@ type RunStats struct {
 
 // nodeState groups the per-node runtime structures.
 type nodeState struct {
-	rt      *ClusterRuntime
-	id      int
-	arb     *dlb.NodeArbiter
+	rt  *ClusterRuntime
+	id  int
+	arb *dlb.NodeArbiter
+	// env is the event environment the node's activity runs on: the
+	// runtime's single environment on the sequential engines, or the
+	// node's own partition under the parallel engine.
+	env     *simtime.Env
 	workers []*Worker
 	rr      int  // round-robin start index for fairness in dispatch
 	dead    bool // crashed by a fault plan
@@ -74,6 +77,13 @@ type nodeState struct {
 	// dispatchFn is the deduplicated dispatch-pass callback, allocated
 	// once here instead of per scheduleDispatch call.
 	dispatchFn func()
+
+	// Free lists for the hot-path continuation records (continuations.go).
+	// Per-node, so each partition thread of the parallel engine recycles
+	// only its own records; no locking in either engine.
+	freeExec   []*execRec
+	freeStage  []*stageRec
+	freeFinish []*finishRec
 }
 
 // New builds a single-application runtime from the configuration. The
@@ -129,6 +139,7 @@ func newRuntime(cfg Config) (*ClusterRuntime, error) {
 		ns := &nodeState{
 			rt:  rt,
 			id:  n,
+			env: rt.env,
 			arb: dlb.NewNodeArbiter(n, cfg.Machine.Node(n).Cores, cfg.LeWI),
 		}
 		ns.arb.SetObs(rt.cfg.Obs)
@@ -145,6 +156,15 @@ func newRuntime(cfg Config) (*ClusterRuntime, error) {
 // dynamic spreading, and the fault plan, once every application's
 // workers are registered.
 func (rt *ClusterRuntime) finishConstruction() error {
+	rt.maybeParallel()
+	// Preallocate the TALP entries so the accounting map never mutates
+	// structurally once rank mains (possibly on partition threads) start
+	// reporting.
+	ids := make([]int, len(rt.appranks))
+	for i := range ids {
+		ids[i] = i
+	}
+	rt.talp.Preallocate(ids)
 	rt.installInitialOwnership()
 	rt.installPolicies()
 	if rt.cfg.SelfSched != balance.SelfSchedOff {
@@ -215,12 +235,12 @@ func (rt *ClusterRuntime) installPolicies() {
 	if cfg.CustomPolicy != nil {
 		rt.env.Periodic(cfg.LocalPeriod, cfg.LocalPeriod, func() bool {
 			rt.runPolicy(cfg.CustomPolicy)
-			return rt.activeApps > 0 || !rt.started
+			return rt.activeApps.Load() > 0 || !rt.started
 		})
 		if cfg.Recorder != nil {
 			rt.env.Periodic(cfg.SamplePeriod, cfg.SamplePeriod, func() bool {
 				rt.sampleImbalance()
-				return rt.activeApps > 0 || !rt.started
+				return rt.activeApps.Load() > 0 || !rt.started
 			})
 		}
 		return
@@ -229,19 +249,19 @@ func (rt *ClusterRuntime) installPolicies() {
 	case DROMLocal:
 		rt.env.Periodic(cfg.LocalPeriod, cfg.LocalPeriod, func() bool {
 			rt.runPolicy(balance.LocalPolicy{})
-			return rt.activeApps > 0 || !rt.started
+			return rt.activeApps.Load() > 0 || !rt.started
 		})
 	case DROMGlobal:
 		pol := balance.GlobalPolicy{Incentive: cfg.Incentive, UseSimplex: cfg.GlobalUseSimplex}
 		rt.env.Periodic(cfg.GlobalPeriod, cfg.GlobalPeriod, func() bool {
 			rt.runGlobalPartitioned(pol)
-			return rt.activeApps > 0 || !rt.started
+			return rt.activeApps.Load() > 0 || !rt.started
 		})
 	}
 	if cfg.Recorder != nil {
 		rt.env.Periodic(cfg.SamplePeriod, cfg.SamplePeriod, func() bool {
 			rt.sampleImbalance()
-			return rt.activeApps > 0 || !rt.started
+			return rt.activeApps.Load() > 0 || !rt.started
 		})
 	}
 }
@@ -488,8 +508,16 @@ func (rt *ClusterRuntime) sendCtl(from, to int, bytes int64, fn func()) {
 	rt.env.Schedule(d, fn)
 }
 
-// Stats returns the run's activity counters.
-func (rt *ClusterRuntime) Stats() RunStats { return rt.stats }
+// Stats returns the run's activity counters. Per-apprank counters (chunk
+// grants are incremented on the apprank's own partition thread under the
+// parallel engine) are folded in here.
+func (rt *ClusterRuntime) Stats() RunStats {
+	s := rt.stats
+	for _, a := range rt.appranks {
+		s.ChunkGrants += a.chunkGrants
+	}
+	return s
+}
 
 // Run spawns the SPMD main on every apprank of the (single) application
 // and executes the simulation to completion. It returns an error if a
@@ -504,20 +532,18 @@ func (rt *ClusterRuntime) Run(main func(app *App)) error {
 	}
 	rt.started = true
 	st := rt.apps[0]
-	rt.activeApps = len(st.ranks)
+	rt.activeApps.Store(int64(len(st.ranks)))
 	for _, a := range st.ranks {
 		a := a
 		a.proc = st.world.Spawn(a.localRank, func(c *simmpi.Comm) {
 			app := &App{rt: rt, apprank: a, comm: c}
-			rt.talp.StartApp(a.id, rt.env.Now())
+			rt.talp.StartApp(a.id, a.env.Now())
 			main(app)
 			// Implicit taskwait at the end of main, as in OmpSs-2.
 			app.TaskWait()
 			a.finishedMain = true
-			rt.activeApps--
-			if rt.activeApps == 0 {
-				rt.finishedAt = rt.env.Now()
-			}
+			a.finishedAt = a.env.Now()
+			rt.activeApps.Add(-1)
 		})
 	}
 	return rt.finishRun()
@@ -526,8 +552,21 @@ func (rt *ClusterRuntime) Run(main func(app *App)) error {
 // finishRun executes the simulation and checks the end-of-run invariants.
 func (rt *ClusterRuntime) finishRun() error {
 	start := time.Now()
-	err := rt.env.Run()
-	rt.cfg.EngineStats.Record(rt.env.EngineStats(), time.Since(start))
+	var err error
+	if rt.eng != nil {
+		err = rt.eng.Run()
+		rt.cfg.EngineStats.Record(rt.eng.EngineStats(), time.Since(start))
+	} else {
+		err = rt.env.Run()
+		rt.cfg.EngineStats.Record(rt.env.EngineStats(), time.Since(start))
+	}
+	// Each rank stamped its own finish time on its own environment; the
+	// run finished when the last one did.
+	for _, a := range rt.appranks {
+		if a.finishedAt > rt.finishedAt {
+			rt.finishedAt = a.finishedAt
+		}
+	}
 	hiwater := 0
 	for _, a := range rt.appranks {
 		if hw := a.graph.RegistryHighWater(); hw > hiwater {
@@ -541,7 +580,11 @@ func (rt *ClusterRuntime) finishRun() error {
 	if rt.flt != nil && rt.flt.abortErr != nil {
 		return rt.flt.abortErr
 	}
-	if dl := rt.env.Deadlock(); dl != nil {
+	if rt.eng != nil {
+		if dl := rt.eng.Deadlock(); dl != nil {
+			return dl
+		}
+	} else if dl := rt.env.Deadlock(); dl != nil {
 		return dl
 	}
 	for _, a := range rt.appranks {

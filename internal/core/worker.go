@@ -60,10 +60,18 @@ func (w *Worker) enqueue(t *nanos.Task) {
 	w.ns.scheduleDispatch()
 }
 
+// after schedules fn on the node's environment d after the current
+// context time. CtxNow (not Now) so a global barrier event — a policy
+// tick or fault edge under the parallel engine — lands the callback at
+// the barrier time even when the node's partition clock lags.
+func (ns *nodeState) after(d simtime.Duration, fn func()) {
+	ns.env.At(ns.env.CtxNow()+simtime.Time(d), fn)
+}
+
 // start executes the head task on a core the dispatcher secured.
 func (w *Worker) start() {
 	rt := w.app.rt
-	now := rt.env.Now()
+	now := w.ns.env.Now()
 	t := w.queued.Pop()
 	w.ns.arb.Start(w.wid, now)
 	w.running++
@@ -83,7 +91,7 @@ func (w *Worker) start() {
 		// node dies mid-task the recovery path force-finishes and
 		// re-places the task, and the epoch stamp makes this a no-op.
 		epoch := w.epoch
-		rt.env.Schedule(exec, func() {
+		w.ns.env.Schedule(exec, func() {
 			if w.epoch != epoch {
 				return
 			}
@@ -93,13 +101,13 @@ func (w *Worker) start() {
 	}
 	// Continuation engine: a pooled record instead of a per-task closure
 	// (same event, same (time, seq) key — see continuations.go).
-	rt.env.Schedule(exec, rt.getExec(w, t).fn)
+	w.ns.env.Schedule(exec, w.ns.getExec(w, t).fn)
 }
 
 // complete handles a task finishing on this worker.
 func (w *Worker) complete(t *nanos.Task) {
 	rt := w.app.rt
-	now := rt.env.Now()
+	now := w.ns.env.Now()
 	w.ns.arb.Finish(w.wid, now)
 	w.running--
 	rt.cfg.Obs.ExecEnd(w.ns.id, w.app.id, t.ID, int(w.wid), t.Label)
@@ -115,7 +123,7 @@ func (w *Worker) complete(t *nanos.Task) {
 		if rt.cfg.GoroutineEngine {
 			rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, func() { a.finishTask(t) })
 		} else {
-			rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, rt.getFinish(a, t).fn)
+			rt.sendCtl(w.ns.id, a.home, rt.cfg.CtlMsgBytes, w.ns.getFinish(a, t).fn)
 		}
 	}
 	// Steal centrally held tasks now that this worker has room ("will be
@@ -132,7 +140,7 @@ func (ns *nodeState) scheduleDispatch() {
 		return
 	}
 	ns.queued = true
-	ns.rt.env.At(ns.rt.env.Now(), ns.dispatchFn)
+	ns.env.At(ns.env.CtxNow(), ns.dispatchFn)
 }
 
 // dispatch greedily starts runnable tasks on the node: owners use their

@@ -37,6 +37,18 @@ func (t *TALP) app(apprank int) *talpApp {
 	return a
 }
 
+// Preallocate creates the accounting entries for the given appranks up
+// front. The partitioned simulation engine reports useful/MPI time from
+// per-node partition threads; with every entry preallocated the map is
+// never mutated structurally after construction, so those reports only
+// touch the apprank's own entry (one writer per apprank) and concurrent
+// map reads stay safe.
+func (t *TALP) Preallocate(ids []int) {
+	for _, id := range ids {
+		t.app(id)
+	}
+}
+
 // StartApp records the start time of an apprank's main function.
 func (t *TALP) StartApp(apprank int, now simtime.Time) {
 	t.app(apprank).started = now

@@ -22,6 +22,8 @@ func ablationRun(sc Scale, nodes int, tweak func(*core.Config)) simtime.Duration
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
 		GoroutineEngine: sc.GoroutineEngine,
+		SimParallel:     sc.SimParallel,
+		SimWorkers:      sc.SimWorkers,
 		LeWI:            true,
 		DROM:            core.DROMGlobal,
 		GlobalPeriod:    sc.GlobalPeriod,
@@ -158,6 +160,8 @@ func AblationIncentive(sc Scale) *Result {
 			Graphs:          sc.Graphs,
 			EngineStats:     sc.Engine,
 			GoroutineEngine: sc.GoroutineEngine,
+			SimParallel:     sc.SimParallel,
+			SimWorkers:      sc.SimWorkers,
 			LeWI:            true,
 			DROM:            core.DROMGlobal,
 			GlobalPeriod:    sc.GlobalPeriod,

@@ -71,6 +71,19 @@ type EngineStats struct {
 	// any single run reached — the live-interval footprint after
 	// coalescing, which bounds the per-query walk cost.
 	RegistryHiWater uint64
+	// Partitions is the maximum partition count any single run used
+	// (0 = every run was sequential).
+	Partitions uint64
+	// Windows counts parallel-engine horizon advances across all runs.
+	Windows uint64
+	// BarrierStalls counts windows clamped below the full lookahead by a
+	// pending global event.
+	BarrierStalls uint64
+	// InboxEvents counts cross-partition event deliveries.
+	InboxEvents uint64
+	// Fallbacks counts runs that requested the parallel engine but fell
+	// back to sequential execution.
+	Fallbacks uint64
 }
 
 // Result is one reproduced figure.
@@ -253,6 +266,17 @@ type Scale struct {
 	// either way; the flag exists for the engine differential test and
 	// A/B benchmarking (cmd/lbsim -engine goroutine).
 	GoroutineEngine bool
+	// SimParallel requests the partitioned parallel event engine for
+	// every simulator run (cmd/lbsim -engine parallel). Runs whose
+	// configuration the partitioned engine cannot honor (observability,
+	// degree > 1, ...) fall back to sequential execution per run and
+	// record the reason on the Engine collector; results are identical
+	// either way.
+	SimParallel bool
+	// SimWorkers caps the partition worker threads per simulator run
+	// when SimParallel engages (0 = GOMAXPROCS). Note the sweep-level
+	// Parallel knob above multiplies with this one.
+	SimWorkers int
 }
 
 // SamplePeriodOrDefault returns the sampling period as a Time step.
@@ -419,6 +443,11 @@ func ByID(id string, sc Scale) (*Result, error) {
 		Wakes:           d.Wakes,
 		PeakGoroutines:  d.PeakGoroutines,
 		RegistryHiWater: d.RegistryHiWater,
+		Partitions:      d.Partitions,
+		Windows:         d.Windows,
+		BarrierStalls:   d.BarrierStalls,
+		InboxEvents:     d.InboxEvents,
+		Fallbacks:       d.Fallbacks,
 	}
 	return res, nil
 }

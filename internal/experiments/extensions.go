@@ -91,6 +91,8 @@ func dynamicRun(sc Scale, nodes int, synCfg synthetic.Config) (simtime.Duration,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
 		GoroutineEngine: sc.GoroutineEngine,
+		SimParallel:     sc.SimParallel,
+		SimWorkers:      sc.SimWorkers,
 		LeWI:            true,
 		DROM:            core.DROMGlobal,
 		GlobalPeriod:    sc.GlobalPeriod,
@@ -183,6 +185,8 @@ func ExtDVFS(sc Scale) *Result {
 			Graphs:          sc.Graphs,
 			EngineStats:     sc.Engine,
 			GoroutineEngine: sc.GoroutineEngine,
+			SimParallel:     sc.SimParallel,
+			SimWorkers:      sc.SimWorkers,
 			LeWI:            sp.lewi,
 			DROM:            sp.drom,
 			GlobalPeriod:    sc.GlobalPeriod,
@@ -220,6 +224,8 @@ func partitionedRun(sc Scale, nodes, partition int) simtime.Duration {
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
 		GoroutineEngine: sc.GoroutineEngine,
+		SimParallel:     sc.SimParallel,
+		SimWorkers:      sc.SimWorkers,
 		LeWI:            true,
 		DROM:            core.DROMGlobal,
 		GlobalPeriod:    sc.GlobalPeriod,

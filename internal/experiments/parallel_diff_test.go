@@ -1,0 +1,79 @@
+package experiments
+
+import "testing"
+
+// TestEngineDifferentialSimParallel is the figure-level acceptance check
+// for the partitioned parallel engine: rendering fig8 with SimParallel
+// set must produce byte-identical CSV at any worker count. fig8 is the
+// interesting figure for this check because it mixes eligible cells
+// (degree-1 baseline runs engage the partitioned engine) with ineligible
+// ones (degree 2-4 runs fall back to sequential), so one figure covers
+// both sides of the eligibility gate.
+//
+// Engine counters are NOT compared between sequential and parallel:
+// cross-partition sends and the partitioned collective protocol
+// legitimately take different scheduling paths (outbox inserts, global
+// staging events), so Events/FastPath/HeapPushes differ even though the
+// simulated results are identical. What must hold: the CSV bytes, the
+// run count, and — between parallel runs at different worker counts —
+// every deterministic counter, because the window schedule depends only
+// on event timestamps, never on how many host workers drain a window.
+func TestEngineDifferentialSimParallel(t *testing.T) {
+	seqCSV, seqStats := runFig8(t, func(sc *Scale) {})
+	par1CSV, par1Stats := runFig8(t, func(sc *Scale) { sc.SimParallel = true; sc.SimWorkers = 1 })
+	par8CSV, par8Stats := runFig8(t, func(sc *Scale) { sc.SimParallel = true; sc.SimWorkers = 8 })
+
+	if par1CSV != seqCSV {
+		t.Fatalf("fig8 CSV differs between sequential and parallel workers=1:\nseq:\n%s\npar:\n%s", seqCSV, par1CSV)
+	}
+	if par8CSV != seqCSV {
+		t.Fatalf("fig8 CSV differs between sequential and parallel workers=8:\nseq:\n%s\npar:\n%s", seqCSV, par8CSV)
+	}
+	if par1Stats != par8Stats {
+		t.Fatalf("deterministic engine counters differ across worker counts:\nworkers=1: %+v\nworkers=8: %+v", par1Stats, par8Stats)
+	}
+	if par1Stats.Runs != seqStats.Runs {
+		t.Fatalf("run counts differ: seq %d, parallel %d", seqStats.Runs, par1Stats.Runs)
+	}
+
+	// The sequential render must not have touched the parallel machinery.
+	if seqStats.Partitions != 0 || seqStats.Windows != 0 || seqStats.Fallbacks != 0 {
+		t.Fatalf("sequential render recorded parallel counters: %+v", seqStats)
+	}
+	// The parallel render must have actually engaged on the degree-1
+	// cells (partitions, advanced windows, cross-partition traffic) and
+	// fallen back on the degree>1 cells.
+	if par1Stats.Partitions == 0 || par1Stats.Windows == 0 || par1Stats.InboxEvents == 0 {
+		t.Fatalf("parallel engine never engaged: %+v", par1Stats)
+	}
+	if par1Stats.Fallbacks == 0 {
+		t.Fatalf("degree>1 cells did not record fallbacks: %+v", par1Stats)
+	}
+}
+
+// TestEngineDifferentialSimParallelResilience pins the fault-injection
+// figure: resilience runs under degree 3, so every run must fall back —
+// SimParallel on an ineligible figure is a strict no-op on the output.
+func TestEngineDifferentialSimParallelResilience(t *testing.T) {
+	render := func(parallel bool) (string, EngineStats) {
+		sc := qs()
+		sc.SimParallel = parallel
+		sc.SimWorkers = 4
+		res, err := ByID("resilience", sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CSV(), res.Engine
+	}
+	seqCSV, _ := render(false)
+	parCSV, parStats := render(true)
+	if parCSV != seqCSV {
+		t.Fatalf("resilience CSV differs under SimParallel:\nseq:\n%s\npar:\n%s", seqCSV, parCSV)
+	}
+	if parStats.Partitions != 0 || parStats.Windows != 0 {
+		t.Fatalf("ineligible figure engaged the parallel engine: %+v", parStats)
+	}
+	if parStats.Fallbacks == 0 {
+		t.Fatalf("ineligible runs recorded no fallbacks: %+v", parStats)
+	}
+}

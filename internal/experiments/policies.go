@@ -104,6 +104,8 @@ func policyRun(sc Scale, scn policyScenario, plan *faults.Plan, pol policyConfig
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
 		GoroutineEngine: sc.GoroutineEngine,
+		SimParallel:     sc.SimParallel,
+		SimWorkers:      sc.SimWorkers,
 		LeWI:            pol.lewi,
 		DROM:            pol.drom,
 		SelfSched:       pol.sched,

@@ -83,6 +83,8 @@ func resilienceRun(sc Scale, plan *faults.Plan, lewi bool, drom core.DROMMode) (
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
 		GoroutineEngine: sc.GoroutineEngine,
+		SimParallel:     sc.SimParallel,
+		SimWorkers:      sc.SimWorkers,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

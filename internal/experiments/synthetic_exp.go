@@ -22,6 +22,8 @@ func synRun(sc Scale, m *cluster.Machine, synCfg synthetic.Config, degree int, l
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
 		GoroutineEngine: sc.GoroutineEngine,
+		SimParallel:     sc.SimParallel,
+		SimWorkers:      sc.SimWorkers,
 		LeWI:            lewi,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,
@@ -346,6 +348,8 @@ func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder, ob *obs.
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
 		GoroutineEngine: sc.GoroutineEngine,
+		SimParallel:     sc.SimParallel,
+		SimWorkers:      sc.SimWorkers,
 		LeWI:            true,
 		DROM:            drom,
 		GlobalPeriod:    sc.GlobalPeriod,

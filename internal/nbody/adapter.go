@@ -2,6 +2,7 @@ package nbody
 
 import (
 	"fmt"
+	"sync"
 
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/nanos"
@@ -57,6 +58,14 @@ type ClusterSim struct {
 	acc     []Vec3
 	counts  []int
 
+	// mu guards the once-per-step replicated transitions (leapfrog
+	// apply, ORB decomposition, tree build): under the partitioned
+	// engine, ranks on different host workers reach them concurrently.
+	// Every transition is first-toucher idempotent with inputs that are
+	// complete before any rank can reach it, so which rank performs it
+	// — a function of wake order the partitioned engine does not
+	// reproduce across partitions — is unobservable.
+	mu         sync.Mutex
 	orbStep    int   // step the cached assignment belongs to
 	orbAssign  []int // cached ORB assignment
 	treeStep   int
@@ -102,8 +111,13 @@ func (cs *ClusterSim) System() *System { return cs.sys }
 
 // orb returns the ORB assignment for the given step, computing it once
 // per step (every rank would compute the identical replicated
-// decomposition).
+// decomposition). It first applies any pending leapfrog update for the
+// previous step, so the decomposition always reads post-integration
+// positions no matter which rank gets here first.
 func (cs *ClusterSim) orb(step, parts int) []int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.ensureStepped(step - 1)
 	if cs.orbStep != step {
 		pos := make([]Vec3, len(cs.sys.Bodies))
 		for i, b := range cs.sys.Bodies {
@@ -113,6 +127,31 @@ func (cs *ClusterSim) orb(step, parts int) []int {
 		cs.orbStep = step
 	}
 	return cs.orbAssign
+}
+
+// treeFor returns the step's octree, built once from the replicated
+// post-integration positions.
+func (cs *ClusterSim) treeFor(step int) *Octree {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.treeStep != step {
+		cs.tree = cs.sys.BuildTree()
+		cs.treeStep = step
+	}
+	return cs.tree
+}
+
+// ensureStepped applies the leapfrog update for the given step if it has
+// not been applied yet. Callers hold cs.mu. The accelerations are
+// complete before any rank can reach the transition: every rank writes
+// its own bodies' entries before entering the step's allgather, and the
+// collective completes only after all ranks have entered.
+func (cs *ClusterSim) ensureStepped(step int) {
+	if step < 0 || cs.appliedFor >= step {
+		return
+	}
+	cs.appliedFor = step
+	cs.sys.Step(cs.acc)
 }
 
 // Main returns the SPMD main function.
@@ -136,16 +175,28 @@ func (cs *ClusterSim) Main() func(app *core.App) {
 			}
 			// Real physics: build the tree (cached per step — every rank
 			// would build an identical replica) and evaluate forces for
-			// this rank's bodies, recording interaction counts.
-			if cs.treeStep != step {
-				cs.tree = cs.sys.BuildTree()
-				cs.treeStep = step
-			}
-			tree := cs.tree
+			// this rank's bodies, recording interaction counts. The rank
+			// also stamps its own bodies' ORB weights here, before the
+			// step's allgather, so the weights are complete — and
+			// identical regardless of post-collective wake order — by the
+			// time any rank computes the next step's decomposition.
+			tree := cs.treeFor(step)
 			rankInteractions := 0
 			for _, i := range mine {
 				cs.acc[i], cs.counts[i] = tree.ForceOn(i)
 				rankInteractions += cs.counts[i]
+			}
+			if !cs.cfg.TimeWeights {
+				for _, i := range mine {
+					cs.weights[i] = float64(cs.counts[i])
+				}
+			} else {
+				// Time-scaled: interaction count over the executing
+				// rank's home-node speed.
+				speed := app.NodeSpeed()
+				for _, i := range mine {
+					cs.weights[i] = float64(cs.counts[i]) / speed
+				}
 			}
 			// Tree construction runs as a non-offloadable task at home: it
 			// consumes the previous step's force outputs (pulling any
@@ -190,27 +241,14 @@ func (cs *ClusterSim) Main() func(app *core.App) {
 			}
 			app.TaskWait()
 			// Exchange updated positions (the allgather of the original
-			// code) and integrate. The leapfrog update is applied once —
-			// every rank holds a replica of the same state.
+			// code).
 			app.Comm().Allgather(rankInteractions, int64(cs.cfg.Bodies*24/parts))
-			if cs.appliedFor < step {
-				cs.appliedFor = step
-				cs.sys.Step(cs.acc)
-			}
-			if !cs.cfg.TimeWeights {
-				if cs.appliedFor == step && rank == 0 {
-					for i, c := range cs.counts {
-						cs.weights[i] = float64(c)
-					}
-				}
-			} else {
-				// Every rank stamps its own bodies with time-scaled
-				// weights (count / home-node speed).
-				speed := app.NodeSpeed()
-				for _, i := range mine {
-					cs.weights[i] = float64(cs.counts[i]) / speed
-				}
-			}
+			// Integrate once — every rank holds a replica of the same
+			// state. The next step's orb() performs the same transition,
+			// so the final step still integrates when no rank loops again.
+			cs.mu.Lock()
+			cs.ensureStepped(step)
+			cs.mu.Unlock()
 			if rank == 0 {
 				cs.stepEnds = append(cs.stepEnds, app.Now())
 			}

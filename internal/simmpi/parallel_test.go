@@ -1,0 +1,117 @@
+package simmpi
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ompsscluster/internal/cluster"
+	"ompsscluster/internal/simtime"
+)
+
+// rankProgram is a small SPMD program exercising p2p rings, collectives
+// of every flavor, and local compute. Each rank appends to its own log
+// slice (race-free: the rank process runs on its home environment).
+func rankProgram(logs []*[]string) func(c *Comm) {
+	return func(c *Comm) {
+		r := c.Rank()
+		p := c.Size()
+		log := logs[r]
+		rec := func(format string, args ...any) {
+			*log = append(*log, fmt.Sprintf("@%d ", c.Proc().Env().Now())+fmt.Sprintf(format, args...))
+		}
+		for iter := 0; iter < 3; iter++ {
+			c.Proc().Sleep(simtime.Duration(100 + 37*r + 11*iter))
+			sum := c.Allreduce(float64(r+iter), Sum).(float64)
+			rec("iter %d allreduce=%v", iter, sum)
+			c.Send((r+1)%p, 7, fmt.Sprintf("hello %d->%d", r, (r+1)%p), 64)
+			data, st := c.Recv((r-1+p)%p, 7)
+			rec("iter %d recv %q from %d size %d", iter, data, st.Source, st.Size)
+			if r%2 == 0 {
+				got := c.Bcast(0, fmt.Sprintf("b%d", iter), 32)
+				rec("iter %d bcast=%v", iter, got)
+			} else {
+				got := c.Bcast(0, nil, 32)
+				rec("iter %d bcast=%v", iter, got)
+			}
+			c.Barrier()
+			rec("iter %d past barrier", iter)
+		}
+		all := c.Allgather(r*10, 8)
+		rec("allgather=%v", all)
+		if v := c.Reduce(0, r, Sum); r == 0 {
+			rec("reduce=%v", v)
+		}
+	}
+}
+
+func runRankProgram(t *testing.T, nodes, workers int, parallel bool) [][]string {
+	t.Helper()
+	m := cluster.New(nodes, 4, cluster.DefaultNet())
+	placement := make([]int, nodes)
+	for i := range placement {
+		placement[i] = i
+	}
+	logs := make([]*[]string, nodes)
+	for i := range logs {
+		logs[i] = new([]string)
+	}
+	if !parallel {
+		env := simtime.NewEnv()
+		w := NewWorld(env, m, placement)
+		for r := range placement {
+			w.Spawn(r, rankProgram(logs))
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		la := m.Net.MinRemoteLatency()
+		if m.Net.Latency < la {
+			la = m.Net.Latency
+		}
+		eng := simtime.NewEngine(simtime.NewEnv(), nodes, la, workers)
+		w := NewWorld(eng.Global(), m, placement)
+		envs := make([]*simtime.Env, nodes)
+		for r, n := range placement {
+			envs[r] = eng.Partition(n)
+		}
+		w.Partition(eng, envs)
+		for r := range placement {
+			w.Spawn(r, rankProgram(logs))
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if dl := eng.Deadlock(); dl != nil {
+			t.Fatal(dl)
+		}
+	}
+	out := make([][]string, nodes)
+	for i, l := range logs {
+		out[i] = *l
+	}
+	return out
+}
+
+// TestParallelWorldMatchesSequential pins the tentpole property at the
+// MPI layer: every rank observes the identical sequence of operations,
+// values, and virtual times under the partitioned engine — at any
+// worker count — as under the sequential engine.
+func TestParallelWorldMatchesSequential(t *testing.T) {
+	for _, nodes := range []int{2, 4, 7} {
+		ref := runRankProgram(t, nodes, 0, false)
+		for _, workers := range []int{1, 4} {
+			got := runRankProgram(t, nodes, workers, true)
+			if !reflect.DeepEqual(got, ref) {
+				for r := range ref {
+					if !reflect.DeepEqual(got[r], ref[r]) {
+						t.Errorf("nodes=%d workers=%d rank %d diverged\nseq: %v\npar: %v",
+							nodes, workers, r, ref[r], got[r])
+					}
+				}
+				t.FailNow()
+			}
+		}
+	}
+}

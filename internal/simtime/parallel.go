@@ -1,0 +1,374 @@
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Conservative parallel discrete-event engine.
+//
+// An Engine coordinates P partition environments plus one global
+// environment. Each partition owns the event heap, now-queue, and
+// processes of one simulated node; the global environment owns events
+// with no single-node home (policy ticks, fault-plan edges, collective
+// completions). Execution alternates between two phases:
+//
+//   - Window: T is the minimum pending timestamp across every
+//     environment. If the global environment does not hold that minimum,
+//     all partitions with pending events below the horizon
+//     H = min(T + lookahead, next global event) run concurrently, each on
+//     a worker, executing exactly the events with t < H. The lookahead is
+//     the minimum cross-partition latency: no event a partition executes
+//     inside the window can affect another partition before H, so the
+//     partitions are causally independent for the window's duration.
+//
+//   - Barrier: when the global environment holds the minimum pending
+//     timestamp tg, every partition has already quiesced below tg (the
+//     previous windows executed everything earlier), the global events at
+//     tg run on the coordinating goroutine, and the loop resumes. Global
+//     events may schedule directly into partition heaps (Inject) — the
+//     partitions are idle, so this is single-threaded.
+//
+// Cross-partition effects produced inside a window are staged in the
+// source partition's outbox and merged at the window boundary in
+// (time, source partition, source sequence) order — a strict total order
+// independent of worker count and wall-clock interleaving, which is what
+// keeps the simulation bit-identical for any -simworkers setting.
+//
+// Determinism relative to the sequential engine comes from the
+// conservative horizon: within a partition the (time, seq) total order
+// is preserved, and events on different partitions in the same window
+// are causally independent, so their relative execution order cannot
+// influence any simulation state. Global events at time tg run before
+// partition events at tg, matching the sequential engine where periodic
+// ticks and fault edges carry sequence numbers assigned when they were
+// armed — earlier than any same-time event scheduled by later work.
+
+// outEvent is one staged cross-partition effect: run fn at time t on the
+// environment with index dst. src/seq give the deterministic merge order.
+type outEvent struct {
+	dst int
+	src int
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// Engine is a conservative parallel scheduler over partition
+// environments. Create one with NewEngine, schedule work onto the
+// partitions and the global environment, then call Run once.
+type Engine struct {
+	global    *Env
+	parts     []*Env
+	envs      []*Env // parts followed by global
+	lookahead Duration
+	workers   int
+
+	windows uint64 // horizon advances (windows executed)
+	stalls  uint64 // windows whose horizon was clamped by a global event
+	ninbox  uint64 // cross-environment events delivered (merge + inject)
+
+	merge []outEvent // reusable merge buffer
+
+	jobs chan poolJob
+	wg   sync.WaitGroup
+}
+
+type poolJob struct {
+	e *Env
+	h Time
+}
+
+// NewEngine returns an engine with nparts fresh partition environments
+// coordinated around the existing global environment. The lookahead must
+// be positive — it is the minimum virtual-time distance of any
+// cross-partition effect, and a zero lookahead would collapse every
+// window to a single timestamp (callers should fall back to sequential
+// execution instead). workers is the number of OS-level workers windows
+// fan out to; values below 1 are treated as 1. The engine must be
+// created before any events run on the global environment.
+func NewEngine(global *Env, nparts int, lookahead Duration, workers int) *Engine {
+	if nparts < 1 {
+		panic("simtime: NewEngine requires at least one partition")
+	}
+	if lookahead <= 0 {
+		panic("simtime: parallel engine requires positive lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	eng := &Engine{global: global, lookahead: lookahead, workers: workers}
+	eng.parts = make([]*Env, nparts)
+	for i := range eng.parts {
+		p := NewEnv()
+		p.eng = eng
+		p.eidx = i
+		eng.parts[i] = p
+	}
+	global.eng = eng
+	global.eidx = nparts
+	eng.envs = append(append(make([]*Env, 0, nparts+1), eng.parts...), global)
+	return eng
+}
+
+// Partition returns partition environment i.
+func (eng *Engine) Partition(i int) *Env { return eng.parts[i] }
+
+// Global returns the global environment.
+func (eng *Engine) Global() *Env { return eng.global }
+
+// Partitions returns the number of partition environments.
+func (eng *Engine) Partitions() int { return len(eng.parts) }
+
+// Lookahead returns the engine's cross-partition lookahead.
+func (eng *Engine) Lookahead() Duration { return eng.lookahead }
+
+// Send schedules fn to run d after src's current time on dst. Same-
+// environment sends degrade to Schedule. Sends from the global
+// environment insert directly (partitions are quiesced during barrier
+// execution). Sends between distinct partitions must respect the
+// lookahead — the whole correctness argument rests on it — and are
+// staged in the source outbox for the deterministic boundary merge;
+// sends from a partition to the global environment may use any
+// non-negative delay, since the global environment only runs when it
+// holds the global minimum timestamp.
+func (eng *Engine) Send(src, dst *Env, d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative send delay %v", d))
+	}
+	if src == dst {
+		src.Schedule(d, fn)
+		return
+	}
+	if src == eng.global {
+		eng.Inject(dst, src.now+Time(d), fn)
+		return
+	}
+	if dst != eng.global && d < eng.lookahead {
+		panic(fmt.Sprintf("simtime: cross-partition send delay %v below lookahead %v", d, eng.lookahead))
+	}
+	src.outSeq++
+	src.out = append(src.out, outEvent{dst: dst.eidx, src: src.eidx, t: src.now + Time(d), seq: src.outSeq, fn: fn})
+}
+
+// Inject schedules fn at absolute time t on dst from barrier context
+// (the global environment executing, all partitions quiesced). It must
+// never be called while a window is running.
+func (eng *Engine) Inject(dst *Env, t Time, fn func()) {
+	eng.ninbox++
+	dst.At(t, fn)
+}
+
+// drainOutboxes merges every partition's staged cross-partition sends
+// into the destination heaps in (t, src, seq) order — a strict total
+// order, so destination sequence numbers come out identical for any
+// worker count.
+func (eng *Engine) drainOutboxes() {
+	buf := eng.merge[:0]
+	for _, p := range eng.parts {
+		if len(p.out) == 0 {
+			continue
+		}
+		buf = append(buf, p.out...)
+		clear(p.out)
+		p.out = p.out[:0]
+	}
+	if len(buf) > 1 {
+		sort.Slice(buf, func(i, j int) bool {
+			a, b := buf[i], buf[j]
+			if a.t != b.t {
+				return a.t < b.t
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+	}
+	for i := range buf {
+		ev := buf[i]
+		eng.ninbox++
+		eng.envs[ev.dst].At(ev.t, ev.fn)
+		buf[i].fn = nil
+	}
+	eng.merge = buf[:0]
+}
+
+// Run executes the window/barrier loop until every environment drains
+// or a process fails. It returns the first failure in environment-index
+// order (partitions, then global). Run may be called at most once.
+func (eng *Engine) Run() error {
+	defer eng.stopPool()
+	for {
+		eng.drainOutboxes()
+		if err := eng.firstFail(); err != nil {
+			return err
+		}
+		var T Time
+		have := false
+		for _, e := range eng.envs {
+			if t, ok := e.peekTime(); ok && (!have || t < T) {
+				T, have = t, true
+			}
+		}
+		if !have {
+			return nil
+		}
+		gNext, gok := eng.global.peekTime()
+		if gok && gNext <= T {
+			// Barrier: the global environment holds the minimum pending
+			// timestamp; every partition has quiesced below it.
+			eng.global.RunUntil(gNext)
+			continue
+		}
+		h := T + Time(eng.lookahead)
+		if gok && gNext < h {
+			h = gNext
+			eng.stalls++
+		}
+		eng.windows++
+		eng.runWindow(h - 1)
+	}
+}
+
+// runWindow executes every partition with pending events at or below h,
+// concurrently when the engine has more than one worker.
+func (eng *Engine) runWindow(h Time) {
+	if eng.workers <= 1 || len(eng.parts) == 1 {
+		for _, p := range eng.parts {
+			if t, ok := p.peekTime(); ok && t <= h {
+				p.RunUntil(h)
+			}
+		}
+		return
+	}
+	eng.startPool()
+	for _, p := range eng.parts {
+		if t, ok := p.peekTime(); ok && t <= h {
+			eng.wg.Add(1)
+			eng.jobs <- poolJob{p, h}
+		}
+	}
+	eng.wg.Wait()
+}
+
+func (eng *Engine) startPool() {
+	if eng.jobs != nil {
+		return
+	}
+	w := eng.workers
+	if w > len(eng.parts) {
+		w = len(eng.parts)
+	}
+	jobs := make(chan poolJob, len(eng.parts))
+	eng.jobs = jobs
+	for i := 0; i < w; i++ {
+		go func() {
+			for j := range jobs {
+				j.e.RunUntil(j.h)
+				eng.wg.Done()
+			}
+		}()
+	}
+}
+
+func (eng *Engine) stopPool() {
+	if eng.jobs != nil {
+		close(eng.jobs)
+		eng.jobs = nil
+	}
+}
+
+// firstFail returns the first process failure in environment-index
+// order, or nil.
+func (eng *Engine) firstFail() error {
+	for _, e := range eng.envs {
+		if e.fail != nil {
+			return e.fail
+		}
+	}
+	return nil
+}
+
+// Err returns the first process failure observed, or nil.
+func (eng *Engine) Err() error { return eng.firstFail() }
+
+// Now returns the engine's notion of current time: the maximum clock
+// over all environments (during a barrier this is the global clock).
+func (eng *Engine) Now() Time {
+	now := eng.global.now
+	for _, p := range eng.parts {
+		if p.now > now {
+			now = p.now
+		}
+	}
+	return now
+}
+
+// Pending reports the number of scheduled events not yet executed,
+// including staged outbox entries.
+func (eng *Engine) Pending() int {
+	n := 0
+	for _, e := range eng.envs {
+		n += e.Pending() + len(e.out)
+	}
+	return n
+}
+
+// Deadlock returns a DeadlockError describing processes left blocked
+// across every environment (partitions first, spawn order within each),
+// or nil if none are live.
+func (eng *Engine) Deadlock() *DeadlockError {
+	var blocked []BlockedProc
+	for _, e := range eng.envs {
+		for _, p := range e.liveByID() {
+			blocked = append(blocked, p.blocked())
+		}
+	}
+	if len(blocked) == 0 {
+		return nil
+	}
+	return &DeadlockError{Now: eng.Now(), Blocked: blocked}
+}
+
+// KillAll forcibly terminates all live processes in every environment.
+// The outer loop re-collects survivors so processes spawned by teardown
+// code — even on another partition — are killed too.
+func (eng *Engine) KillAll() {
+	for {
+		n := 0
+		for _, e := range eng.envs {
+			n += len(e.procs)
+		}
+		if n == 0 {
+			return
+		}
+		for _, e := range eng.envs {
+			e.KillAll()
+		}
+	}
+}
+
+// EngineStats aggregates counters over every environment and adds the
+// parallel-scheduler counters. Per-environment counters are summed
+// except PeakGoroutines, which is also summed: partitions run their
+// goroutine-backed processes concurrently, so the sum is the engine's
+// actual peak pressure bound.
+func (eng *Engine) EngineStats() EngineStats {
+	var s EngineStats
+	for _, e := range eng.envs {
+		es := e.EngineStats()
+		s.Events += es.Events
+		s.FastPath += es.FastPath
+		s.HeapPushes += es.HeapPushes
+		s.Parks += es.Parks
+		s.Wakes += es.Wakes
+		s.PeakGoroutines += es.PeakGoroutines
+	}
+	s.Partitions = uint64(len(eng.parts))
+	s.Windows = eng.windows
+	s.BarrierStalls = eng.stalls
+	s.InboxEvents = eng.ninbox
+	return s
+}

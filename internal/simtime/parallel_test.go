@@ -1,0 +1,329 @@
+package simtime
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildExerciser wires a small partitioned program onto eng and returns
+// the per-environment logs (partitions first, global last). Each
+// partition runs an event chain with partition-local cascades, sends to
+// the next partition at exactly the lookahead, and reports to the global
+// environment; a global periodic tick injects work back into every
+// partition. Every log append happens on the owning environment, so the
+// program is race-free under any worker count.
+func buildExerciser(eng *Engine, la Duration) []*[]string {
+	P := eng.Partitions()
+	logs := make([]*[]string, P+1)
+	for i := range logs {
+		logs[i] = new([]string)
+	}
+	glog := logs[P]
+	for i := 0; i < P; i++ {
+		i := i
+		p := eng.Partition(i)
+		plog := logs[i]
+		// Deterministic per-partition chain with jittered steps.
+		state := uint64(i*2654435761 + 12345)
+		next := func() uint64 { state = state*6364136223846793005 + 1442695040888963407; return state }
+		var step func(k int)
+		step = func(k int) {
+			*plog = append(*plog, fmt.Sprintf("p%d step%d @%d", i, k, p.Now()))
+			if k >= 12 {
+				return
+			}
+			if k%3 == 0 {
+				dst := eng.Partition((i + 1) % P)
+				from, at := i, k
+				eng.Send(p, dst, la+Duration(next()%50), func() {
+					dlog := logs[(from+1)%P]
+					*dlog = append(*dlog, fmt.Sprintf("p%d got msg from p%d/%d @%d", (from+1)%P, from, at, dst.Now()))
+				})
+			}
+			if k%4 == 1 {
+				from, at := i, k
+				eng.Send(p, eng.Global(), Duration(next()%20), func() {
+					*glog = append(*glog, fmt.Sprintf("global report p%d/%d @%d", from, at, eng.Global().Now()))
+				})
+			}
+			// Same-time cascade through the now queue.
+			if k%5 == 2 {
+				p.At(p.Now(), func() {
+					*plog = append(*plog, fmt.Sprintf("p%d cascade%d @%d", i, k, p.Now()))
+				})
+			}
+			p.Schedule(Duration(10+next()%90), func() { step(k + 1) })
+		}
+		p.Schedule(Duration(next()%40), func() { step(0) })
+	}
+	ticks := 0
+	eng.Global().Periodic(50, 137, func() bool {
+		ticks++
+		*glog = append(*glog, fmt.Sprintf("tick%d @%d", ticks, eng.Global().Now()))
+		// Barrier context: inject directly into every partition at the
+		// global clock, exercising Inject and CtxNow.
+		for j := 0; j < P; j++ {
+			j := j
+			pe := eng.Partition(j)
+			if pe.CtxNow() != eng.Global().Now() {
+				*glog = append(*glog, "CTXNOW-MISMATCH")
+			}
+			eng.Inject(pe, pe.CtxNow(), func() {
+				*logs[j] = append(*logs[j], fmt.Sprintf("p%d poked @%d", j, pe.Now()))
+			})
+		}
+		return ticks < 8
+	})
+	return logs
+}
+
+func runExerciser(t *testing.T, workers int) [][]string {
+	t.Helper()
+	const la = 100 * Nanosecond
+	eng := NewEngine(NewEnv(), 4, la, workers)
+	logs := buildExerciser(eng, la)
+	if err := eng.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	out := make([][]string, len(logs))
+	for i, l := range logs {
+		out[i] = *l
+		for _, line := range *l {
+			if strings.Contains(line, "MISMATCH") {
+				t.Fatalf("workers=%d: %s", workers, line)
+			}
+		}
+	}
+	return out
+}
+
+// TestParallelWorkerCountInvariance pins the core determinism property:
+// the same program produces identical per-environment event orders for
+// any worker count.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	ref := runExerciser(t, 1)
+	total := 0
+	for _, l := range ref {
+		total += len(l)
+	}
+	if total < 50 {
+		t.Fatalf("exerciser too small: %d log lines", total)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got := runExerciser(t, w)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged from workers=1\nref: %v\ngot: %v", w, ref, got)
+		}
+	}
+}
+
+// TestParallelMatchesSingleEnv runs a program built only from local
+// scheduling and lookahead-respecting sends both on one sequential Env
+// (sends become plain Schedules) and on the engine, and checks the
+// per-partition orders agree with the sequential order filtered to that
+// partition.
+func TestParallelMatchesSingleEnv(t *testing.T) {
+	const la = 100 * Nanosecond
+	type api struct {
+		schedule func(part int, d Duration, fn func())
+		send     func(from, to int, d Duration, fn func())
+		now      func(part int) Time
+	}
+	// build schedules the same logical program against either backend;
+	// log lines are tagged with the owning partition.
+	build := func(a api, log map[int]*[]string) {
+		for i := 0; i < 3; i++ {
+			i := i
+			var step func(k int)
+			step = func(k int) {
+				*log[i] = append(*log[i], fmt.Sprintf("p%d step%d @%d", i, k, a.now(i)))
+				if k >= 9 {
+					return
+				}
+				if k%2 == 0 {
+					to := (i + 1) % 3
+					from, at := i, k
+					a.send(i, to, la+Duration(7*i+at), func() {
+						*log[to] = append(*log[to], fmt.Sprintf("p%d msg %d/%d @%d", to, from, at, a.now(to)))
+					})
+				}
+				a.schedule(i, Duration(13+11*i+5*k), func() { step(k + 1) })
+			}
+			a.schedule(i, Duration(3*i), func() { step(0) })
+		}
+	}
+	newLog := func() map[int]*[]string {
+		m := make(map[int]*[]string)
+		for i := 0; i < 3; i++ {
+			m[i] = new([]string)
+		}
+		return m
+	}
+
+	seqEnv := NewEnv()
+	seqLog := newLog()
+	build(api{
+		schedule: func(part int, d Duration, fn func()) { seqEnv.Schedule(d, fn) },
+		send:     func(from, to int, d Duration, fn func()) { seqEnv.Schedule(d, fn) },
+		now:      func(part int) Time { return seqEnv.Now() },
+	}, seqLog)
+	if err := seqEnv.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(NewEnv(), 3, la, 4)
+	parLog := newLog()
+	build(api{
+		schedule: func(part int, d Duration, fn func()) { eng.Partition(part).Schedule(d, fn) },
+		send: func(from, to int, d Duration, fn func()) {
+			eng.Send(eng.Partition(from), eng.Partition(to), d, fn)
+		},
+		now: func(part int) Time { return eng.Partition(part).Now() },
+	}, parLog)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(*seqLog[i], *parLog[i]) {
+			t.Fatalf("partition %d diverged\nseq: %v\npar: %v", i, *seqLog[i], *parLog[i])
+		}
+	}
+}
+
+// TestParallelProcsAcrossPartitions runs goroutine and continuation
+// processes on different partitions exchanging lookahead-respecting
+// messages; under -race this exercises the window/pool handoff.
+func TestParallelProcsAcrossPartitions(t *testing.T) {
+	const la = 200 * Nanosecond
+	eng := NewEngine(NewEnv(), 4, la, 4)
+	queues := make([]*Queue, 4)
+	logs := make([]*[]string, 4)
+	for i := range queues {
+		queues[i] = eng.Partition(i).NewQueue()
+		logs[i] = new([]string)
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		p := eng.Partition(i)
+		plog := logs[i]
+		p.Spawn(fmt.Sprintf("rank%d", i), func(pr *Proc) {
+			for round := 0; round < 5; round++ {
+				pr.Sleep(Duration(50 + 10*i))
+				dst := (i + 1) % 4
+				rnd := round
+				eng.Send(p, eng.Partition(dst), la, func() {
+					queues[dst].Push(fmt.Sprintf("r%d from p%d", rnd, i))
+				})
+				pr.SetBlockReason("ring-recv", int64(i), int64(round))
+				v := queues[i].Pop(pr)
+				*plog = append(*plog, fmt.Sprintf("p%d round%d got %q @%d", i, round, v, p.Now()))
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dl := eng.Deadlock(); dl != nil {
+		t.Fatal(dl)
+	}
+	for i, l := range logs {
+		if len(*l) != 5 {
+			t.Fatalf("partition %d logged %d rounds, want 5: %v", i, len(*l), *l)
+		}
+	}
+	st := eng.EngineStats()
+	if st.Partitions != 4 || st.Windows == 0 || st.InboxEvents == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}
+
+// TestParallelDeadlockAggregation checks blocked processes on several
+// partitions are all reported, in partition-then-spawn order.
+func TestParallelDeadlockAggregation(t *testing.T) {
+	eng := NewEngine(NewEnv(), 3, 100, 2)
+	for i := 0; i < 3; i++ {
+		i := i
+		p := eng.Partition(i)
+		q := p.NewQueue()
+		p.Spawn(fmt.Sprintf("stuck%d", i), func(pr *Proc) {
+			pr.SetBlockReason("never", int64(i), 0)
+			q.Pop(pr)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dl := eng.Deadlock()
+	if dl == nil {
+		t.Fatal("expected deadlock")
+	}
+	if len(dl.Blocked) != 3 {
+		t.Fatalf("blocked = %v, want 3 entries", dl.Blocked)
+	}
+	for i, b := range dl.Blocked {
+		if b.Name != fmt.Sprintf("stuck%d", i) {
+			t.Fatalf("blocked[%d] = %v, want stuck%d first", i, b, i)
+		}
+	}
+	eng.KillAll()
+	if dl := eng.Deadlock(); dl != nil {
+		t.Fatalf("procs survive KillAll: %v", dl)
+	}
+}
+
+// TestParallelLookaheadViolationPanics pins the safety check: a
+// cross-partition send below the lookahead is a bug, not a silent
+// divergence.
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	eng := NewEngine(NewEnv(), 2, 100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on sub-lookahead cross-partition send")
+		}
+	}()
+	eng.Send(eng.Partition(0), eng.Partition(1), 99, func() {})
+}
+
+// TestParallelZeroLookaheadPanics pins the constructor check backing the
+// sequential-fallback path in core.
+func TestParallelZeroLookaheadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero lookahead")
+		}
+	}()
+	NewEngine(NewEnv(), 2, 0, 1)
+}
+
+// TestParallelProcPanicPropagates checks a panicking process on a
+// partition surfaces through Engine.Run.
+func TestParallelProcPanicPropagates(t *testing.T) {
+	eng := NewEngine(NewEnv(), 2, 100, 2)
+	eng.Partition(1).Spawn("bad", func(pr *Proc) {
+		pr.Sleep(10)
+		panic("boom")
+	})
+	err := eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if eng.Err() == nil {
+		t.Fatal("Err() lost the failure")
+	}
+}
+
+// TestCtxNowStandalone: for a plain Env, CtxNow is Now.
+func TestCtxNowStandalone(t *testing.T) {
+	e := NewEnv()
+	e.Schedule(42, func() {
+		if e.CtxNow() != e.Now() || e.CtxNow() != 42 {
+			t.Errorf("CtxNow = %v, Now = %v", e.CtxNow(), e.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
