@@ -18,7 +18,10 @@
 # partitioned parallel engine at 2/4/8 host workers), with the engines'
 # park/wake, peak-goroutine and partition-scheduler counters. The BENCH_obs.json pass times a quick fig9 run
 # with structured tracing off and on, recording the observability
-# overhead and the exported trace size. The BENCH_faults.json pass times
+# overhead and the exported trace size, plus the fig8 default sweep with
+# full TALP/POP accounting off and on (-popaccount) — the accounting
+# budget is <=2% wall-clock overhead on that sweep, pinned by the
+# pop_overhead_fraction field. The BENCH_faults.json pass times
 # the quick resilience sweep against the fault-free fig8 point — the
 # wall-clock cost of the fault machinery end to end. The
 # BENCH_policy.json pass times the quick self-scheduling policy sweep —
@@ -85,12 +88,28 @@ t1=$(now)
     -trace /tmp/bench_obs_trace.json -metricsjson /tmp/bench_obs_metrics.json
 t2=$(now)
 tracebytes=$(wc -c < /tmp/bench_obs_trace.json)
-awk -v off="$t0 $t1" -v on="$t1 $t2" -v bytes="$tracebytes" 'BEGIN {
+# POP accounting overhead: the fig8 default sweep without and with full
+# TALP/POP accounting. The figure output is byte-identical either way;
+# the wall-clock delta is the accounting cost (budget: <=2%).
+p0=$(now)
+/tmp/lbsim_bench -exp fig8 -scale default -format csv >/dev/null
+p1=$(now)
+/tmp/lbsim_bench -exp fig8 -scale default -format csv -popaccount >/dev/null
+p2=$(now)
+awk -v off="$t0 $t1" -v on="$t1 $t2" -v bytes="$tracebytes" \
+    -v popoff="$p0 $p1" -v popon="$p1 $p2" 'BEGIN {
     split(off, a, " "); split(on, b, " ");
+    split(popoff, c, " "); split(popon, d, " ");
     printf "{\n  \"experiment\": \"fig9\",\n  \"scale\": \"quick\",\n";
     printf "  \"tracing_off_seconds\": %.3f,\n", a[2] - a[1];
     printf "  \"tracing_on_seconds\": %.3f,\n", b[2] - b[1];
-    printf "  \"trace_bytes\": %d\n}\n", bytes;
+    printf "  \"trace_bytes\": %d,\n", bytes;
+    poff = c[2] - c[1]; pon = d[2] - d[1];
+    frac = poff > 0 ? (pon - poff) / poff : 0;
+    printf "  \"pop_experiment\": \"fig8\",\n  \"pop_scale\": \"default\",\n";
+    printf "  \"pop_off_seconds\": %.3f,\n", poff;
+    printf "  \"pop_on_seconds\": %.3f,\n", pon;
+    printf "  \"pop_overhead_fraction\": %.4f\n}\n", frac;
 }' > "$obsout"
 rm -f /tmp/bench_obs_trace.json /tmp/bench_obs_metrics.json
 echo "bench: wrote $obsout"

@@ -17,9 +17,13 @@
 //	lbsim -exp fig8 -engine parallel -simworkers 4
 //	lbsim -all -scale quick -simjson BENCH_sim.json
 //	lbsim -exp fig9 -scale quick -trace fig9.json -metricsjson fig9_metrics.json
+//	lbsim -exp fig8 -pop                  (POP efficiency: PE = LB x CommE)
+//	lbsim -exp efficiency -popjson pop.json
+//	lbsim -exp fig8 -popaccount           (full TALP accounting during the sweep)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -97,8 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		engineStats = fs.Bool("enginestats", false, "print per-experiment event-engine stats to stderr")
 		engineJSON  = fs.String("enginejson", "", "write aggregate event-engine stats as JSON to this file")
 		simJSON     = fs.String("simjson", "", "write per-experiment wall-clock timings as JSON to this file")
-		traceOut    = fs.String("trace", "", "run the traced variant of -exp (fig5 or fig9) and write a Chrome/Perfetto trace JSON to this file")
+		traceOut    = fs.String("trace", "", "run the traced variant of -exp and write a Chrome/Perfetto trace JSON to this file")
 		metricsOut  = fs.String("metricsjson", "", "with the traced variant of -exp, write the aggregated metrics registry as JSON to this file")
+		popOut      = fs.Bool("pop", false, "run representative configurations of -exp with full TALP accounting and print their POP efficiency reports (PE = LB x CommE)")
+		popJSON     = fs.String("popjson", "", "like -pop but write the reports as deterministic JSON to this file (- for stdout)")
+		popAccount  = fs.Bool("popaccount", false, "enable full TALP/POP accounting during the normal -exp/-all sweeps (results are unchanged; used to measure accounting overhead)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2 // the FlagSet already printed the problem and usage
@@ -184,6 +191,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// across every run.
 	sc.Graphs = expander.NewStore("")
 	sc.Engine = simtime.NewStatsCollector()
+	if *popAccount {
+		sc.POP = true
+	}
 
 	emit := func(r *experiments.Result) error {
 		if *outDir != "" {
@@ -257,9 +267,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if (*popOut || *popJSON != "") && (*traceOut != "" || *metricsOut != "") {
+		return fail(fmt.Errorf("-pop/-popjson cannot be combined with -trace/-metricsjson (each runs its own representative sweep; invoke them separately)"))
+	}
+	if *popOut || *popJSON != "" {
+		if *all || *exp == "" {
+			return fail(fmt.Errorf("-pop/-popjson need a single -exp with a POP variant (fig5, fig8, fig9, policies, efficiency)"))
+		}
+		if err := writePOP(*exp, sc, *popOut, *popJSON, stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
 	if *traceOut != "" || *metricsOut != "" {
 		if *all || *exp == "" {
-			return fail(fmt.Errorf("-trace/-metricsjson need a single -exp with a traced variant (fig5 or fig9)"))
+			return fail(fmt.Errorf("-trace/-metricsjson need a single -exp with a traced variant (fig5, fig8, fig9, policies, efficiency)"))
 		}
 		if err := writeTraces(*exp, sc, *traceOut, *metricsOut); err != nil {
 			return fail(err)
@@ -306,8 +329,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *engineStats {
+		for _, p := range sc.Engine.PartitionTotals() {
+			fmt.Fprintf(stderr, "lbsim: partition %d: %v busy, %v barrier-wait host time, %s windows (%s horizon-stalled), %s outbox events staged, peak outbox %d\n",
+				p.Partition, p.Busy.Round(time.Millisecond), p.BarrierWait.Round(time.Millisecond),
+				humanCount(p.Windows), humanCount(p.StallWindows),
+				humanCount(p.OutboxStaged), p.MaxOutbox)
+		}
+	}
 	if *engineJSON != "" {
-		if err := report.write(*engineJSON, sc.Engine.Totals()); err != nil {
+		if err := report.write(*engineJSON, sc.Engine.Totals(), sc.Engine.PartitionTotals()); err != nil {
 			return fail(err)
 		}
 	}
@@ -372,11 +403,25 @@ func (er *engineReport) add(id string, e experiments.EngineStats, d simtime.RunT
 	})
 }
 
-func (er *engineReport) write(path string, total simtime.RunTotals) error {
+// partitionReport is one parallel-engine partition's host-side profile in
+// the -enginejson file. Busy and barrier-wait are host wall-clock (and so
+// vary run to run); the window and outbox counters are deterministic.
+type partitionReport struct {
+	Partition          int     `json:"partition"`
+	BusySeconds        float64 `json:"busy_seconds"`
+	BarrierWaitSeconds float64 `json:"barrier_wait_seconds"`
+	Windows            uint64  `json:"windows"`
+	StallWindows       uint64  `json:"stall_windows"`
+	OutboxStaged       uint64  `json:"outbox_staged"`
+	MaxOutbox          uint64  `json:"max_outbox"`
+}
+
+func (er *engineReport) write(path string, total simtime.RunTotals, parts []simtime.PartitionStats) error {
 	out := struct {
 		*engineReport
-		Total experimentReport `json:"total"`
-	}{er, experimentReport{
+		Partitions []partitionReport `json:"partition_profile,omitempty"`
+		Total      experimentReport  `json:"total"`
+	}{engineReport: er, Total: experimentReport{
 		ID:            "total",
 		Runs:          total.Runs,
 		Events:        total.Events,
@@ -394,6 +439,17 @@ func (er *engineReport) write(path string, total simtime.RunTotals) error {
 		HostSeconds:   total.Host.Seconds(),
 		EventsPerSec:  total.EventsPerSec(),
 	}}
+	for _, p := range parts {
+		out.Partitions = append(out.Partitions, partitionReport{
+			Partition:          p.Partition,
+			BusySeconds:        p.Busy.Seconds(),
+			BarrierWaitSeconds: p.BarrierWait.Seconds(),
+			Windows:            p.Windows,
+			StallWindows:       p.StallWindows,
+			OutboxStaged:       p.OutboxStaged,
+			MaxOutbox:          p.MaxOutbox,
+		})
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -487,6 +543,44 @@ func writeTraces(id string, sc experiments.Scale, tracePath, metricsPath string)
 		}
 	}
 	return nil
+}
+
+// writePOP runs representative configurations of an experiment with full
+// TALP accounting and emits their POP efficiency reports: human-readable
+// tables on stdout with -pop, and/or one deterministic JSON document with
+// -popjson (the per-report rendering is dlb's hand-rolled writer, so the
+// bytes are identical across engines and -simworkers counts).
+func writePOP(id string, sc experiments.Scale, print bool, jsonPath string, stdout io.Writer) error {
+	bundles, err := experiments.POPReports(id, sc)
+	if err != nil {
+		return err
+	}
+	if print {
+		for _, b := range bundles {
+			fmt.Fprintf(stdout, "== %s ==\n%s\n", b.Label, b.Report)
+		}
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "{%q:%q,%q:[", "experiment", id, "reports")
+	for i, b := range bundles {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "{%q:%q,%q:", "label", b.Label, "pop")
+		if err := b.Report.WriteJSON(&buf); err != nil {
+			return err
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteString("]}\n")
+	if jsonPath == "-" {
+		_, err := stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(jsonPath, buf.Bytes(), 0o644)
 }
 
 // humanCount renders n with a k/M/G suffix for the stderr stats line.

@@ -1,13 +1,17 @@
-// Command traceview runs the trace-producing experiments (Figures 5 and
-// 9) and renders their busy-core timelines as ASCII, dumps them as CSV
-// for plotting, emits simplified Paraver records, or exports a Chrome
-// trace JSON loadable in Perfetto (https://ui.perfetto.dev).
+// Command traceview runs the traced variant of an experiment (fig5,
+// fig8, fig9, policies, or efficiency — unknown ids are a hard error)
+// and renders its busy-core timelines as ASCII, dumps them as CSV for
+// plotting, emits simplified Paraver records, or exports a Chrome trace
+// JSON loadable in Perfetto (https://ui.perfetto.dev). With -pop it
+// instead prints the POP efficiency reports (PE = LB x CommE) of the
+// same representative configurations.
 //
 // Usage:
 //
 //	traceview -exp fig9 [-scale quick|default|paper] [-width 100] [-csv]
 //	traceview -exp fig5 -prv -o fig5.prv
 //	traceview -exp fig9 -chrome -o fig9.json
+//	traceview -exp efficiency -pop
 package main
 
 import (
@@ -23,12 +27,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig9", "which traces to produce: fig5 or fig9")
+		exp    = flag.String("exp", "fig9", "which experiment's traces to produce: fig5, fig8, fig9, policies, or efficiency")
 		scale  = flag.String("scale", "quick", "scale: quick, default, or paper")
 		width  = flag.Int("width", 100, "timeline width in characters")
 		csv    = flag.Bool("csv", false, "emit CSV instead of ASCII art")
 		prv    = flag.Bool("prv", false, "emit simplified Paraver (.prv) records")
 		chrome = flag.Bool("chrome", false, "emit Chrome trace JSON (open in Perfetto)")
+		pop    = flag.Bool("pop", false, "print POP efficiency reports (PE = LB x CommE) instead of timelines")
 		oFlag  = flag.String("o", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
@@ -45,7 +50,14 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
 
-	bundles, err := experiments.TraceBundles(*exp, sc)
+	var bundles []experiments.TraceBundle
+	var pops []experiments.POPBundle
+	var err error
+	if *pop {
+		pops, err = experiments.POPReports(*exp, sc)
+	} else {
+		bundles, err = experiments.TraceBundles(*exp, sc)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -70,6 +82,12 @@ func main() {
 		out = bw
 	}
 
+	if *pop {
+		for _, b := range pops {
+			fmt.Fprintf(out, "== %s ==\n%s\n", b.Label, b.Report)
+		}
+		return
+	}
 	if *chrome {
 		recs := make([]*obs.Recorder, len(bundles))
 		labels := make([]string, len(bundles))

@@ -124,13 +124,13 @@ func (app *App) TaskWaitOn(accesses []nanos.Access) {
 func (app *App) Barrier() {
 	t0 := app.apprank.env.Now()
 	app.comm.Barrier()
-	app.rt.talp.AddMPI(app.apprank.id, float64(app.apprank.env.Now()-t0))
+	app.rt.talp.AddMPISpan(app.apprank.id, t0, app.apprank.env.Now())
 }
 
 // AllreduceFloat combines a float64 across appranks with TALP accounting.
 func (app *App) AllreduceFloat(v float64, op simmpi.Op) float64 {
 	t0 := app.apprank.env.Now()
 	out := app.comm.Allreduce(v, op).(float64)
-	app.rt.talp.AddMPI(app.apprank.id, float64(app.apprank.env.Now()-t0))
+	app.rt.talp.AddMPISpan(app.apprank.id, t0, app.apprank.env.Now())
 	return out
 }

@@ -137,6 +137,22 @@ type Config struct {
 	// use) to track aggregate engine throughput.
 	EngineStats *simtime.StatsCollector
 
+	// POP enables full TALP accounting and the POP efficiency report:
+	// per-apprank and per-node useful/overhead/MPI/idle/borrowed time
+	// with ownership and capacity core-time integrals, queried after the
+	// run with Runtime.POP. Accounting uses dedicated fold points so the
+	// measurements feeding the allocation policies — and therefore the
+	// schedule, every figure CSV, trace and metric — are byte-identical
+	// with POP on or off. Default off: the hot paths skip the extra
+	// integrals entirely.
+	POP bool
+	// POPWindow, when positive with POP set, additionally buckets useful
+	// core-time into fixed windows of this width, producing the
+	// time-resolved PE/LB/CommE series in the POP report (and, when Obs
+	// is attached, per-node Perfetto counter tracks). Zero disables the
+	// windowed series; POP totals are unaffected.
+	POPWindow simtime.Duration
+
 	// Dynamic enables dynamic work spreading: the helper graph grows at
 	// runtime under queue pressure instead of being fixed by Degree
 	// (§5.2's sketched extension). Typically used with Degree 1.
@@ -278,6 +294,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.OffloadDeadline < 0 {
 		return c, fmt.Errorf("core: negative OffloadDeadline")
+	}
+	if c.POPWindow < 0 {
+		return c, fmt.Errorf("core: negative POPWindow")
+	}
+	if c.POPWindow > 0 && !c.POP {
+		return c, fmt.Errorf("core: POPWindow requires POP")
 	}
 	if !c.SelfSched.Valid() {
 		return c, fmt.Errorf("core: invalid SelfSched %v", c.SelfSched)

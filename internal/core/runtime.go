@@ -164,7 +164,24 @@ func (rt *ClusterRuntime) finishConstruction() error {
 	for i := range ids {
 		ids[i] = i
 	}
-	rt.talp.Preallocate(ids)
+	rt.talp.Preallocate(ids, len(rt.nodes))
+	if rt.cfg.POP {
+		if rt.cfg.POPWindow > 0 {
+			rt.talp.SetWindow(rt.cfg.POPWindow)
+		}
+		// Give every arbiter a clock for the POP ownership/capacity
+		// integrals. CtxNow, not Now: an ownership change from a global
+		// barrier event (policy tick, fault edge) under the parallel
+		// engine must be stamped with the barrier time even when the
+		// node's partition clock lags, so the integral fold points are
+		// identical across engines. The closure reads ns.env at call
+		// time, so it stays correct after maybeParallel rebinds the
+		// node environments.
+		for _, ns := range rt.nodes {
+			ns := ns
+			ns.arb.SetClock(func() simtime.Time { return ns.env.CtxNow() })
+		}
+	}
 	rt.installInitialOwnership()
 	rt.installPolicies()
 	if rt.cfg.SelfSched != balance.SelfSchedOff {
@@ -556,6 +573,7 @@ func (rt *ClusterRuntime) finishRun() error {
 	if rt.eng != nil {
 		err = rt.eng.Run()
 		rt.cfg.EngineStats.Record(rt.eng.EngineStats(), time.Since(start))
+		rt.cfg.EngineStats.RecordPartitions(rt.eng.PartitionStats())
 	} else {
 		err = rt.env.Run()
 		rt.cfg.EngineStats.Record(rt.env.EngineStats(), time.Since(start))
@@ -600,6 +618,7 @@ func (rt *ClusterRuntime) finishRun() error {
 			return err
 		}
 	}
+	rt.emitPOPWindows()
 	return nil
 }
 

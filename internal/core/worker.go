@@ -79,12 +79,20 @@ func (w *Worker) start() {
 	if !w.isHome() {
 		w.app.offloaded++
 	}
-	rt.cfg.Obs.ExecStart(w.ns.id, w.app.id, t.ID, int(w.wid), w.running > w.owned(), t.Label)
+	borrowed := w.running > w.owned()
+	rt.cfg.Obs.ExecStart(w.ns.id, w.app.id, t.ID, int(w.wid), borrowed, t.Label)
 	// Occupied time: compute plus runtime overhead, both scaled by node
 	// speed, plus a fixed overhead.
 	work := t.Work + simtime.Duration(rt.cfg.OverheadFrac*float64(t.Work))
 	exec := rt.cfg.Machine.ExecTime(w.ns.id, work) + rt.cfg.OverheadFixed
-	rt.talp.AddUseful(w.app.id, float64(exec))
+	// TALP splits the occupied interval into useful compute (the task's
+	// work at this node's speed) and runtime overhead (the fixed and
+	// fractional model terms), attributed to the (apprank, node) cell —
+	// this thread is the only writer for the cell in every engine, so
+	// the accounting is lock-free and deterministic.
+	useful := float64(rt.cfg.Machine.ExecTime(w.ns.id, t.Work))
+	rt.talp.AddExec(w.app.id, w.ns.id, now, now+simtime.Time(exec),
+		useful, float64(exec)-useful, borrowed)
 	if rt.cfg.GoroutineEngine {
 		// Legacy closure path, kept for the engine differential check.
 		// The completion is only valid while the worker lives: if the

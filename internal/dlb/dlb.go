@@ -46,6 +46,13 @@ type workerState struct {
 	// averages taken by the allocation policies.
 	markIntegral float64
 	markTime     simtime.Time
+	// POP accounting integrals (core-nanoseconds), maintained only when
+	// a clock is installed via SetClock. They use their own fold point
+	// (popLast) so enabling POP cannot perturb busyIntegral's float
+	// accumulation sequence, which feeds the allocation policies.
+	ownedIntegral    float64 // owned x elapsed
+	borrowedIntegral float64 // max(0, running-owned) x elapsed
+	popLast          simtime.Time
 }
 
 // NodeArbiter arbitrates the cores of one node among its workers.
@@ -60,12 +67,31 @@ type NodeArbiter struct {
 	// as the running tasks drain at their boundaries).
 	overbooked int
 	obs        *obs.Recorder
+	// clock timestamps ownership/capacity changes for the POP
+	// integrals. Ownership changes arrive through SetOwned/SetCores/
+	// Shutdown, which carry no time argument; a nil clock (the default)
+	// disables the integrals entirely.
+	clock       func() simtime.Time
+	capIntegral float64 // cores x elapsed, core-nanoseconds
+	capLast     simtime.Time
 }
 
 // SetObs attaches the structured event recorder. Ownership changes and
 // LeWI borrow/return transitions are emitted through it; a nil recorder
 // (the default) costs nothing.
 func (a *NodeArbiter) SetObs(rec *obs.Recorder) { a.obs = rec }
+
+// SetClock installs a virtual-time source and enables the POP
+// accounting integrals (owned, borrowed, and capacity core-time). The
+// arbiter itself holds no clock; ownership mutations (SetOwned,
+// SetCores, Shutdown) carry no time argument because the legacy API
+// treats them as instantaneous, so the POP integrals read the runtime's
+// context clock at those boundaries instead. Under the partitioned
+// engine the context clock is max(partition, global) time, which is
+// exactly the mutation's event time in both barrier and partition
+// contexts — the integral fold points are therefore identical across
+// engines.
+func (a *NodeArbiter) SetClock(fn func() simtime.Time) { a.clock = fn }
 
 // NewNodeArbiter creates an arbiter for a node with the given core count.
 // lewi enables borrowing of idle cores.
@@ -113,6 +139,9 @@ func (a *NodeArbiter) SetOwned(owned []int) {
 	if sum != a.cores {
 		panic(fmt.Sprintf("dlb: ownership sums to %d, node has %d cores", sum, a.cores))
 	}
+	if a.clock != nil {
+		a.popSyncAll(a.clock())
+	}
 	for i := range a.workers {
 		old := a.workers[i].owned
 		a.workers[i].owned = owned[i]
@@ -129,6 +158,9 @@ func (a *NodeArbiter) SetCores(cores int) {
 	if cores < 0 || cores > a.cores {
 		panic(fmt.Sprintf("dlb: SetCores %d on node %d with %d cores (shrink only)", cores, a.node, a.cores))
 	}
+	if a.clock != nil {
+		a.capSync(a.clock())
+	}
 	a.cores = cores
 	if over := a.totalRunning - a.cores; over > a.overbooked {
 		a.overbooked = over
@@ -142,6 +174,11 @@ func (a *NodeArbiter) SetCores(cores int) {
 func (a *NodeArbiter) Shutdown() {
 	if a.totalRunning != 0 {
 		panic(fmt.Sprintf("dlb: shutdown of node %d with %d tasks running", a.node, a.totalRunning))
+	}
+	if a.clock != nil {
+		now := a.clock()
+		a.popSyncAll(now)
+		a.capSync(now)
 	}
 	a.cores = 0
 	a.overbooked = 0
@@ -215,6 +252,9 @@ func (a *NodeArbiter) Start(w WorkerID, now simtime.Time) {
 		panic(fmt.Sprintf("dlb: node %d oversubscribed", a.node))
 	}
 	a.accumulate(w, now)
+	if a.clock != nil {
+		a.popSync(w, now)
+	}
 	a.workers[w].running++
 	a.totalRunning++
 	if ws := &a.workers[w]; ws.running > ws.owned {
@@ -228,6 +268,9 @@ func (a *NodeArbiter) Finish(w WorkerID, now simtime.Time) {
 		panic(fmt.Sprintf("dlb: node %d worker %d finish with nothing running", a.node, w))
 	}
 	a.accumulate(w, now)
+	if a.clock != nil {
+		a.popSync(w, now)
+	}
 	borrowed := a.workers[w].running > a.workers[w].owned
 	a.workers[w].running--
 	a.totalRunning--
@@ -252,6 +295,81 @@ func (a *NodeArbiter) accumulate(w WorkerID, now simtime.Time) {
 		ws.busyIntegral += float64(ws.running) * float64(now-ws.lastUpdate)
 		ws.lastUpdate = now
 	}
+}
+
+// popSync folds w's POP integrals forward to now. Every fold point is a
+// worker-local task boundary or a globally-timed ownership change, so
+// the (dt, owned, running) sequence — and therefore the float sums —
+// are identical across simulation engines.
+func (a *NodeArbiter) popSync(w WorkerID, now simtime.Time) {
+	ws := &a.workers[w]
+	if now > ws.popLast {
+		dt := float64(now - ws.popLast)
+		ws.ownedIntegral += float64(ws.owned) * dt
+		if b := ws.running - ws.owned; b > 0 {
+			ws.borrowedIntegral += float64(b) * dt
+		}
+		ws.popLast = now
+	}
+}
+
+// popSyncAll folds every worker's POP integrals to now (ownership is
+// about to change for all of them).
+func (a *NodeArbiter) popSyncAll(now simtime.Time) {
+	for i := range a.workers {
+		a.popSync(WorkerID(i), now)
+	}
+}
+
+// capSync folds the node capacity integral to now.
+func (a *NodeArbiter) capSync(now simtime.Time) {
+	if now > a.capLast {
+		a.capIntegral += float64(a.cores) * float64(now-a.capLast)
+		a.capLast = now
+	}
+}
+
+// WorkerPOP is the per-worker core-time breakdown (core-nanoseconds up
+// to the fold time) used by the POP report builder.
+type WorkerPOP struct {
+	Busy     float64 // running cores x time
+	Owned    float64 // owned cores x time
+	Borrowed float64 // cores running above ownership x time
+}
+
+// WorkerPOPTotals folds w's integrals to now and returns them. Requires
+// SetClock to have been active for the whole run; otherwise the owned
+// and borrowed integrals are zero.
+func (a *NodeArbiter) WorkerPOPTotals(w WorkerID, now simtime.Time) WorkerPOP {
+	a.accumulate(w, now)
+	a.popSync(w, now)
+	ws := &a.workers[w]
+	return WorkerPOP{Busy: ws.busyIntegral, Owned: ws.ownedIntegral, Borrowed: ws.borrowedIntegral}
+}
+
+// CapacityIntegral folds the node capacity integral to now and returns
+// it (core-nanoseconds of physical core time, shrinking with SetCores
+// and Shutdown).
+func (a *NodeArbiter) CapacityIntegral(now simtime.Time) float64 {
+	a.capSync(now)
+	return a.capIntegral
+}
+
+// POPHorizon returns the latest fold point any of the node's integrals
+// has reached. Trailing policy ticks can fold past the last apprank's
+// finish time; the POP builder extends its horizon to the maximum so
+// capacity and busy integrals cover identical spans.
+func (a *NodeArbiter) POPHorizon() simtime.Time {
+	h := a.capLast
+	for i := range a.workers {
+		if a.workers[i].popLast > h {
+			h = a.workers[i].popLast
+		}
+		if a.workers[i].lastUpdate > h {
+			h = a.workers[i].lastUpdate
+		}
+	}
+	return h
 }
 
 // BusyIntegral returns w's accumulated busy time in core-nanoseconds up

@@ -13,37 +13,84 @@ import (
 // remainder being idle or runtime overhead time. The paper's TALP module
 // intercepts MPI calls; here the same accounting is fed by the runtime at
 // task boundaries and MPI-operation boundaries.
+//
+// Accounting is cellular: every apprank keeps one accumulator cell per
+// node, and the runtime reports each task execution into the (apprank,
+// executing-node) cell. Under the partitioned simulation engine a node is
+// a partition and each cell is written by exactly one partition thread
+// (an apprank's work lands on its home partition — offloading degrees
+// above one are parallel-ineligible), so the per-cell sums are free of
+// cross-thread interleaving. Snapshot and the POP builder merge cells in
+// fixed (apprank, node) order, which makes every derived report
+// byte-identical across the goroutine, continuation, and parallel
+// engines at any worker count.
 type TALP struct {
-	apps map[int]*talpApp
+	apps     map[int]*talpApp
+	numNodes int
+	// window is the POP series window width in virtual nanoseconds;
+	// 0 (the default) disables the windowed series and keeps AddExec
+	// allocation-free.
+	window float64
+}
+
+// talpCell accumulates one (apprank, node) slot. All values are
+// core-nanoseconds except tasks.
+type talpCell struct {
+	useful    float64 // task compute time (work at node speed)
+	overhead  float64 // runtime overhead folded into executions
+	borrowed  float64 // portion of useful+overhead run on borrowed cores
+	tasks     int64
+	winUseful []float64 // per-window useful core-ns (window > 0 only)
 }
 
 type talpApp struct {
-	useful  float64 // core-nanoseconds executing tasks
-	mpi     float64 // nanoseconds the main process spent inside MPI calls
 	started simtime.Time
+	mpi     float64 // nanoseconds the main process spent inside MPI calls
+	cells   []talpCell
 }
 
-// NewTALP creates an empty TALP accounting module.
+// NewTALP creates an empty TALP accounting module with a single
+// accounting cell per apprank (node breakdown disabled until
+// Preallocate sizes the topology).
 func NewTALP() *TALP {
-	return &TALP{apps: make(map[int]*talpApp)}
+	return &TALP{apps: make(map[int]*talpApp), numNodes: 1}
 }
+
+// SetWindow enables the time-windowed POP series with the given window
+// width. Must be called before the run starts; zero disables windows.
+func (t *TALP) SetWindow(w simtime.Duration) {
+	if w < 0 {
+		panic(fmt.Sprintf("dlb: negative TALP window %v", w))
+	}
+	t.window = float64(w)
+}
+
+// Window returns the configured window width in virtual nanoseconds
+// (0 when the windowed series is disabled).
+func (t *TALP) Window() float64 { return t.window }
+
+// NumNodes returns the per-apprank cell count.
+func (t *TALP) NumNodes() int { return t.numNodes }
 
 func (t *TALP) app(apprank int) *talpApp {
 	a, ok := t.apps[apprank]
 	if !ok {
-		a = &talpApp{}
+		a = &talpApp{cells: make([]talpCell, t.numNodes)}
 		t.apps[apprank] = a
 	}
 	return a
 }
 
 // Preallocate creates the accounting entries for the given appranks up
-// front. The partitioned simulation engine reports useful/MPI time from
-// per-node partition threads; with every entry preallocated the map is
-// never mutated structurally after construction, so those reports only
-// touch the apprank's own entry (one writer per apprank) and concurrent
-// map reads stay safe.
-func (t *TALP) Preallocate(ids []int) {
+// front, each with one cell per node. The partitioned simulation engine
+// reports useful/MPI time from per-node partition threads; with every
+// entry preallocated the map is never mutated structurally after
+// construction, so those reports only touch the apprank's own cells
+// (one writer per cell) and concurrent map reads stay safe.
+func (t *TALP) Preallocate(ids []int, numNodes int) {
+	if numNodes > t.numNodes {
+		t.numNodes = numNodes
+	}
 	for _, id := range ids {
 		t.app(id)
 	}
@@ -54,14 +101,150 @@ func (t *TALP) StartApp(apprank int, now simtime.Time) {
 	t.app(apprank).started = now
 }
 
-// AddUseful accumulates core-nanoseconds of task execution for apprank.
+// cell returns the (apprank, node) accumulator, growing the cell vector
+// for out-of-topology nodes (legacy callers that skip Preallocate).
+func (t *TALP) cell(apprank, node int) *talpCell {
+	a := t.app(apprank)
+	if node >= len(a.cells) {
+		grown := make([]talpCell, node+1)
+		copy(grown, a.cells)
+		a.cells = grown
+		if node >= t.numNodes {
+			t.numNodes = node + 1
+		}
+	}
+	return &a.cells[node]
+}
+
+// AddExec accounts one task execution of apprank on node over the
+// virtual span [start, end): useful core-nanoseconds of compute plus
+// overhead core-nanoseconds of runtime cost, flagged if the execution
+// ran on a borrowed (LeWI) core. With a window configured the useful
+// time is also spread across the overlapping windows in proportion to
+// the overlap.
+func (t *TALP) AddExec(apprank, node int, start, end simtime.Time, useful, overhead float64, borrowed bool) {
+	c := t.cell(apprank, node)
+	c.useful += useful
+	c.overhead += overhead
+	if borrowed {
+		c.borrowed += useful + overhead
+	}
+	c.tasks++
+	if t.window > 0 {
+		c.winUseful = addWindowed(c.winUseful, t.window, float64(start), float64(end), useful)
+	}
+}
+
+// addWindowed spreads amount over the windows covering [start, end),
+// proportionally to each window's overlap with the span.
+func addWindowed(wins []float64, window, start, end, amount float64) []float64 {
+	if end <= start {
+		// Zero-length span: attribute everything to its window.
+		i := int(start / window)
+		wins = growWins(wins, i)
+		wins[i] += amount
+		return wins
+	}
+	last := int(end / window)
+	if float64(last)*window == end && last > 0 {
+		last-- // [start, end) is half-open: a span ending exactly on a boundary stays below it
+	}
+	wins = growWins(wins, last)
+	span := end - start
+	for i := int(start / window); i <= last; i++ {
+		lo := float64(i) * window
+		hi := lo + window
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		wins[i] += amount * (hi - lo) / span
+	}
+	return wins
+}
+
+func growWins(wins []float64, i int) []float64 {
+	for len(wins) <= i {
+		wins = append(wins, 0)
+	}
+	return wins
+}
+
+// AddUseful accumulates core-nanoseconds of task execution for apprank
+// into its first cell. Legacy entry point; the runtime reports through
+// AddExec.
 func (t *TALP) AddUseful(apprank int, coreNanos float64) {
-	t.app(apprank).useful += coreNanos
+	t.cell(apprank, 0).useful += coreNanos
 }
 
 // AddMPI accumulates nanoseconds spent in MPI calls by apprank's main.
 func (t *TALP) AddMPI(apprank int, nanos float64) {
 	t.app(apprank).mpi += nanos
+}
+
+// AddMPISpan accounts one blocking MPI operation of apprank's main
+// process over [t0, t1).
+func (t *TALP) AddMPISpan(apprank int, t0, t1 simtime.Time) {
+	t.app(apprank).mpi += float64(t1 - t0)
+}
+
+// Appranks returns the accounted apprank ids in ascending order.
+func (t *TALP) Appranks() []int {
+	ids := make([]int, 0, len(t.apps))
+	for id := range t.apps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// CellTotals is the read-only view of one (apprank, node) cell.
+type CellTotals struct {
+	Useful   float64 // core-ns of task compute
+	Overhead float64 // core-ns of runtime overhead
+	Borrowed float64 // core-ns executed on borrowed cores
+	Tasks    int64
+}
+
+// Cell returns the totals of the (apprank, node) cell (zero if never
+// written).
+func (t *TALP) Cell(apprank, node int) CellTotals {
+	a, ok := t.apps[apprank]
+	if !ok || node >= len(a.cells) {
+		return CellTotals{}
+	}
+	c := &a.cells[node]
+	return CellTotals{Useful: c.useful, Overhead: c.overhead, Borrowed: c.borrowed, Tasks: c.tasks}
+}
+
+// WindowUseful returns the per-window useful core-ns of the (apprank,
+// node) cell. The slice is the live accumulator; callers must not
+// mutate it. It is ragged: windows after the cell's last activity are
+// absent.
+func (t *TALP) WindowUseful(apprank, node int) []float64 {
+	a, ok := t.apps[apprank]
+	if !ok || node >= len(a.cells) {
+		return nil
+	}
+	return a.cells[node].winUseful
+}
+
+// MPITime returns apprank's accumulated MPI nanoseconds.
+func (t *TALP) MPITime(apprank int) float64 {
+	if a, ok := t.apps[apprank]; ok {
+		return a.mpi
+	}
+	return 0
+}
+
+// Started returns the recorded start time of apprank's main.
+func (t *TALP) Started(apprank int) simtime.Time {
+	if a, ok := t.apps[apprank]; ok {
+		return a.started
+	}
+	return 0
 }
 
 // Report summarises efficiency: one line per apprank, mirroring DLB's
@@ -81,16 +264,18 @@ type AppReport struct {
 
 // Snapshot builds the report at time now. avgCores maps apprank to its
 // average owned cores over the run (the caller knows this from the
-// arbiters); missing entries default to 1.
+// arbiters); missing entries default to 1. Cells merge in ascending
+// (apprank, node) order, so the report is independent of the engine's
+// execution interleaving.
 func (t *TALP) Snapshot(now simtime.Time, avgCores map[int]float64) Report {
 	var r Report
-	ids := make([]int, 0, len(t.apps))
-	for id := range t.apps {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, id := range t.Appranks() {
 		a := t.apps[id]
+		useful := 0.0
+		for n := range a.cells {
+			c := &a.cells[n]
+			useful += c.useful + c.overhead
+		}
 		elapsed := now - a.started
 		cores := avgCores[id]
 		if cores <= 0 {
@@ -98,12 +283,12 @@ func (t *TALP) Snapshot(now simtime.Time, avgCores map[int]float64) Report {
 		}
 		eff := 0.0
 		if elapsed > 0 {
-			eff = a.useful / (float64(elapsed) * cores)
+			eff = useful / (float64(elapsed) * cores)
 		}
 		r.Appranks = append(r.Appranks, AppReport{
 			Apprank:    id,
 			Elapsed:    simtime.Duration(elapsed),
-			UsefulTime: simtime.Duration(a.useful),
+			UsefulTime: simtime.Duration(useful),
 			MPITime:    simtime.Duration(a.mpi),
 			Efficiency: eff,
 		})

@@ -21,6 +21,8 @@ func ablationRun(sc Scale, nodes int, tweak func(*core.Config)) simtime.Duration
 		Degree:          4,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,
@@ -159,6 +161,8 @@ func AblationIncentive(sc Scale) *Result {
 			Degree:          4,
 			Graphs:          sc.Graphs,
 			EngineStats:     sc.Engine,
+			POP:             sc.POP,
+			POPWindow:       sc.POPWindow,
 			GoroutineEngine: sc.GoroutineEngine,
 			SimParallel:     sc.SimParallel,
 			SimWorkers:      sc.SimWorkers,

@@ -277,6 +277,16 @@ type Scale struct {
 	// when SimParallel engages (0 = GOMAXPROCS). Note the sweep-level
 	// Parallel knob above multiplies with this one.
 	SimWorkers int
+	// POP enables full TALP/POP accounting in every simulator run of a
+	// figure. Figure outputs are unchanged (accounting is summary-only
+	// until queried); cmd/lbsim sets it from -popaccount so the bench
+	// harness can measure the accounting overhead, and POPReports sets
+	// it on its representative runs.
+	POP bool
+	// POPWindow is the windowed POP series width. Only meaningful with
+	// POP set; zero keeps accounting totals-only. POPReports defaults
+	// it to LocalPeriod when unset.
+	POPWindow simtime.Duration
 }
 
 // SamplePeriodOrDefault returns the sampling period as a Time step.
@@ -390,6 +400,7 @@ func All(sc Scale) []*Result {
 		Headline(sc),
 		Resilience(sc),
 		Policies(sc),
+		Efficiency(sc),
 	}
 }
 
@@ -409,6 +420,7 @@ func ByID(id string, sc Scale) (*Result, error) {
 		"headline":            Headline,
 		"resilience":          Resilience,
 		"policies":            Policies,
+		"efficiency":          Efficiency,
 		"ablation-taskspc":    AblationTasksPerCore,
 		"ablation-borrowed":   AblationCountBorrowed,
 		"ablation-graphshape": AblationGraphShape,
@@ -455,7 +467,7 @@ func ByID(id string, sc Scale) (*Result, error) {
 // IDs lists the available experiment ids.
 func IDs() []string {
 	return []string{"fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "headline", "resilience", "policies",
+		"fig10", "fig11", "headline", "resilience", "policies", "efficiency",
 		"ablation-taskspc", "ablation-borrowed", "ablation-graphshape",
 		"ablation-period", "ablation-incentive", "ablation-orbweights",
 		"ext-dynamic", "ext-partition", "ext-dvfs"}

@@ -54,10 +54,10 @@ func ExtDynamicSpreading(sc Scale) *Result {
 		cfg := synConfig(sc, s.imb)
 		switch s.kind {
 		case 0:
-			t, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 1, true, core.DROMLocal, nil)
+			t, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 1, true, core.DROMLocal, nil, nil)
 			return dynOut{t: t}
 		case 1:
-			t, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 4, true, core.DROMGlobal, nil)
+			t, _ := synRun(sc, cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet()), cfg, 4, true, core.DROMGlobal, nil, nil)
 			return dynOut{t: t}
 		default:
 			td, rt := dynamicRun(sc, nodes, cfg)
@@ -90,6 +90,8 @@ func dynamicRun(sc Scale, nodes int, synCfg synthetic.Config) (simtime.Duration,
 		Degree:          1,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,
@@ -184,6 +186,8 @@ func ExtDVFS(sc Scale) *Result {
 			Degree:          sp.degree,
 			Graphs:          sc.Graphs,
 			EngineStats:     sc.Engine,
+			POP:             sc.POP,
+			POPWindow:       sc.POPWindow,
 			GoroutineEngine: sc.GoroutineEngine,
 			SimParallel:     sc.SimParallel,
 			SimWorkers:      sc.SimWorkers,
@@ -223,6 +227,8 @@ func partitionedRun(sc Scale, nodes, partition int) simtime.Duration {
 		Degree:          4,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,

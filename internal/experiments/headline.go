@@ -52,7 +52,7 @@ func Headline(sc Scale) *Result {
 		func() simtime.Duration { return nbodyRun(sc, nbNodes, 3, true, core.DROMGlobal, true, false) },
 		func() simtime.Duration {
 			m := cluster.New(synNodes, sc.CoresPerNode, cluster.DefaultNet())
-			t, _ := synRun(sc, m, synCfg, 4, true, core.DROMGlobal, nil)
+			t, _ := synRun(sc, m, synCfg, 4, true, core.DROMGlobal, nil, nil)
 			return t
 		},
 		func() simtime.Duration {

@@ -65,6 +65,8 @@ func nbodyRun(sc Scale, nodes, degree int, lewi bool, drom core.DROMMode, slow, 
 		Degree:          degree,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,

@@ -7,8 +7,10 @@ import (
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/faults"
+	"ompsscluster/internal/obs"
 	"ompsscluster/internal/simtime"
 	"ompsscluster/internal/sweep"
+	"ompsscluster/internal/trace"
 	"ompsscluster/internal/workloads/synthetic"
 )
 
@@ -90,7 +92,7 @@ func policyConfigFor(name string) (policyConfig, error) {
 // time-to-solution. The machine is built fresh per run — scenario and
 // fault plans mutate it (speeds, cores), so sharing one across
 // concurrent runs would leak mutations between cells.
-func policyRun(sc Scale, scn policyScenario, plan *faults.Plan, pol policyConfig) (simtime.Duration, *core.ClusterRuntime, error) {
+func policyRun(sc Scale, scn policyScenario, plan *faults.Plan, pol policyConfig, rec *trace.Recorder, ob *obs.Recorder) (simtime.Duration, *core.ClusterRuntime, error) {
 	m := cluster.New(policyNodes, sc.CoresPerNode, cluster.DefaultNet())
 	synCfg := synConfig(sc, scn.imbalance)
 	if scn.slow {
@@ -103,6 +105,8 @@ func policyRun(sc Scale, scn policyScenario, plan *faults.Plan, pol policyConfig
 		Degree:          3,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,
@@ -113,6 +117,8 @@ func policyRun(sc Scale, scn policyScenario, plan *faults.Plan, pol policyConfig
 		LocalPeriod:     sc.LocalPeriod,
 		Seed:            sc.Seed,
 		Faults:          plan,
+		Recorder:        rec,
+		Obs:             ob,
 	})
 	if err != nil {
 		return 0, nil, err
@@ -153,7 +159,7 @@ func Policies(sc Scale) *Result {
 		}
 	}
 	outs := sweep.Map(sc.engine(), specs, func(s spec) outcome {
-		t, rt, err := policyRun(sc, s.scn, resiliencePlan(sc, s.scn.fault), s.pol)
+		t, rt, err := policyRun(sc, s.scn, resiliencePlan(sc, s.scn.fault), s.pol, nil, nil)
 		if err != nil {
 			return outcome{err: err}
 		}
@@ -215,7 +221,7 @@ func PolicyDemo(sc Scale, policy string, plan *faults.Plan) (*Result, error) {
 		err   error
 	}
 	outs := sweep.Map(sc.engine(), pols, func(pol policyConfig) outcome {
-		t, rt, err := policyRun(sc, scn, plan, pol)
+		t, rt, err := policyRun(sc, scn, plan, pol, nil, nil)
 		var st core.RunStats
 		if rt != nil {
 			st = rt.Stats()
@@ -240,4 +246,18 @@ func PolicyDemo(sc Scale, policy string, plan *faults.Plan) (*Result, error) {
 			pol.label, out.t, out.stats.ChunkGrants, out.stats.FaultEvents, out.stats.Reoffloads))
 	}
 	return res, nil
+}
+
+// PoliciesTraceBundles runs each policy configuration at the imbalanced
+// scenario with both recorders attached, for traceview.
+func PoliciesTraceBundles(sc Scale) []TraceBundle {
+	scn := policyScenario{label: "imb 2.0", imbalance: 2.0}
+	return sweep.Map(sc.engine(), policyConfigs(), func(pol policyConfig) TraceBundle {
+		rec := trace.NewRecorder()
+		ob := obs.NewRecorder(-1)
+		if _, _, err := policyRun(sc, scn, nil, pol, rec, ob); err != nil {
+			panic(fmt.Sprintf("experiments: traced policies run %s: %v", pol.label, err))
+		}
+		return TraceBundle{Label: pol.label, Obs: ob, Trace: rec}
+	})
 }

@@ -82,6 +82,8 @@ func resilienceRun(sc Scale, plan *faults.Plan, lewi bool, drom core.DROMMode) (
 		Degree:          3,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,

@@ -14,13 +14,15 @@ import (
 
 // synRun executes one synthetic configuration and returns the
 // steady-state per-iteration time (skipping one warm-up iteration).
-func synRun(sc Scale, m *cluster.Machine, synCfg synthetic.Config, degree int, lewi bool, drom core.DROMMode, rec *trace.Recorder) (simtime.Duration, *core.ClusterRuntime) {
+func synRun(sc Scale, m *cluster.Machine, synCfg synthetic.Config, degree int, lewi bool, drom core.DROMMode, rec *trace.Recorder, ob *obs.Recorder) (simtime.Duration, *core.ClusterRuntime) {
 	b := synthetic.New(synCfg, m.NumNodes(), sc.CoresPerNode)
 	rt := core.MustNew(core.Config{
 		Machine:         m,
 		Degree:          degree,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,
@@ -30,6 +32,7 @@ func synRun(sc Scale, m *cluster.Machine, synCfg synthetic.Config, degree int, l
 		LocalPeriod:     sc.LocalPeriod,
 		Seed:            sc.Seed,
 		Recorder:        rec,
+		Obs:             ob,
 	})
 	if err := rt.Run(b.Main()); err != nil {
 		panic(fmt.Sprintf("experiments: synthetic run failed: %v", err))
@@ -84,7 +87,7 @@ func Fig8(sc Scale) *Result {
 			}
 			cfg := synConfig(sc, imb)
 			specs = append(specs, runSpec{base, imb, func() float64 {
-				t, _ := synRun(sc, m(), cfg, 1, true, core.DROMLocal, nil)
+				t, _ := synRun(sc, m(), cfg, 1, true, core.DROMLocal, nil, nil)
 				return t.Seconds()
 			}})
 			for _, d := range degrees {
@@ -92,7 +95,7 @@ func Fig8(sc Scale) *Result {
 					continue
 				}
 				specs = append(specs, runSpec{degSeries[d], imb, func() float64 {
-					t, _ := synRun(sc, m(), cfg, d, true, core.DROMGlobal, nil)
+					t, _ := synRun(sc, m(), cfg, d, true, core.DROMGlobal, nil, nil)
 					return t.Seconds()
 				}})
 			}
@@ -164,12 +167,12 @@ func Fig10(sc Scale) *Result {
 				cfg.PinLightest = true // slow node (node 0) gets the least work
 			} // else the heaviest stays at apprank 0 = the slow node
 			specs = append(specs, runSpec{base, imb, func() float64 {
-				t, _ := synRun(sc, slowMachine(sw.nodes), cfg, 1, true, core.DROMLocal, nil)
+				t, _ := synRun(sc, slowMachine(sw.nodes), cfg, 1, true, core.DROMLocal, nil, nil)
 				return t.Seconds()
 			}})
 			for _, d := range sw.degrees {
 				specs = append(specs, runSpec{degSeries[d], imb, func() float64 {
-					t, _ := synRun(sc, slowMachine(sw.nodes), cfg, d, true, core.DROMGlobal, nil)
+					t, _ := synRun(sc, slowMachine(sw.nodes), cfg, d, true, core.DROMGlobal, nil, nil)
 					return t.Seconds()
 				}})
 			}
@@ -236,7 +239,7 @@ func Fig11(sc Scale) *Result {
 		synCfg := synConfig(sc, s.sce.imb)
 		synCfg.Iterations = sc.Iterations + 2 // room to converge
 		m := cluster.New(s.sce.nodes, sc.CoresPerNode, cluster.DefaultNet())
-		synRun(sc, m, synCfg, s.sce.nodes, s.cfg.lewi, s.cfg.drom, rec)
+		synRun(sc, m, synCfg, s.sce.nodes, s.cfg.lewi, s.cfg.drom, rec, nil)
 		series := Series{Label: fmt.Sprintf("%dn %s", s.sce.nodes, s.cfg.label)}
 		// Sample the step series on a regular grid so all series
 		// share x values (the recorder compacts repeated values).
@@ -347,6 +350,8 @@ func runFig5Workload(sc Scale, drom core.DROMMode, rec *trace.Recorder, ob *obs.
 		Degree:          2,
 		Graphs:          sc.Graphs,
 		EngineStats:     sc.Engine,
+		POP:             sc.POP,
+		POPWindow:       sc.POPWindow,
 		GoroutineEngine: sc.GoroutineEngine,
 		SimParallel:     sc.SimParallel,
 		SimWorkers:      sc.SimWorkers,

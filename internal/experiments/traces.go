@@ -19,15 +19,22 @@ type TraceBundle struct {
 }
 
 // TraceBundles runs the traced variant of the given experiment and
-// returns one bundle per configuration. Supported ids: fig5, fig9.
+// returns one bundle per configuration. Unknown or untraced experiment
+// ids are a hard error listing the supported set.
 func TraceBundles(id string, sc Scale) ([]TraceBundle, error) {
 	switch id {
 	case "fig5":
 		return Fig5TraceBundles(sc), nil
+	case "fig8":
+		return Fig8TraceBundles(sc), nil
 	case "fig9":
 		return Fig9TraceBundles(sc), nil
+	case "policies":
+		return PoliciesTraceBundles(sc), nil
+	case "efficiency":
+		return EfficiencyTraceBundles(sc), nil
 	}
-	return nil, fmt.Errorf("experiments: no traced variant of %q (have fig5, fig9)", id)
+	return nil, fmt.Errorf("experiments: no traced variant of %q (have fig5, fig8, fig9, policies, efficiency)", id)
 }
 
 // BuildMetrics aggregates the bundles' event streams into one merged

@@ -278,3 +278,95 @@ func TestHistogramQuantileBracket(t *testing.T) {
 		t.Errorf("Quantile(0.75) = %v, want within [20, 25]", got)
 	}
 }
+
+// TestHistogramQuantileEmptyEdges pins the degenerate quantile inputs on
+// an empty histogram: every q, including NaN and out-of-range values,
+// returns 0 rather than interpolating garbage.
+func TestHistogramQuantileEmptyEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{math.NaN(), -1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestHistogramSingleBucket covers the smallest legal ladder: one bound,
+// so every observation lands in bucket 0 or the overflow bucket, and
+// quantile interpolation has to fall back to the observed min/max for
+// the unknown edges.
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for _, v := range []float64{2, 4, 6, 8} {
+		h.Observe(v)
+	}
+	if got := h.BucketCounts(); got[0] != 4 || got[1] != 0 {
+		t.Fatalf("bucket counts = %v, want [4 0]", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := h.Quantile(q)
+		if got < h.Min() || got > h.Max() {
+			t.Errorf("Quantile(%v) = %v outside observed [%v, %v]", q, got, h.Min(), h.Max())
+		}
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want the min 2", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) = %v, want the max 8", got)
+	}
+	// Overflow-only content: quantiles clamp to the observed range even
+	// though the overflow bucket has no upper bound.
+	o := NewHistogram([]float64{10})
+	o.Observe(20)
+	o.Observe(30)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got := o.Quantile(q); got < 20 || got > 30 {
+			t.Errorf("overflow Quantile(%v) = %v outside [20, 30]", q, got)
+		}
+	}
+}
+
+// TestHistogramMergeDisjointRanges merges two histograms whose
+// observations occupy disjoint bucket ranges: counts concatenate, the
+// min/max span both ranges, and quantiles bridge the empty gap between
+// them without inventing mass there.
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	bounds := LinearBuckets(10, 10, 10) // 10, 20, ..., 100
+	lo := NewHistogram(bounds)
+	hi := NewHistogram(bounds)
+	for _, v := range []float64{5, 15, 18} { // buckets 0 and 1
+		lo.Observe(v)
+	}
+	for _, v := range []float64{85, 95, 99} { // buckets 8 and 9
+		hi.Observe(v)
+	}
+	if err := lo.Merge(hi); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if lo.Count() != 6 {
+		t.Errorf("Count = %d, want 6", lo.Count())
+	}
+	if lo.Min() != 5 || lo.Max() != 99 {
+		t.Errorf("Min/Max = %v/%v, want 5/99", lo.Min(), lo.Max())
+	}
+	counts := lo.BucketCounts()
+	for i, want := range []uint64{1, 2, 0, 0, 0, 0, 0, 0, 1, 2, 0} {
+		if counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], want)
+		}
+	}
+	// Half the mass sits at or below bucket 1, so the median must land in
+	// the gap's edges, never below the low cluster or above the high one.
+	q50 := lo.Quantile(0.5)
+	if q50 < 10 || q50 > 90 {
+		t.Errorf("median %v escaped the bracket [10, 90]", q50)
+	}
+	// The quartiles stay inside their originating clusters.
+	if q := lo.Quantile(0.25); q < 5 || q > 20 {
+		t.Errorf("q25 = %v, want within the low cluster [5, 20]", q)
+	}
+	if q := lo.Quantile(0.9); q < 80 || q > 99 {
+		t.Errorf("q90 = %v, want within the high cluster [80, 99]", q)
+	}
+}

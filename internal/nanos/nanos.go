@@ -141,6 +141,7 @@ type TaskGraph struct {
 	reg         registry
 	submitted   int64
 	completed   int64
+	totalWork   simtime.Duration // declared Work summed over submissions
 	obs         *obs.Recorder
 	obsApprank  int
 }
@@ -166,6 +167,12 @@ func (g *TaskGraph) Stats() (submitted, completed int64, outstanding int) {
 	return g.submitted, g.completed, g.outstanding
 }
 
+// TotalWork returns the declared Work summed over every submitted task:
+// the apprank's nominal compute demand at speed 1.0, before overhead and
+// node-speed scaling. The POP report compares it with measured useful
+// time.
+func (g *TaskGraph) TotalWork() simtime.Duration { return g.totalWork }
+
 // Submit registers a task, computes its dependencies against previously
 // submitted tasks, and announces it ready if it has none.
 func (g *TaskGraph) Submit(t *Task) {
@@ -177,6 +184,7 @@ func (g *TaskGraph) Submit(t *Task) {
 	t.ExecNode = -1
 	g.submitted++
 	g.outstanding++
+	g.totalWork += t.Work
 	for _, a := range t.Accesses {
 		if a.Region.End < a.Region.Start {
 			panic(fmt.Sprintf("nanos: task %q has inverted region %v", t.Label, a.Region))

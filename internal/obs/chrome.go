@@ -351,6 +351,15 @@ func writeRecorder(cw *chromeWriter, ri int, label string, r *Recorder) {
 			cw.processName(pid, prefix+"metrics")
 			cw.event(fmt.Sprintf(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":"imbalance","args":{"imbalance":%g}}`,
 				pid, t, e.ImbalanceValue()))
+		case KindPOPWindow:
+			// Windowed POP series: one counter track per node in the
+			// metrics process (tid 1+node keeps each node's samples
+			// time-ordered within its own track; the events are stamped
+			// with their window start, not the end-of-run emit time).
+			pid := pidBase + chromeCounterPid
+			cw.processName(pid, prefix+"metrics")
+			cw.event(fmt.Sprintf(`{"ph":"C","pid":%d,"tid":%d,"ts":%s,"name":"PE node%d","args":{"pe":%g}}`,
+				pid, 1+int(e.Node), t, e.Node, e.POPValue()))
 		}
 	}
 

@@ -51,6 +51,7 @@ const (
 	KindReoffload
 	KindMsgDrop
 	KindChunkGrant
+	KindPOPWindow
 	numKinds
 )
 
@@ -76,6 +77,7 @@ var kindNames = [numKinds]string{
 	KindReoffload:     "reoffload",
 	KindMsgDrop:       "msg_drop",
 	KindChunkGrant:    "chunk_grant",
+	KindPOPWindow:     "pop_window",
 }
 
 func (k Kind) String() string {
@@ -190,6 +192,13 @@ func (r *Recorder) now() simtime.Time {
 // thin wrapper and the nil check stays at the top of each.
 func (r *Recorder) emit(e Event) {
 	e.T = r.now()
+	r.emitStamped(e)
+}
+
+// emitStamped taps and retains e with its caller-set timestamp. The POP
+// window series is computed and emitted after the run ends, so its
+// events carry their window times rather than the end-of-run clock.
+func (r *Recorder) emitStamped(e Event) {
 	r.counts[e.Kind]++
 	for _, tap := range r.taps {
 		tap(&e)
@@ -480,3 +489,18 @@ func (r *Recorder) Imbalance(v float64) {
 
 // ImbalanceValue decodes the gauge payload of a KindImbalance event.
 func (e *Event) ImbalanceValue() float64 { return math.Float64frombits(uint64(e.A)) }
+
+// POPWindowSample records one node's windowed POP utilisation: window
+// index, the window's start time t (the event is stamped with t, not
+// the emit-time clock — the series is exported at end of run), and the
+// node's parallel-efficiency value in A as float bits.
+func (r *Recorder) POPWindowSample(node, window int, t simtime.Time, pe float64) {
+	if r == nil {
+		return
+	}
+	r.emitStamped(Event{T: t, Kind: KindPOPWindow, Node: int32(node), Apprank: -1, ID: -1,
+		A: int64(math.Float64bits(pe)), B: int64(window)})
+}
+
+// POPValue decodes the utilisation payload of a KindPOPWindow event.
+func (e *Event) POPValue() float64 { return math.Float64frombits(uint64(e.A)) }

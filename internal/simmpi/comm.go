@@ -159,6 +159,7 @@ type collOp struct {
 // the contributed values to each rank's result.
 func (c *Comm) collective(kind string, contrib any, size int64, finish func(vals []any, commRank int) any) any {
 	cs := c.state
+	cs.w.ops[c.rank].colls++
 	if cs.w.eng != nil {
 		return c.collectiveParallel(kind, contrib, size, finish)
 	}

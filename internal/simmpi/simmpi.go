@@ -202,6 +202,26 @@ type World struct {
 	// nil (the default) keeps every path on the sequential w.env.
 	eng  *simtime.Engine
 	penv []*simtime.Env
+
+	// ops counts blocking MPI operations per global rank (collectives
+	// entered and blocking receives). Each slot is written only by its
+	// rank's own process — on its home partition under the parallel
+	// engine — and read after the run, so the counters are lock-free and
+	// deterministic across engines. They feed the POP efficiency report.
+	ops []rankOps
+}
+
+// rankOps is one rank's blocking-operation tally.
+type rankOps struct {
+	colls uint64 // collective operations entered (Barrier, Allreduce, ...)
+	recvs uint64 // blocking point-to-point receives
+}
+
+// RankOps returns the number of collectives entered and blocking receives
+// completed by the given global rank so far.
+func (w *World) RankOps(rank int) (colls, recvs uint64) {
+	o := w.ops[rank]
+	return o.colls, o.recvs
 }
 
 // Partition attaches the world to a parallel engine. envs[r] is the
@@ -266,6 +286,7 @@ func NewWorld(env *simtime.Env, m *cluster.Machine, placement []int) *World {
 		machine:   m,
 		placement: append([]int(nil), placement...),
 		mail:      make([]*mailbox, len(placement)),
+		ops:       make([]rankOps, len(placement)),
 	}
 	for i := range w.mail {
 		w.mail[i] = &mailbox{}
@@ -417,6 +438,7 @@ func matches(src, tag int, msg *message) bool {
 
 // recv blocks proc until a message matching (src, tag) arrives at rank.
 func (w *World) recv(p *simtime.Proc, rank, src, tag int) *message {
+	w.ops[rank].recvs++
 	mb := w.mail[rank]
 	if mb.handler != nil {
 		panic("simmpi: Recv on a rank with an event handler installed")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Conservative parallel discrete-event engine.
@@ -69,10 +70,32 @@ type Engine struct {
 	stalls  uint64 // windows whose horizon was clamped by a global event
 	ninbox  uint64 // cross-environment events delivered (merge + inject)
 
+	// pstats profiles each partition's host-side behaviour (busy vs
+	// barrier-wait wall time, window participation, outbox pressure).
+	// One slot per partition; within a window each slot has exactly one
+	// writer (the pool worker running that partition), and the window's
+	// WaitGroup barrier orders those writes before the coordinator reads.
+	pstats []partStat
+
 	merge []outEvent // reusable merge buffer
 
 	jobs chan poolJob
 	wg   sync.WaitGroup
+}
+
+// partStat accumulates one partition's scheduler profile. The host-time
+// fields are wall-clock measurements and therefore nondeterministic;
+// they are exported through PartitionStats, never through the
+// deterministic EngineStats counters.
+type partStat struct {
+	busy         time.Duration // host time executing events inside windows
+	barrierWait  time.Duration // host time idle waiting for the window's slowest partition
+	windows      uint64        // windows this partition participated in
+	stallWindows uint64        // participated windows whose horizon was clamped by a global event
+	staged       uint64        // cross-partition sends staged in this partition's outbox
+	maxOutbox    int           // peak outbox depth at a window boundary
+	winBusy      time.Duration // scratch: busy time of the current window
+	ran          bool          // scratch: participated in the current window
 }
 
 type poolJob struct {
@@ -99,6 +122,7 @@ func NewEngine(global *Env, nparts int, lookahead Duration, workers int) *Engine
 		workers = 1
 	}
 	eng := &Engine{global: global, lookahead: lookahead, workers: workers}
+	eng.pstats = make([]partStat, nparts)
 	eng.parts = make([]*Env, nparts)
 	for i := range eng.parts {
 		p := NewEnv()
@@ -170,6 +194,11 @@ func (eng *Engine) drainOutboxes() {
 		if len(p.out) == 0 {
 			continue
 		}
+		st := &eng.pstats[p.eidx]
+		st.staged += uint64(len(p.out))
+		if len(p.out) > st.maxOutbox {
+			st.maxOutbox = len(p.out)
+		}
 		buf = append(buf, p.out...)
 		clear(p.out)
 		p.out = p.out[:0]
@@ -223,34 +252,65 @@ func (eng *Engine) Run() error {
 			continue
 		}
 		h := T + Time(eng.lookahead)
-		if gok && gNext < h {
+		stalled := gok && gNext < h
+		if stalled {
 			h = gNext
 			eng.stalls++
 		}
 		eng.windows++
-		eng.runWindow(h - 1)
+		eng.runWindow(h-1, stalled)
 	}
 }
 
 // runWindow executes every partition with pending events at or below h,
-// concurrently when the engine has more than one worker.
-func (eng *Engine) runWindow(h Time) {
+// concurrently when the engine has more than one worker. stalled marks
+// a window whose horizon was clamped by a pending global event; it is
+// charged to every participating partition's stall counter.
+func (eng *Engine) runWindow(h Time, stalled bool) {
 	if eng.workers <= 1 || len(eng.parts) == 1 {
 		for _, p := range eng.parts {
 			if t, ok := p.peekTime(); ok && t <= h {
+				st := &eng.pstats[p.eidx]
+				st.windows++
+				if stalled {
+					st.stallWindows++
+				}
+				t0 := time.Now()
 				p.RunUntil(h)
+				st.busy += time.Since(t0)
 			}
 		}
 		return
 	}
 	eng.startPool()
+	wstart := time.Now()
 	for _, p := range eng.parts {
 		if t, ok := p.peekTime(); ok && t <= h {
+			st := &eng.pstats[p.eidx]
+			st.ran = true
+			st.windows++
+			if stalled {
+				st.stallWindows++
+			}
 			eng.wg.Add(1)
 			eng.jobs <- poolJob{p, h}
 		}
 	}
 	eng.wg.Wait()
+	// Each participant's barrier wait is the window wall time minus its
+	// own busy time: how long it sat finished while the slowest
+	// participant was still running.
+	wall := time.Since(wstart)
+	for i := range eng.pstats {
+		st := &eng.pstats[i]
+		if !st.ran {
+			continue
+		}
+		st.ran = false
+		if bw := wall - st.winBusy; bw > 0 {
+			st.barrierWait += bw
+		}
+	}
 }
 
 func (eng *Engine) startPool() {
@@ -266,7 +326,12 @@ func (eng *Engine) startPool() {
 	for i := 0; i < w; i++ {
 		go func() {
 			for j := range jobs {
+				t0 := time.Now()
 				j.e.RunUntil(j.h)
+				d := time.Since(t0)
+				st := &eng.pstats[j.e.eidx]
+				st.winBusy = d
+				st.busy += d
 				eng.wg.Done()
 			}
 		}()
@@ -371,4 +436,24 @@ func (eng *Engine) EngineStats() EngineStats {
 	s.BarrierStalls = eng.stalls
 	s.InboxEvents = eng.ninbox
 	return s
+}
+
+// PartitionStats returns the per-partition scheduler profile. The
+// window/outbox counters are deterministic; the busy and barrier-wait
+// times are host wall-clock measurements. Call after Run returns.
+func (eng *Engine) PartitionStats() []PartitionStats {
+	out := make([]PartitionStats, len(eng.parts))
+	for i := range eng.pstats {
+		st := &eng.pstats[i]
+		out[i] = PartitionStats{
+			Partition:    i,
+			Busy:         st.busy,
+			BarrierWait:  st.barrierWait,
+			Windows:      st.windows,
+			StallWindows: st.stallWindows,
+			OutboxStaged: st.staged,
+			MaxOutbox:    uint64(st.maxOutbox),
+		}
+	}
+	return out
 }

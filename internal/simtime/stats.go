@@ -59,6 +59,22 @@ func (e *Env) EngineStats() EngineStats {
 	}
 }
 
+// PartitionStats is one partition's scheduler profile under the
+// parallel engine. Windows, StallWindows, OutboxStaged, and MaxOutbox
+// are deterministic functions of the simulated program; Busy and
+// BarrierWait are host wall-clock measurements (how the window fan-out
+// actually spent its time on this machine) and therefore vary run to
+// run — they live here, outside the deterministic EngineStats struct.
+type PartitionStats struct {
+	Partition    int
+	Busy         time.Duration // host time executing events inside windows
+	BarrierWait  time.Duration // host time finished early, waiting at the window barrier
+	Windows      uint64        // windows this partition participated in
+	StallWindows uint64        // participated windows clamped by a pending global event
+	OutboxStaged uint64        // cross-partition sends staged
+	MaxOutbox    uint64        // peak outbox depth at a window boundary
+}
+
 // RunTotals aggregates engine counters and host execution time over a set
 // of simulator runs. The counters are deterministic; Host and the derived
 // EventsPerSec depend on the hardware and are reported separately from
@@ -152,6 +168,12 @@ type StatsCollector struct {
 	// from parallel to sequential execution (diagnostic, order-free).
 	fallbackMu  sync.Mutex
 	fallbackWhy map[string]uint64
+
+	// partMu guards partStats, the per-partition profile folded by
+	// partition index across runs (busy/wait/windows sum, MaxOutbox
+	// takes the maximum).
+	partMu    sync.Mutex
+	partStats []PartitionStats
 }
 
 // NewStatsCollector returns an empty collector.
@@ -207,6 +229,42 @@ func (c *StatsCollector) FallbackReasons() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// RecordPartitions folds one parallel run's per-partition profile into
+// the collector, summing by partition index (MaxOutbox folds as a
+// maximum). Sequential runs record nothing.
+func (c *StatsCollector) RecordPartitions(parts []PartitionStats) {
+	if c == nil || len(parts) == 0 {
+		return
+	}
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	for len(c.partStats) < len(parts) {
+		c.partStats = append(c.partStats, PartitionStats{Partition: len(c.partStats)})
+	}
+	for _, p := range parts {
+		t := &c.partStats[p.Partition]
+		t.Busy += p.Busy
+		t.BarrierWait += p.BarrierWait
+		t.Windows += p.Windows
+		t.StallWindows += p.StallWindows
+		t.OutboxStaged += p.OutboxStaged
+		if p.MaxOutbox > t.MaxOutbox {
+			t.MaxOutbox = p.MaxOutbox
+		}
+	}
+}
+
+// PartitionTotals returns a copy of the folded per-partition profile
+// (empty if no parallel run was recorded).
+func (c *StatsCollector) PartitionTotals() []PartitionStats {
+	if c == nil {
+		return nil
+	}
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	return append([]PartitionStats(nil), c.partStats...)
 }
 
 // RecordRegistryHiWater folds one run's registry interval high-water
