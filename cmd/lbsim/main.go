@@ -160,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
 		return 0
 	}
-	sc, err := scaleByName(*scale)
+	sc, err := experiments.ScaleByName(*scale)
 	if err != nil {
 		return fail(err)
 	}
@@ -594,16 +594,4 @@ func humanCount(n uint64) string {
 		return fmt.Sprintf("%.1fk", float64(n)/1e3)
 	}
 	return fmt.Sprintf("%d", n)
-}
-
-func scaleByName(name string) (experiments.Scale, error) {
-	switch name {
-	case "quick":
-		return experiments.QuickScale(), nil
-	case "default":
-		return experiments.DefaultScale(), nil
-	case "paper":
-		return experiments.PaperScale(), nil
-	}
-	return experiments.Scale{}, fmt.Errorf("unknown scale %q (quick, default, paper)", name)
 }

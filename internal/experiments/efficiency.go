@@ -99,7 +99,12 @@ func Efficiency(sc Scale) *Result {
 			specs = append(specs, spec{cfg, imb})
 		}
 	}
-	outs := sweep.Map(sc.engine(), specs, func(s spec) outcome {
+	type outMirror struct {
+		PE    float64 `json:"pe"`
+		LB    float64 `json:"lb"`
+		CommE float64 `json:"comm_e"`
+	}
+	outs := mapSpecs(sc, specs, func(s spec) outcome {
 		rt := effRun(sc, s.imb, s.cfg, nil, nil)
 		rep, err := rt.POP()
 		if err != nil {
@@ -107,7 +112,10 @@ func Efficiency(sc Scale) *Result {
 		}
 		p := rep.NodePOP
 		return outcome{pe: p.PE, lb: p.LB, commE: p.CommE}
-	})
+	}, jsonCodec(
+		func(o outcome) outMirror { return outMirror{o.pe, o.lb, o.commE} },
+		func(m outMirror) outcome { return outcome{pe: m.PE, lb: m.LB, commE: m.CommE} },
+	))
 	// Reserve the full series slice up front: the map holds pointers into
 	// it, which an append-driven reallocation would silently orphan.
 	res.Series = make([]Series, 0, len(cfgs)*3)

@@ -287,6 +287,11 @@ type Scale struct {
 	// POP set; zero keeps accounting totals-only. POPReports defaults
 	// it to LocalPeriod when unset.
 	POPWindow simtime.Duration
+	// Jobs, when non-nil, threads the job service's per-spec hooks
+	// (checkpointing, resume, cancellation) through every figure sweep;
+	// see JobHooks. A pointer so every copy of the Scale an experiment
+	// passes around shares the one hook state.
+	Jobs *JobHooks
 }
 
 // SamplePeriodOrDefault returns the sampling period as a Time step.
@@ -326,6 +331,24 @@ func QuickScale() Scale {
 	return s
 }
 
+// ScaleByName maps the user-facing scale names ("quick", "default",
+// "paper") to their Scale — shared by cmd/lbsim's -scale flag and the
+// job service's spec validation.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return QuickScale(), nil
+	case "default":
+		return DefaultScale(), nil
+	case "paper":
+		return PaperScale(), nil
+	}
+	return Scale{}, fmt.Errorf("unknown scale %q (quick, default, paper)", name)
+}
+
+// ScaleNames lists the named scales ScaleByName accepts.
+func ScaleNames() []string { return []string{"quick", "default", "paper"} }
+
 // PaperScale approximates the paper's parameters (48-core MareNostrum 4
 // nodes, 100 tasks per core, 2-second solver period). Full sweeps take
 // minutes of wall time.
@@ -344,12 +367,19 @@ func PaperScale() Scale {
 
 // engine returns the sweep engine configured by the scale. The default
 // (Parallel 0) is sequential, preserving the historical single-threaded
-// behaviour; cmd/lbsim sets Parallel from its -parallel flag.
+// behaviour; cmd/lbsim sets Parallel from its -parallel flag. Under job
+// hooks the engine carries the job's cancellation context, so even
+// sweeps without a checkpoint codec (trace and POP bundles) stop
+// drawing specs when the job is canceled.
 func (sc Scale) engine() *sweep.Engine {
-	if sc.Parallel <= 1 {
-		return sweep.New(1)
+	eng := sweep.New(1)
+	if sc.Parallel > 1 {
+		eng = sweep.New(sc.Parallel)
 	}
-	return sweep.New(sc.Parallel)
+	if sc.Jobs != nil && sc.Jobs.Ctx != nil {
+		eng = eng.WithHook(sweep.Hook{Ctx: sc.Jobs.Ctx})
+	}
+	return eng
 }
 
 // runSpec is one point-producing simulator run of a figure sweep: run
@@ -366,7 +396,7 @@ type runSpec struct {
 // each result to its destination series in spec order, so assembled
 // series are identical at every parallelism.
 func runAll(sc Scale, specs []runSpec) {
-	ys := sweep.Map(sc.engine(), specs, func(s runSpec) float64 { return s.run() })
+	ys := mapSpecs(sc, specs, func(s runSpec) float64 { return s.run() }, floatCodec())
 	for i, s := range specs {
 		s.series.Points = append(s.series.Points, Point{s.x, ys[i]})
 	}

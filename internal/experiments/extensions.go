@@ -6,7 +6,6 @@ import (
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/simtime"
-	"ompsscluster/internal/sweep"
 	"ompsscluster/internal/workloads/synthetic"
 )
 
@@ -50,7 +49,11 @@ func ExtDynamicSpreading(sc Scale) *Result {
 		t     simtime.Duration
 		grown int
 	}
-	outs := sweep.Map(sc.engine(), specs, func(s dynSpec) dynOut {
+	type dynMirror struct {
+		T     simtime.Duration `json:"t"`
+		Grown int              `json:"grown"`
+	}
+	outs := mapSpecs(sc, specs, func(s dynSpec) dynOut {
 		cfg := synConfig(sc, s.imb)
 		switch s.kind {
 		case 0:
@@ -63,7 +66,10 @@ func ExtDynamicSpreading(sc Scale) *Result {
 			td, rt := dynamicRun(sc, nodes, cfg)
 			return dynOut{t: td, grown: rt.HelpersGrown()}
 		}
-	})
+	}, jsonCodec(
+		func(o dynOut) dynMirror { return dynMirror{o.t, o.grown} },
+		func(m dynMirror) dynOut { return dynOut{t: m.T, grown: m.Grown} },
+	))
 	for i, s := range specs {
 		switch s.kind {
 		case 0:
@@ -176,7 +182,7 @@ func ExtDVFS(sc Scale) *Result {
 		{1, false, core.DROMOff, "baseline"},
 		{4, true, core.DROMGlobal, "degree 4 lewi+drom"},
 	}
-	res.Series = append(res.Series, sweep.Map(sc.engine(), specs, func(sp dvfsSpec) Series {
+	res.Series = append(res.Series, mapSpecs(sc, specs, func(sp dvfsSpec) Series {
 		m := cluster.New(nodes, sc.CoresPerNode, cluster.DefaultNet())
 		cfg := synConfig(sc, 1.0) // balanced application
 		cfg.Iterations = sc.Iterations * 2
@@ -213,7 +219,7 @@ func ExtDVFS(sc Scale) *Result {
 			prev = e
 		}
 		return s
-	})...)
+	}, seriesCodec())...)
 	res.Notes = append(res.Notes,
 		"node 0 drops to 0.6x speed halfway through; the balanced baseline slows to the throttled node's pace while the runtime re-balances within a few periods")
 	return res

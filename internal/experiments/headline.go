@@ -6,7 +6,6 @@ import (
 	"ompsscluster/internal/cluster"
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/simtime"
-	"ompsscluster/internal/sweep"
 )
 
 // Headline reproduces the abstract's three headline claims:
@@ -60,7 +59,7 @@ func Headline(sc Scale) *Result {
 			return synOptimalIter(sc, m, synCfg)
 		},
 	}
-	vals := sweep.Map(sc.engine(), runs, func(f func() simtime.Duration) simtime.Duration { return f() })
+	vals := mapSpecs(sc, runs, func(f func() simtime.Duration) simtime.Duration { return f() }, durCodec())
 
 	// Claim 1: MicroPP on 32 nodes (global policy, degree 4).
 	dlb, deg4, opt := vals[0], vals[1], vals[2]

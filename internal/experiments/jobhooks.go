@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"sync"
+
+	"ompsscluster/internal/core"
+	"ompsscluster/internal/simtime"
+	"ompsscluster/internal/sweep"
+)
+
+// JobHooks is the per-spec runner entry point the job service
+// (internal/jobs) threads through a figure run. Every result-bearing
+// sweep of every experiment funnels its specs through mapSpecs, which —
+// when the Scale carries hooks — numbers the specs globally in
+// enumeration order (deterministic: figure code issues its sweeps
+// sequentially), consults Cached before running a spec, and reports
+// each outcome through Done as an exactly-round-tripping encoding.
+//
+// That is what makes checkpoint/resume provably byte-identical: a
+// resumed run replays the same enumeration, substitutes the recorded
+// encodings for the already-completed spec indices, recomputes only the
+// rest, and assembles the figure from values that are bit-equal to an
+// uninterrupted run's.
+type JobHooks struct {
+	// Ctx, when non-nil, abandons the figure mid-sweep: no further
+	// specs are drawn once it is done. The partial Result returned
+	// after a cancellation is garbage by design — the caller must check
+	// Ctx and discard it.
+	Ctx context.Context
+	// Cached returns the recorded encoding of the global spec index, if
+	// any. The spec's simulator run is skipped and the decoded outcome
+	// used in its place.
+	Cached func(idx int) ([]byte, bool)
+	// Done reports the encoding of a freshly computed (or re-validated
+	// cached) spec outcome. Called concurrently from sweep workers.
+	Done func(idx int, encoded []byte)
+
+	mu   sync.Mutex
+	next int
+}
+
+// reserve allocates a block of n consecutive global spec indices and
+// returns the first. Sweeps inside one experiment run sequentially, so
+// identical runs assign identical indices.
+func (h *JobHooks) reserve(n int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	base := h.next
+	h.next += n
+	return base
+}
+
+// Canceled reports whether the hooks' context has been canceled, i.e.
+// whether a Result assembled under these hooks must be discarded.
+func (h *JobHooks) Canceled() bool {
+	return h != nil && h.Ctx != nil && h.Ctx.Err() != nil
+}
+
+// specCodec serializes one sweep-outcome type for checkpointing. enc
+// must be exact: dec(enc(r)) is required to be bit-identical to r for
+// every value a run can produce, because resumed figures are assembled
+// from decoded outcomes. An enc error (e.g. a NaN under a JSON codec)
+// skips checkpointing that spec — correct, just not resumable.
+type specCodec[R any] struct {
+	enc func(R) ([]byte, error)
+	dec func([]byte) (R, error)
+}
+
+// mapSpecs is sweep.Map with the scale's job hooks applied: cached spec
+// outcomes short-circuit their simulator runs, fresh outcomes are
+// reported as they complete, and the hooks' context cancels the draw.
+// Without hooks it is exactly sweep.Map.
+func mapSpecs[S, R any](sc Scale, specs []S, run func(S) R, c specCodec[R]) []R {
+	h := sc.Jobs
+	if h == nil {
+		return sweep.Map(sc.engine(), specs, run)
+	}
+	base := h.reserve(len(specs))
+	out := make([]R, len(specs))
+	eng := sc.engine().WithHook(sweep.Hook{
+		Ctx: h.Ctx,
+		Done: func(i int) {
+			if h.Done == nil {
+				return
+			}
+			if b, err := c.enc(out[i]); err == nil {
+				h.Done(base+i, b)
+			}
+		},
+	})
+	eng.Run(len(specs), func(i int) {
+		if h.Cached != nil {
+			if b, ok := h.Cached(base + i); ok {
+				if r, err := c.dec(b); err == nil {
+					out[i] = r
+					return
+				}
+				// Undecodable checkpoint entry: recompute. The Done hook
+				// re-records the fresh outcome.
+			}
+		}
+		out[i] = run(specs[i])
+	})
+	return out
+}
+
+// floatCodec round-trips a float64 exactly via hex float formatting
+// (NaN and the infinities render as their parseable names).
+func floatCodec() specCodec[float64] {
+	return specCodec[float64]{
+		enc: func(v float64) ([]byte, error) {
+			return []byte(strconv.FormatFloat(v, 'x', -1, 64)), nil
+		},
+		dec: func(b []byte) (float64, error) {
+			return strconv.ParseFloat(string(b), 64)
+		},
+	}
+}
+
+// durCodec round-trips a simtime.Duration (an int64) exactly.
+func durCodec() specCodec[simtime.Duration] {
+	return specCodec[simtime.Duration]{
+		enc: func(d simtime.Duration) ([]byte, error) {
+			return []byte(strconv.FormatInt(int64(d), 10)), nil
+		},
+		dec: func(b []byte) (simtime.Duration, error) {
+			v, err := strconv.ParseInt(string(b), 10, 64)
+			return simtime.Duration(v), err
+		},
+	}
+}
+
+// jsonCodec round-trips an outcome through an exported-field mirror E.
+// encoding/json renders float64s with the shortest representation that
+// parses back bit-identically, and int64s exactly, so mirrors composed
+// of those (and strings/bools/slices of them) satisfy the codec
+// contract for finite values; non-finite floats fail enc and simply go
+// unrecorded.
+func jsonCodec[R, E any](to func(R) E, from func(E) R) specCodec[R] {
+	return specCodec[R]{
+		enc: func(r R) ([]byte, error) { return json.Marshal(to(r)) },
+		dec: func(b []byte) (R, error) {
+			var e E
+			if err := json.Unmarshal(b, &e); err != nil {
+				var zero R
+				return zero, err
+			}
+			return from(e), nil
+		},
+	}
+}
+
+// seriesCodec checkpoints sweeps whose outcome is a whole Series.
+func seriesCodec() specCodec[Series] {
+	type mirror struct {
+		Label  string  `json:"label"`
+		Points []Point `json:"points"`
+	}
+	return jsonCodec(
+		func(s Series) mirror { return mirror{s.Label, s.Points} },
+		func(m mirror) Series { return Series{Label: m.Label, Points: m.Points} },
+	)
+}
+
+// errString flattens a typed run error for checkpointing. The figures
+// only compare errors against nil and render them with %v, so a
+// string round-trip preserves every byte of the assembled output.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	if s := err.Error(); s != "" {
+		return s
+	}
+	return "(unnamed run error)"
+}
+
+// errFromString is errString's inverse.
+func errFromString(s string) error {
+	if s == "" {
+		return nil
+	}
+	return &replayedError{s}
+}
+
+// replayedError is a run error restored from a checkpoint: the original
+// type is gone, the rendering is preserved.
+type replayedError struct{ msg string }
+
+func (e *replayedError) Error() string { return e.msg }
+
+// runStatsMirror is core.RunStats with JSON tags for checkpointing
+// (all counters, exact int64 round-trip).
+type runStatsMirror struct {
+	CtlMessages      int64 `json:"ctl"`
+	BytesTransferred int64 `json:"bytes"`
+	Transfers        int64 `json:"transfers"`
+	PolicyRuns       int64 `json:"policy_runs"`
+	OwnershipChanges int64 `json:"ownership_changes"`
+	FaultEvents      int64 `json:"fault_events"`
+	Reoffloads       int64 `json:"reoffloads"`
+	ChunkGrants      int64 `json:"chunk_grants"`
+}
+
+func toStatsMirror(s core.RunStats) runStatsMirror {
+	return runStatsMirror{
+		CtlMessages:      s.CtlMessages,
+		BytesTransferred: s.BytesTransferred,
+		Transfers:        s.Transfers,
+		PolicyRuns:       s.PolicyRuns,
+		OwnershipChanges: s.OwnershipChanges,
+		FaultEvents:      s.FaultEvents,
+		Reoffloads:       s.Reoffloads,
+		ChunkGrants:      s.ChunkGrants,
+	}
+}
+
+func fromStatsMirror(m runStatsMirror) core.RunStats {
+	return core.RunStats{
+		CtlMessages:      m.CtlMessages,
+		BytesTransferred: m.BytesTransferred,
+		Transfers:        m.Transfers,
+		PolicyRuns:       m.PolicyRuns,
+		OwnershipChanges: m.OwnershipChanges,
+		FaultEvents:      m.FaultEvents,
+		Reoffloads:       m.Reoffloads,
+		ChunkGrants:      m.ChunkGrants,
+	}
+}

@@ -176,10 +176,10 @@ func Fig9(sc Scale) *Result {
 		XLabel: "config (0=base 1=LeWI 2=DROM 3=both)",
 		YLabel: "execution time (s)",
 	}
-	times := sweep.Map(sc.engine(), fig9Configs(), func(cfg fig9Config) simtime.Duration {
+	times := mapSpecs(sc, fig9Configs(), func(cfg fig9Config) simtime.Duration {
 		t, _ := mppRun(sc, 4, 1, cfg.degree, cfg.lewi, cfg.drom, nil, nil)
 		return t
-	})
+	}, durCodec())
 	for i, cfg := range fig9Configs() {
 		res.Series = append(res.Series, Series{
 			Label:  cfg.label,

@@ -158,13 +158,21 @@ func Policies(sc Scale) *Result {
 			specs = append(specs, spec{pol, scn, float64(i)})
 		}
 	}
-	outs := sweep.Map(sc.engine(), specs, func(s spec) outcome {
+	type outMirror struct {
+		Y      float64 `json:"y"`
+		Grants int64   `json:"grants"`
+		Err    string  `json:"err,omitempty"`
+	}
+	outs := mapSpecs(sc, specs, func(s spec) outcome {
 		t, rt, err := policyRun(sc, s.scn, resiliencePlan(sc, s.scn.fault), s.pol, nil, nil)
 		if err != nil {
 			return outcome{err: err}
 		}
 		return outcome{y: t.Seconds(), grants: rt.Stats().ChunkGrants}
-	})
+	}, jsonCodec(
+		func(o outcome) outMirror { return outMirror{o.y, o.grants, errString(o.err)} },
+		func(m outMirror) outcome { return outcome{y: m.Y, grants: m.Grants, err: errFromString(m.Err)} },
+	))
 	series := map[string]*Series{}
 	res.Series = make([]Series, len(pols))
 	for i, pol := range pols {
@@ -220,14 +228,22 @@ func PolicyDemo(sc Scale, policy string, plan *faults.Plan) (*Result, error) {
 		stats core.RunStats
 		err   error
 	}
-	outs := sweep.Map(sc.engine(), pols, func(pol policyConfig) outcome {
+	type outMirror struct {
+		T     simtime.Duration `json:"t"`
+		Stats runStatsMirror   `json:"stats"`
+		Err   string           `json:"err,omitempty"`
+	}
+	outs := mapSpecs(sc, pols, func(pol policyConfig) outcome {
 		t, rt, err := policyRun(sc, scn, plan, pol, nil, nil)
 		var st core.RunStats
 		if rt != nil {
 			st = rt.Stats()
 		}
 		return outcome{t: t, stats: st, err: err}
-	})
+	}, jsonCodec(
+		func(o outcome) outMirror { return outMirror{o.t, toStatsMirror(o.stats), errString(o.err)} },
+		func(m outMirror) outcome { return outcome{t: m.T, stats: fromStatsMirror(m.Stats), err: errFromString(m.Err)} },
+	))
 	for i, pol := range pols {
 		out := outs[i]
 		if out.err != nil {

@@ -7,7 +7,6 @@ import (
 	"ompsscluster/internal/core"
 	"ompsscluster/internal/faults"
 	"ompsscluster/internal/simtime"
-	"ompsscluster/internal/sweep"
 	"ompsscluster/internal/workloads/synthetic"
 )
 
@@ -144,13 +143,21 @@ func Resilience(sc Scale) *Result {
 			specs = append(specs, spec{pol, f})
 		}
 	}
-	outs := sweep.Map(sc.engine(), specs, func(s spec) outcome {
+	type outMirror struct {
+		Y          float64 `json:"y"`
+		Reoffloads int64   `json:"reoffloads"`
+		Err        string  `json:"err,omitempty"`
+	}
+	outs := mapSpecs(sc, specs, func(s spec) outcome {
 		t, rt, err := resilienceRun(sc, resiliencePlan(sc, s.f), s.pol.lewi, s.pol.drom)
 		if err != nil {
 			return outcome{err: err}
 		}
 		return outcome{y: t.Seconds(), reoffloads: rt.Stats().Reoffloads}
-	})
+	}, jsonCodec(
+		func(o outcome) outMirror { return outMirror{o.y, o.reoffloads, errString(o.err)} },
+		func(m outMirror) outcome { return outcome{y: m.Y, reoffloads: m.Reoffloads, err: errFromString(m.Err)} },
+	))
 	series := map[string]*Series{}
 	res.Series = make([]Series, len(resiliencePolicies()))
 	for i, pol := range resiliencePolicies() {
@@ -194,15 +201,23 @@ func FaultDemo(sc Scale, plan *faults.Plan) *Result {
 		stats core.RunStats
 		err   error
 	}
+	type outMirror struct {
+		T     simtime.Duration `json:"t"`
+		Stats runStatsMirror   `json:"stats"`
+		Err   string           `json:"err,omitempty"`
+	}
 	pols := resiliencePolicies()
-	outs := sweep.Map(sc.engine(), pols, func(pol resiliencePolicy) outcome {
+	outs := mapSpecs(sc, pols, func(pol resiliencePolicy) outcome {
 		t, rt, err := resilienceRun(sc, plan, pol.lewi, pol.drom)
 		var st core.RunStats
 		if rt != nil {
 			st = rt.Stats()
 		}
 		return outcome{t: t, stats: st, err: err}
-	})
+	}, jsonCodec(
+		func(o outcome) outMirror { return outMirror{o.t, toStatsMirror(o.stats), errString(o.err)} },
+		func(m outMirror) outcome { return outcome{t: m.T, stats: fromStatsMirror(m.Stats), err: errFromString(m.Err)} },
+	))
 	for i, pol := range pols {
 		out := outs[i]
 		if out.err != nil {

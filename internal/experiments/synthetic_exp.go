@@ -234,7 +234,7 @@ func Fig11(sc Scale) *Result {
 			specs = append(specs, spec{sce, c})
 		}
 	}
-	res.Series = append(res.Series, sweep.Map(sc.engine(), specs, func(s spec) Series {
+	res.Series = append(res.Series, mapSpecs(sc, specs, func(s spec) Series {
 		rec := trace.NewRecorder()
 		synCfg := synConfig(sc, s.sce.imb)
 		synCfg.Iterations = sc.Iterations + 2 // room to converge
@@ -248,7 +248,7 @@ func Fig11(sc Scale) *Result {
 			series.Points = append(series.Points, Point{ti.Seconds(), imbSeries.ValueAt(ti)})
 		}
 		return series
-	})...)
+	}, seriesCodec())...)
 	res.Notes = append(res.Notes,
 		"offloading degree equals the node count (full connectivity on these tiny graphs)")
 	return res
@@ -270,7 +270,11 @@ func Fig5(sc Scale) *Result {
 		series []Series
 		note   string
 	}
-	outs := sweep.Map(sc.engine(), fig5Policies(), func(pol fig5Policy) fig5Out {
+	type fig5Mirror struct {
+		Series []Series `json:"series"`
+		Note   string   `json:"note"`
+	}
+	outs := mapSpecs(sc, fig5Policies(), func(pol fig5Policy) fig5Out {
 		rec := trace.NewRecorder()
 		_, phase2Start := runFig5Workload(sc, pol.drom, rec, nil)
 		end := rec.End()
@@ -298,7 +302,10 @@ func Fig5(sc Scale) *Result {
 			"%s policy: %.2f cores of cross-node execution during the balanced phase (paper: local offloads unnecessarily, global ~0)",
 			pol.label, cross)
 		return out
-	})
+	}, jsonCodec(
+		func(o fig5Out) fig5Mirror { return fig5Mirror{o.series, o.note} },
+		func(m fig5Mirror) fig5Out { return fig5Out{series: m.Series, note: m.Note} },
+	))
 	for _, out := range outs {
 		res.Series = append(res.Series, out.series...)
 		res.Notes = append(res.Notes, out.note)

@@ -12,10 +12,13 @@
 package faults
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"ompsscluster/internal/simtime"
@@ -200,16 +203,8 @@ func Arm(env *simtime.Env, p *Plan, apply func(idx int, ev Event, phase Phase)) 
 	}
 }
 
-// jsonPlan and jsonEvent are the wire format: durations are Go
+// jsonEvent is the wire format of one event: durations are Go
 // duration strings ("250ms", "1.5s") so plans are human-writable.
-type jsonPlan struct {
-	Name        string      `json:"name"`
-	Seed        *uint64     `json:"seed,omitempty"`
-	MaxAttempts int         `json:"max_attempts,omitempty"`
-	Backoff     string      `json:"backoff,omitempty"`
-	Events      []jsonEvent `json:"events"`
-}
-
 type jsonEvent struct {
 	Kind    string  `json:"kind"`
 	At      string  `json:"at"`
@@ -235,23 +230,76 @@ func parseDur(field, s string) (simtime.Duration, error) {
 	return simtime.Duration(d), nil
 }
 
-// Parse decodes a JSON fault plan. Field syntax is checked here;
-// semantic checks against a concrete machine happen in Validate.
+// describeJSONError turns encoding/json's errors into something a plan
+// author (or an HTTP 400 from the job server) can act on: type errors
+// name the offending field and the value's actual JSON type, unknown
+// fields come back with the valid field list.
+func describeJSONError(err error, validFields string) error {
+	var te *json.UnmarshalTypeError
+	if errors.As(err, &te) {
+		field := te.Field
+		if field == "" {
+			field = "(document)"
+		}
+		return fmt.Errorf("field %q: got JSON %s, want %s", field, te.Value, te.Type)
+	}
+	if msg := err.Error(); strings.HasPrefix(msg, "json: unknown field ") {
+		return fmt.Errorf("%s (valid fields: %s)", strings.TrimPrefix(msg, "json: "), validFields)
+	}
+	return err
+}
+
+const (
+	planFields  = `"name", "seed", "max_attempts", "backoff", "events"`
+	eventFields = `"kind", "at", "until", "node", "node_b", "apprank", "speed", "cores", "delay", "jitter", "drop"`
+)
+
+// decodeStrict unmarshals data into v, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(data []byte, v any, validFields string) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return describeJSONError(err, validFields)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the JSON document")
+	}
+	return nil
+}
+
+// Parse decodes a JSON fault plan. Field syntax is checked here —
+// errors name the offending event index and field, and unknown fields
+// are rejected so a typo ("nodeb" for "node_b") cannot silently arm a
+// different plan than the author wrote — while semantic checks against
+// a concrete machine happen in Validate.
 func Parse(data []byte) (*Plan, error) {
-	var jp jsonPlan
-	if err := json.Unmarshal(data, &jp); err != nil {
+	// The envelope keeps events raw so each one can be decoded — and
+	// blamed — individually by index.
+	var envelope struct {
+		Name        string            `json:"name"`
+		Seed        *uint64           `json:"seed"`
+		MaxAttempts int               `json:"max_attempts"`
+		Backoff     string            `json:"backoff"`
+		Events      []json.RawMessage `json:"events"`
+	}
+	if err := decodeStrict(data, &envelope, planFields); err != nil {
 		return nil, fmt.Errorf("faults: parse plan: %w", err)
 	}
-	p := &Plan{Name: jp.Name, MaxAttempts: jp.MaxAttempts}
-	if jp.Seed != nil {
-		p.Seed = *jp.Seed
+	p := &Plan{Name: envelope.Name, MaxAttempts: envelope.MaxAttempts}
+	if envelope.Seed != nil {
+		p.Seed = *envelope.Seed
 		p.PinSeed = true
 	}
 	var err error
-	if p.Backoff, err = parseDur("backoff", jp.Backoff); err != nil {
+	if p.Backoff, err = parseDur("backoff", envelope.Backoff); err != nil {
 		return nil, err
 	}
-	for i, je := range jp.Events {
+	for i, raw := range envelope.Events {
+		var je jsonEvent
+		if err := decodeStrict(raw, &je, eventFields); err != nil {
+			return nil, fmt.Errorf("faults: event %d: %w", i, err)
+		}
 		ev := Event{
 			Kind:    Kind(je.Kind),
 			Node:    je.Node,

@@ -43,6 +43,49 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseErrorsNameEventAndField(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want []string
+	}{
+		{"event type error carries index and field",
+			`{"events": [{"kind": "slow", "at": "1ms", "until": "2ms", "speed": 0.5},
+			             {"kind": "coreloss", "at": "3ms", "cores": "two"}]}`,
+			[]string{"event 1", `field "cores"`, "JSON string", "int"}},
+		{"event unknown field rejected with index",
+			`{"events": [{"kind": "drain", "at": "1ms", "nodeb": 2}]}`,
+			[]string{"event 0", `unknown field "nodeb"`, `"node_b"`}},
+		{"event bad duration carries index and field",
+			`{"events": [{"kind": "slow", "at": "1ms", "until": "2 parsecs", "speed": 0.5}]}`,
+			[]string{"event 0", "until", "2 parsecs"}},
+		{"top-level type error names the field",
+			`{"max_attempts": "eight", "events": []}`,
+			[]string{"parse plan", `field "max_attempts"`, "int"}},
+		{"top-level unknown field rejected",
+			`{"naem": "typo", "events": []}`,
+			[]string{"parse plan", `unknown field "naem"`, `"events"`}},
+		{"non-object document",
+			`[1, 2, 3]`,
+			[]string{"parse plan", "(document)"}},
+		{"trailing garbage",
+			`{"events": []} extra`,
+			[]string{"parse plan", "trailing data"}},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.data))
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, w)
+			}
+		}
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	cases := []struct {
 		name string

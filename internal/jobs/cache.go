@@ -1,0 +1,45 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed result store: the finished result
+// document of a spec lives at <dir>/<hh>/<hash>.json, where hh is the
+// first two hex digits of the spec's content address (a fan-out so no
+// single directory grows unboundedly). Resubmitting an identical spec
+// is an O(1) disk lookup — the cached bytes are returned verbatim,
+// which is sound because results are a pure function of the hashed
+// fields.
+type Cache struct {
+	dir string
+}
+
+// NewCache returns a cache rooted at dir (created lazily on Put).
+func NewCache(dir string) *Cache { return &Cache{dir: dir} }
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".json")
+}
+
+// Get returns the cached result document for a content address.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	if len(hash) < 2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores a result document under its content address, atomically:
+// concurrent or crashed writers leave either nothing or complete bytes.
+func (c *Cache) Put(hash string, doc []byte) error {
+	if err := os.MkdirAll(filepath.Dir(c.path(hash)), 0o755); err != nil {
+		return err
+	}
+	return writeFileAtomic(c.path(hash), doc)
+}

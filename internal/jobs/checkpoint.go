@@ -1,0 +1,150 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus a rename, so readers (and a process killed mid-write)
+// only ever observe the old complete file or the new complete file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Checkpointer snapshots the per-spec outcomes of a running sweep. It
+// is keyed by the job's content address, so a canceled or killed job's
+// partial work survives and any later job with the same spec — the
+// resumed job after a restart, or a fresh submission — picks it up.
+//
+// Every Record rewrites the whole snapshot atomically. The files are
+// small (one short encoding per completed spec) and spec completions
+// are seconds apart at the scales the figures run, so the simplicity
+// is worth far more than the rewrite cost; and because each snapshot
+// is complete and atomic, a SIGKILL at any instant leaves a loadable
+// checkpoint.
+//
+// Correctness never depends on the checkpoint — only resume speed
+// does. An unreadable or corrupt snapshot is treated as empty and the
+// job simply recomputes.
+type Checkpointer struct {
+	path string
+
+	mu   sync.Mutex
+	done map[int]string
+}
+
+// checkpointFile is the on-disk format: completed global spec indices
+// mapped to their exact outcome encodings. Encodings are produced by
+// the experiments package's spec codecs and are always UTF-8 text
+// (hex floats, decimal ints, JSON), so they round-trip through JSON
+// strings byte-for-byte.
+type checkpointFile struct {
+	Done map[string]string `json:"done"`
+}
+
+// OpenCheckpoint loads the snapshot at path, or starts empty if the
+// file is missing or unreadable.
+func OpenCheckpoint(path string) *Checkpointer {
+	c := &Checkpointer{path: path, done: map[int]string{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return c
+	}
+	for k, v := range f.Done {
+		idx, err := strconv.Atoi(k)
+		if err != nil || idx < 0 {
+			continue
+		}
+		c.done[idx] = v
+	}
+	return c
+}
+
+// Cached returns the recorded encoding of a global spec index. It has
+// the signature experiments.JobHooks.Cached wants.
+func (c *Checkpointer) Cached(idx int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	enc, ok := c.done[idx]
+	if !ok {
+		return nil, false
+	}
+	return []byte(enc), true
+}
+
+// Record stores a completed spec's encoding and flushes the snapshot
+// atomically. Called concurrently from sweep workers. A flush error is
+// swallowed: the outcome stays recorded in memory (so the running job
+// is unaffected) and only resume coverage is lost.
+func (c *Checkpointer) Record(idx int, enc []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[idx] = string(enc)
+	c.flushLocked()
+}
+
+func (c *Checkpointer) flushLocked() {
+	f := checkpointFile{Done: make(map[string]string, len(c.done))}
+	for idx, enc := range c.done {
+		f.Done[strconv.Itoa(idx)] = enc
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+		return
+	}
+	writeFileAtomic(c.path, append(data, '\n'))
+}
+
+// Len reports how many spec outcomes are recorded — the job's live
+// progress counter.
+func (c *Checkpointer) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Indices returns the recorded spec indices in ascending order.
+func (c *Checkpointer) Indices() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.done))
+	for idx := range c.done {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Remove deletes the snapshot (after the job's result is cached the
+// checkpoint is redundant).
+func (c *Checkpointer) Remove() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := os.Remove(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,244 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// Pending jobs wait in FIFO order for the runner.
+	Pending State = "pending"
+	// Running is the (single) job the runner is executing.
+	Running State = "running"
+	// Succeeded jobs have their result document in the cache.
+	Succeeded State = "succeeded"
+	// Failed jobs exhausted their retry budget, timed out, or hit a
+	// terminal error; Job.Error says which.
+	Failed State = "failed"
+	// Canceled jobs were withdrawn by the client. Their checkpoint is
+	// kept: resubmitting the same spec resumes where they stopped.
+	Canceled State = "canceled"
+)
+
+// Job is one queued spec and its progress. The persisted fields
+// deliberately exclude wall-clock timestamps, so the queue file stays
+// deterministic for a given submission history.
+type Job struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	// Hash is the spec's content address.
+	Hash  string `json:"hash"`
+	State State  `json:"state"`
+	// Attempts counts started executions (a job that panics and is
+	// retried has Attempts > 1).
+	Attempts int `json:"attempts,omitempty"`
+	// Error is the terminal failure reason (Failed) or cancellation
+	// note (Canceled).
+	Error string `json:"error,omitempty"`
+	// CacheHit marks a success served from the result cache without
+	// any simulation.
+	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// SpecsDone is the live progress counter (completed simulator
+	// specs, including checkpointed ones adopted on resume). Not
+	// persisted — the checkpoint file is the durable record.
+	SpecsDone int `json:"-"`
+}
+
+// Queue is the FIFO job queue, persisted atomically on every state
+// transition so a killed server restarts exactly where it stopped:
+// OpenQueue demotes Running back to Pending, and the job's checkpoint
+// (keyed by spec hash, not job id) makes the re-run a resume.
+type Queue struct {
+	path string
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order; FIFO scheduling scans this
+	nextID int
+}
+
+// queueFile is the on-disk format.
+type queueFile struct {
+	NextID int   `json:"next_id"`
+	Jobs   []Job `json:"jobs"`
+}
+
+// OpenQueue loads the queue persisted at path (a missing file is an
+// empty queue). Jobs found Running were interrupted by a crash or kill;
+// they are demoted to Pending — with their checkpoints intact — so the
+// runner resumes them.
+func OpenQueue(path string) (*Queue, error) {
+	q := &Queue{path: path, jobs: map[string]*Job{}, nextID: 1}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return q, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f queueFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("jobs: queue file %s is corrupt: %w", path, err)
+	}
+	q.nextID = f.NextID
+	for i := range f.Jobs {
+		j := f.Jobs[i]
+		if j.State == Running {
+			j.State = Pending
+		}
+		q.jobs[j.ID] = &j
+		q.order = append(q.order, j.ID)
+	}
+	return q, nil
+}
+
+// Submit appends a normalized spec with its content address and
+// persists. The returned copy is the job as created.
+func (q *Queue) Submit(spec Spec, hash string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := &Job{
+		ID:    fmt.Sprintf("j%d", q.nextID),
+		Spec:  spec,
+		Hash:  hash,
+		State: Pending,
+	}
+	q.nextID++
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	if err := q.persistLocked(); err != nil {
+		return Job{}, err
+	}
+	return *j, nil
+}
+
+// ClaimNext atomically promotes the oldest Pending job to Running and
+// returns it. ok is false when nothing is pending.
+func (q *Queue) ClaimNext() (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.State != Pending {
+			continue
+		}
+		j.State = Running
+		q.persistLocked()
+		return *j, true
+	}
+	return Job{}, false
+}
+
+// SetState records a transition (and clears or sets the error note)
+// and persists.
+func (q *Queue) SetState(id string, st State, errMsg string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return
+	}
+	j.State = st
+	j.Error = errMsg
+	q.persistLocked()
+}
+
+// IncAttempts bumps the persisted attempt counter (one per started
+// execution, including retries after a panic) and returns the total.
+func (q *Queue) IncAttempts(id string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return 0
+	}
+	j.Attempts++
+	q.persistLocked()
+	return j.Attempts
+}
+
+// MarkCacheHit flags a success as served from the cache.
+func (q *Queue) MarkCacheHit(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok {
+		j.CacheHit = true
+		j.State = Succeeded
+		q.persistLocked()
+	}
+}
+
+// CancelPending cancels a job only if it has not started; the runner
+// owns cancellation of the running job.
+func (q *Queue) CancelPending(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != Pending {
+		return false
+	}
+	j.State = Canceled
+	j.Error = "canceled before start"
+	q.persistLocked()
+	return true
+}
+
+// SetProgress updates the live spec counter (in-memory only).
+func (q *Queue) SetProgress(id string, specsDone int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok {
+		j.SpecsDone = specsDone
+	}
+}
+
+// Get returns a copy of the job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns copies of every job in submission order.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// Counts returns the number of jobs in each state.
+func (q *Queue) Counts() map[State]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := map[State]int{}
+	for _, j := range q.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+func (q *Queue) persistLocked() error {
+	f := queueFile{NextID: q.nextID, Jobs: make([]Job, 0, len(q.order))}
+	for _, id := range q.order {
+		f.Jobs = append(f.Jobs, *q.jobs[id])
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(q.path, append(data, '\n'))
+}

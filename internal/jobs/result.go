@@ -1,0 +1,54 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ompsscluster/internal/experiments"
+)
+
+// ResultDoc is the finished form of a job: the figure rendered to
+// strings. It deliberately contains no timestamps, host names, or raw
+// floats — only the spec's content address and deterministic renderings
+// — so the same spec always produces the same bytes, a cache hit is
+// byte-identical to a fresh computation, and a resumed run's document
+// diffs clean against an uninterrupted one.
+type ResultDoc struct {
+	// Hash is the content address of the spec that produced this.
+	Hash string `json:"hash"`
+	// ID, Title, XLabel, YLabel mirror the experiments.Result header.
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	XLabel string `json:"xlabel"`
+	YLabel string `json:"ylabel"`
+	// CSV is the figure in long format (series,x,y; RFC 4180 quoting).
+	CSV string `json:"csv"`
+	// Notes are the figure's annotations.
+	Notes []string `json:"notes,omitempty"`
+	// Err records the first typed run error behind the figure ("" =
+	// every run completed). A crash fault plan aborting its run lands
+	// here, not in the job state: the job itself succeeded.
+	Err string `json:"err,omitempty"`
+}
+
+// EncodeResult renders a figure into the canonical result-document
+// bytes stored in the cache and served by GET /jobs/{id}/result.
+func EncodeResult(hash string, r *experiments.Result) ([]byte, error) {
+	doc := ResultDoc{
+		Hash:   hash,
+		ID:     r.ID,
+		Title:  r.Title,
+		XLabel: r.XLabel,
+		YLabel: r.YLabel,
+		CSV:    r.CSV(),
+		Notes:  r.Notes,
+	}
+	if r.Err != nil {
+		doc.Err = fmt.Sprintf("%v", r.Err)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

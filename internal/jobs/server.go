@@ -1,0 +1,197 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Server is the HTTP/JSON surface of the job service:
+//
+//	POST /jobs              submit a spec; 202 with the created job
+//	GET  /jobs              list jobs in submission order
+//	GET  /jobs/{id}         status with live progress
+//	GET  /jobs/{id}/result  the finished result document (cache bytes)
+//	POST /jobs/{id}/cancel  withdraw a pending or running job
+//	GET  /healthz           liveness plus queue counts
+//
+// Bad submissions are rejected with 400s whose error message names the
+// offending spec field — and for fault plans, the offending event index
+// and field.
+type Server struct {
+	Queue  *Queue
+	Cache  *Cache
+	Runner *Runner
+}
+
+// maxSpecBytes bounds a submission body; inline fault plans are small.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.status)
+	mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /healthz", s.health)
+	return mux
+}
+
+// jobView is a job as the API renders it.
+type jobView struct {
+	ID        string `json:"id"`
+	Hash      string `json:"hash"`
+	State     State  `json:"state"`
+	Attempts  int    `json:"attempts,omitempty"`
+	SpecsDone int    `json:"specs_done"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Spec      Spec   `json:"spec"`
+}
+
+func viewOf(j Job) jobView {
+	return jobView{
+		ID:        j.ID,
+		Hash:      j.Hash,
+		State:     j.State,
+		Attempts:  j.Attempts,
+		SpecsDone: j.SpecsDone,
+		CacheHit:  j.CacheHit,
+		Error:     j.Error,
+		Spec:      j.Spec,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) submit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, err = spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := s.Queue.Submit(spec, hash)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+		return
+	}
+	s.Runner.Kick()
+	_, cached := s.Cache.Get(hash)
+	writeJSON(w, http.StatusAccepted, struct {
+		jobView
+		Cached bool `json:"cached"`
+	}{viewOf(job), cached})
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Queue.List()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = viewOf(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) status(w http.ResponseWriter, req *http.Request) {
+	j, ok := s.Queue.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+func (s *Server) result(w http.ResponseWriter, req *http.Request) {
+	j, ok := s.Queue.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", req.PathValue("id"))
+		return
+	}
+	if j.State != Succeeded {
+		writeError(w, http.StatusConflict, "job %s is %s%s", j.ID, j.State, errSuffix(j.Error))
+		return
+	}
+	doc, ok := s.Cache.Get(j.Hash)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "result of %s missing from cache", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
+}
+
+func errSuffix(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
+}
+
+func (s *Server) cancel(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	j, ok := s.Queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch j.State {
+	case Pending, Running:
+		if !s.Runner.Cancel(id) {
+			// The job reached a terminal state between Get and Cancel.
+			j, _ = s.Queue.Get(id)
+			writeError(w, http.StatusConflict, "job %s already %s", id, j.State)
+			return
+		}
+		j, _ = s.Queue.Get(id)
+		writeJSON(w, http.StatusOK, viewOf(j))
+	default:
+		writeError(w, http.StatusConflict, "job %s already %s", id, j.State)
+	}
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	counts := s.Queue.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"pending":   counts[Pending],
+		"running":   counts[Running],
+		"succeeded": counts[Succeeded],
+		"failed":    counts[Failed],
+		"canceled":  counts[Canceled],
+	})
+}

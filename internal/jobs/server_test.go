@@ -1,0 +1,215 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ompsscluster/internal/experiments"
+)
+
+// newTestServer wires a full service (real runner, injectable runFn)
+// behind an httptest server.
+func newTestServer(t *testing.T, runFn func(Spec, experiments.Scale) (*experiments.Result, error)) (*httptest.Server, *Queue) {
+	t.Helper()
+	r, q, cache, _ := newTestRunner(t)
+	if runFn != nil {
+		r.runFn = runFn
+	}
+	r.Start()
+	t.Cleanup(r.Drain)
+	ts := httptest.NewServer((&Server{Queue: q, Cache: cache, Runner: r}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, q
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	data, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("response %q is not JSON: %v", data, err)
+	}
+	return resp.StatusCode, v
+}
+
+func getJSON(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+func TestServerRejectsBadSubmissionsWith400s(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"syntax", `{"experiment":`, "spec"},
+		{"unknown field", `{"experimnt":"fig8"}`, `unknown field \"experimnt\"`},
+		{"unknown experiment", `{"experiment":"fig99"}`, "unknown experiment"},
+		{"no run", `{"scale":"quick"}`, "selects no run"},
+		{"fault plan event indexed", `{"faults":{"events":[{"kind":"slow","at":"1ms","until":"2ms","speed":0.5},{"kind":"slow","at":"oops","until":"2ms","speed":0.5}]}}`, "event 1"},
+		{"fault plan unknown field", `{"faults":{"events":[{"kind":"drain","at":"1ms","nodeb":2}]}}`, `unknown field \"nodeb\"`},
+	}
+	for _, tc := range cases {
+		code, v := postJSON(t, ts.URL+"/jobs", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", tc.name, code, v)
+			continue
+		}
+		msg, _ := v["error"].(string)
+		want := strings.ReplaceAll(tc.want, `\"`, `"`)
+		if !strings.Contains(msg, want) {
+			t.Errorf("%s: error %q missing %q", tc.name, msg, want)
+		}
+	}
+}
+
+func TestServerLifecycleEndpoints(t *testing.T) {
+	block := make(chan struct{})
+	ts, q := newTestServer(t, func(spec Spec, sc experiments.Scale) (*experiments.Result, error) {
+		if spec.Seed == 7 {
+			select {
+			case <-block:
+			case <-sc.Jobs.Ctx.Done():
+				return nil, sc.Jobs.Ctx.Err()
+			}
+		}
+		return &experiments.Result{ID: spec.Experiment, Title: "T", XLabel: "x", YLabel: "y",
+			Series: []experiments.Series{{Label: "s", Points: []experiments.Point{{X: 1, Y: 2}}}},
+		}, nil
+	})
+	defer close(block)
+
+	// Submit a blocking job and one behind it.
+	code, v := postJSON(t, ts.URL+"/jobs", `{"experiment":"fig8","scale":"quick","seed":7}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	blockedID := v["id"].(string)
+	code, v = postJSON(t, ts.URL+"/jobs", `{"experiment":"fig9","scale":"quick"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	queuedID := v["id"].(string)
+
+	// Status shows the FIFO: first running, second pending.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, _ := q.Get(blockedID); j.State == Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, data := getJSON(t, ts.URL+"/jobs/"+queuedID); code != http.StatusOK ||
+		!strings.Contains(string(data), `"state": "pending"`) {
+		t.Fatalf("queued status: %d %s", code, data)
+	}
+
+	// Result of an unfinished job is a 409; unknown ids are 404s.
+	if code, _ := getJSON(t, ts.URL+"/jobs/"+blockedID+"/result"); code != http.StatusConflict {
+		t.Fatalf("result of running job: %d, want 409", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/jobs/zzz"); code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", code)
+	}
+
+	// Cancel the pending job, then the running one.
+	code, v = postJSON(t, ts.URL+"/jobs/"+queuedID+"/cancel", "")
+	if code != http.StatusOK || v["state"] != string(Canceled) {
+		t.Fatalf("cancel pending: %d %v", code, v)
+	}
+	code, _ = postJSON(t, ts.URL+"/jobs/"+blockedID+"/cancel", "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel running: %d", code)
+	}
+	if j := waitState(t, q, blockedID, 5*time.Second); j.State != Canceled {
+		t.Fatalf("blocked job = %+v, want canceled", j)
+	}
+	if code, _ = postJSON(t, ts.URL+"/jobs/"+blockedID+"/cancel", ""); code != http.StatusConflict {
+		t.Fatalf("double cancel: %d, want 409", code)
+	}
+
+	// A clean job completes; its result document is served verbatim.
+	code, v = postJSON(t, ts.URL+"/jobs", `{"experiment":"fig10","scale":"quick"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	doneID := v["id"].(string)
+	hash := v["hash"].(string)
+	waitState(t, q, doneID, 10*time.Second)
+	code, data := getJSON(t, ts.URL+"/jobs/"+doneID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, data)
+	}
+	var doc ResultDoc
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Hash != hash || doc.ID != "fig10" {
+		t.Fatalf("result doc %+v (err %v), want hash %s", doc, err, hash)
+	}
+
+	// Resubmission of the identical spec reports the cache.
+	code, v = postJSON(t, ts.URL+"/jobs", `{"experiment":"fig10","scale":"quick"}`)
+	if code != http.StatusAccepted || v["cached"] != true {
+		t.Fatalf("resubmit: %d %v, want cached true", code, v)
+	}
+	resubID := v["id"].(string)
+	if j := waitState(t, q, resubID, 5*time.Second); !j.CacheHit {
+		t.Fatalf("resubmitted job %+v, want cache hit", j)
+	}
+
+	// Health reflects the queue.
+	code, data = getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(data), `"ok": true`) {
+		t.Fatalf("health: %d %s", code, data)
+	}
+	var h map[string]any
+	json.Unmarshal(data, &h)
+	if h["canceled"].(float64) != 2 || h["succeeded"].(float64) != 2 {
+		t.Fatalf("health counts: %v", h)
+	}
+}
+
+// TestServerEndToEndRealFigure exercises the full stack — HTTP, queue,
+// runner, checkpointer, cache — against a real quick-scale figure.
+func TestServerEndToEndRealFigure(t *testing.T) {
+	ts, q := newTestServer(t, nil)
+	code, v := postJSON(t, ts.URL+"/jobs", `{"experiment":"fig8","scale":"quick","parallel":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, v)
+	}
+	id := v["id"].(string)
+	if j := waitState(t, q, id, 60*time.Second); j.State != Succeeded {
+		t.Fatalf("job = %+v", j)
+	}
+	code, data := getJSON(t, ts.URL+fmt.Sprintf("/jobs/%s/result", id))
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, data)
+	}
+	var doc ResultDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != "fig8" || !strings.Contains(doc.CSV, "series,") {
+		t.Fatalf("result doc incomplete: %+v", doc)
+	}
+}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -71,13 +73,26 @@ func TestPanicPropagatesLowestIndex(t *testing.T) {
 				if r == nil {
 					t.Fatalf("workers=%d: panic swallowed", workers)
 				}
-				msg, ok := r.(string)
 				if workers == 1 {
-					// Sequential path re-panics the original value.
-					msg, ok = r.(error).Error(), true
+					// Sequential path re-panics the original value with
+					// its natural stack.
+					if _, ok := r.(errBoom); !ok {
+						t.Fatalf("workers=1: unexpected panic %v", r)
+					}
+					return
 				}
-				if !ok || !strings.Contains(msg, "boom") {
-					t.Fatalf("workers=%d: unexpected panic %v", workers, r)
+				jp, ok := r.(*JobPanic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T, want *JobPanic", workers, r)
+				}
+				if _, ok := jp.Value.(errBoom); !ok {
+					t.Fatalf("original panic value lost: %v", jp.Value)
+				}
+				if !strings.Contains(jp.Error(), "boom") {
+					t.Fatalf("Error() lost the value: %q", jp.Error())
+				}
+				if !strings.Contains(string(jp.Stack), "sweep_test.go") {
+					t.Fatalf("stack does not point at the panic site:\n%s", jp.Stack)
 				}
 			}()
 			New(workers).Run(20, func(i int) {
@@ -86,6 +101,94 @@ func TestPanicPropagatesLowestIndex(t *testing.T) {
 				}
 			})
 		}()
+	}
+}
+
+func TestJobPanicUnwrap(t *testing.T) {
+	jp := &JobPanic{Index: 2, Value: errBoom{}}
+	if !errors.Is(jp, errBoom{}) {
+		t.Fatal("errors.Is does not see the wrapped error panic value")
+	}
+	if (&JobPanic{Value: "not an error"}).Unwrap() != nil {
+		t.Fatal("non-error panic value must unwrap to nil")
+	}
+}
+
+func TestHookDoneFiresPerCompletedJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		done := map[int]int{}
+		e := New(workers).WithHook(Hook{Done: func(i int) {
+			mu.Lock()
+			done[i]++
+			mu.Unlock()
+		}})
+		out := Map(e, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(s int) int { return s + 1 })
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		if len(done) != 8 {
+			t.Fatalf("workers=%d: Done fired for %d jobs, want 8", workers, len(done))
+		}
+		for i, n := range done {
+			if n != 1 {
+				t.Fatalf("workers=%d: Done(%d) fired %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestHookDoneSkippedOnPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		done := map[int]bool{}
+		func() {
+			defer func() { recover() }()
+			New(workers).WithHook(Hook{Done: func(i int) {
+				mu.Lock()
+				done[i] = true
+				mu.Unlock()
+			}}).Run(6, func(i int) {
+				if i == 2 {
+					panic("nope")
+				}
+			})
+		}()
+		if done[2] {
+			t.Fatalf("workers=%d: Done fired for the panicking job", workers)
+		}
+	}
+}
+
+func TestHookContextCancelStopsDraw(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		e := New(workers).WithHook(Hook{Ctx: ctx, Done: func(i int) {
+			if i == 1 {
+				cancel()
+			}
+		}})
+		e.Run(1000, func(i int) { ran.Add(1) })
+		// Cancellation is advisory — in-flight jobs finish, and workers
+		// mid-draw may slip one more in — but the sweep must stop far
+		// short of the full 1000.
+		if n := ran.Load(); n > 100 {
+			t.Fatalf("workers=%d: %d jobs ran after early cancel", workers, n)
+		}
+		cancel()
+	}
+}
+
+func TestCanceledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		New(workers).WithHook(Hook{Ctx: ctx}).Run(10, func(i int) {
+			t.Fatalf("workers=%d: job %d ran under a canceled context", workers, i)
+		})
 	}
 }
 
